@@ -1,0 +1,311 @@
+package goraql
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index):
+//
+//	go test -bench=Fig4 -benchmem          # Fig. 4 rows
+//	go test -bench=. -benchmem             # everything
+//
+// Each benchmark runs the full ORAQL workflow (baseline compile+run,
+// fully optimistic attempt, bisection) and reports the headline
+// numbers as custom metrics, so the paper's shape is visible straight
+// from the bench output: pessimistic-query counts, the no-alias
+// growth, and the dynamic-instruction deltas.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/driver"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/report"
+)
+
+// probeOnce runs the ORAQL workflow for a configuration.
+func probeOnce(b *testing.B, id string) *report.Experiment {
+	b.Helper()
+	cfg := apps.ByID(id)
+	if cfg == nil {
+		b.Fatalf("unknown config %q", id)
+	}
+	e, err := report.Run(cfg, io.Discard)
+	if err != nil {
+		b.Fatalf("probe %s: %v", id, err)
+	}
+	return e
+}
+
+func reportFig4Metrics(b *testing.B, e *report.Experiment) {
+	s := e.Probe.Final.Compile.ORAQLStats()
+	orig := e.Probe.Baseline.Compile.NoAliasTotal()
+	fin := e.Probe.Final.Compile.NoAliasTotal()
+	b.ReportMetric(float64(s.UniqueOptimistic), "opt-unique")
+	b.ReportMetric(float64(s.CachedOptimistic), "opt-cached")
+	b.ReportMetric(float64(s.UniquePessimistic), "pess-unique")
+	b.ReportMetric(float64(s.CachedPessimistic), "pess-cached")
+	if orig > 0 {
+		b.ReportMetric(100*float64(fin-orig)/float64(orig), "noalias-growth-%")
+	}
+}
+
+// BenchmarkFig4_QueryStats regenerates the Fig. 4 table: one sub-bench
+// per configuration, reporting the query statistics as metrics.
+func BenchmarkFig4_QueryStats(b *testing.B) {
+	for _, cfg := range apps.All() {
+		cfg := cfg
+		b.Run(cfg.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := probeOnce(b, cfg.ID)
+				reportFig4Metrics(b, e)
+			}
+		})
+	}
+}
+
+// BenchmarkFig3_PessimisticDump regenerates the Fig. 3 report for the
+// TestSNAP OpenMP configuration (query dump with pass attribution and
+// source locations).
+func BenchmarkFig3_PessimisticDump(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := probeOnce(b, "testsnap-openmp")
+		dump := report.Fig3(e)
+		if len(dump) == 0 {
+			b.Fatal("empty dump")
+		}
+		b.ReportMetric(float64(e.Probe.Final.Compile.ORAQLStats().UniquePessimistic), "pess-unique")
+	}
+}
+
+// BenchmarkFig6_PassStats regenerates the Fig. 6 deltas for the
+// configurations the paper quotes, reporting the headline counters.
+func BenchmarkFig6_PassStats(b *testing.B) {
+	rows := []struct {
+		id, pass, stat, metric string
+	}{
+		{"quicksilver-openmp", "Loop Deletion", "# deleted loops", "deleted-loops"},
+		{"quicksilver-openmp", "Dead Store Elimination", "# stores deleted", "stores-deleted"},
+		{"minife-openmp", "Loop Vectorizer", "# vector instructions generated", "vector-instrs"},
+		{"minigmg-ompif", "Loop Vectorizer", "# vectorized loops", "vectorized-loops"},
+		{"minigmg-omptask", "Loop Vectorizer", "# vectorized loops", "vectorized-loops"},
+		{"minigmg-sse", "Loop Vectorizer", "# vectorized loops", "vectorized-loops"},
+		{"testsnap-fortran", "Loop Invariant Code Motion", "# loads hoisted or sunk", "loads-hoisted"},
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(row.id+"/"+row.metric, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := probeOnce(b, row.id)
+				base := e.Probe.Baseline.Compile.Host.Pass.Get(row.pass, row.stat)
+				fin := e.Probe.Final.Compile.Host.Pass.Get(row.pass, row.stat)
+				if e.Probe.Baseline.Compile.Device != nil {
+					base += e.Probe.Baseline.Compile.Device.Pass.Get(row.pass, row.stat)
+					fin += e.Probe.Final.Compile.Device.Pass.Get(row.pass, row.stat)
+				}
+				b.ReportMetric(float64(base), row.metric+"-orig")
+				b.ReportMetric(float64(fin), row.metric+"-oraql")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7_KernelStats regenerates the per-kernel register and
+// stack-frame deltas of the TestSNAP Kokkos-CUDA device compilation.
+func BenchmarkFig7_KernelStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := probeOnce(b, "testsnap-kokkos-cuda")
+		base := e.Probe.Baseline.Compile.Device
+		fin := e.Probe.Final.Compile.Device
+		if base == nil || fin == nil {
+			b.Fatal("no device compilation")
+		}
+		changed := 0
+		kernels := 0
+		for _, bf := range base.Code.Funcs {
+			if !bf.IsKernel {
+				continue
+			}
+			kernels++
+			for _, ff := range fin.Code.Funcs {
+				if ff.Name == bf.Name && (ff.RegsUsed != bf.RegsUsed || ff.StackBytes != bf.StackBytes) {
+					changed++
+				}
+			}
+		}
+		b.ReportMetric(float64(kernels), "kernels")
+		b.ReportMetric(float64(changed), "kernels-changed")
+	}
+}
+
+// runtimeBench reports original-vs-ORAQL dynamic instruction deltas
+// (the perf numbers quoted in Section V's text).
+func runtimeBench(b *testing.B, id string) {
+	for i := 0; i < b.N; i++ {
+		e := probeOnce(b, id)
+		orig := e.Probe.Baseline.Run.Instrs
+		fin := e.Probe.Final.Run.Instrs
+		b.ReportMetric(float64(orig), "instrs-orig")
+		b.ReportMetric(float64(fin), "instrs-oraql")
+		if orig > 0 {
+			b.ReportMetric(100*float64(fin-orig)/float64(orig), "instr-delta-%")
+		}
+	}
+}
+
+// BenchmarkRuntime_TestSNAPSeq: Section V-A(a), instructions -1.2%.
+func BenchmarkRuntime_TestSNAPSeq(b *testing.B) { runtimeBench(b, "testsnap-seq") }
+
+// BenchmarkRuntime_TestSNAPOpenMP: Section V-A(b), instructions -8%.
+func BenchmarkRuntime_TestSNAPOpenMP(b *testing.B) { runtimeBench(b, "testsnap-openmp") }
+
+// BenchmarkRuntime_TestSNAPFortran: Section V-A(d), 5% end-to-end.
+func BenchmarkRuntime_TestSNAPFortran(b *testing.B) { runtimeBench(b, "testsnap-fortran") }
+
+// BenchmarkRuntime_LULESH: Section V-E, times barely affected → we
+// report the instruction deltas for all three variants.
+func BenchmarkRuntime_LULESH(b *testing.B) {
+	for _, id := range []string{"lulesh-seq", "lulesh-openmp", "lulesh-mpi"} {
+		id := id
+		b.Run(id, func(b *testing.B) { runtimeBench(b, id) })
+	}
+}
+
+// BenchmarkRuntime_MiniGMG: Section V-G, ompif ~8% speedup, sse flat.
+func BenchmarkRuntime_MiniGMG(b *testing.B) {
+	for _, id := range []string{"minigmg-ompif", "minigmg-omptask", "minigmg-sse"} {
+		id := id
+		b.Run(id, func(b *testing.B) { runtimeBench(b, id) })
+	}
+}
+
+// BenchmarkRuntime_GridMiniKernel: Section V-C, device kernel time
+// under the occupancy model.
+func BenchmarkRuntime_GridMiniKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := probeOnce(b, "gridmini-offload")
+		bi := e.Probe.Baseline.Run.DeviceInstrs
+		fi := e.Probe.Final.Run.DeviceInstrs
+		b.ReportMetric(float64(bi), "dev-instrs-orig")
+		b.ReportMetric(float64(fi), "dev-instrs-oraql")
+	}
+}
+
+// BenchmarkProbing_Strategies is the Section IV-B ablation: chunked vs
+// frequency-space bisection, with and without the executable cache.
+func BenchmarkProbing_Strategies(b *testing.B) {
+	cfg := apps.ByID("lulesh-seq")
+	variants := []struct {
+		name     string
+		strategy driver.Strategy
+		noCache  bool
+	}{
+		{"chunked", driver.Chunked, false},
+		{"chunked-nocache", driver.Chunked, true},
+		{"freqspace", driver.FreqSpace, false},
+		{"freqspace-nocache", driver.FreqSpace, true},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := cfg.Spec()
+				spec.Strategy = v.strategy
+				spec.DisableExeCache = v.noCache
+				res, err := driver.Probe(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Compiles), "compiles")
+				b.ReportMetric(float64(res.TestsRun), "tests-run")
+				b.ReportMetric(float64(res.TestsCached), "tests-cached")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ChainPosition measures how many queries reach
+// ORAQL when the costly CFL analyses are enabled ahead of it (the
+// "new trade-off" discussion of Section I's use case 2).
+func BenchmarkAblation_ChainPosition(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		name := "default-chain"
+		if full {
+			name = "with-cfl-analyses"
+		}
+		full := full
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := apps.ByID("quicksilver-openmp")
+				spec := cfg.Spec()
+				spec.Compile.FullAAChain = full
+				res, err := driver.Probe(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := res.Final.Compile.ORAQLStats()
+				b.ReportMetric(float64(s.Unique()), "residual-queries")
+			}
+		})
+	}
+}
+
+// BenchmarkCompileOnly measures raw compilation throughput of the -O3
+// pipeline over the whole suite (no probing).
+func BenchmarkCompileOnly(b *testing.B) {
+	cfgs := apps.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cfgs {
+			cc := c.Spec().Compile
+			cc.Name = c.ID
+			if _, err := CompileSource(cc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "configs")
+}
+
+var _ = fmt.Sprintf
+
+// BenchmarkAblation_BlockingChain is the Section VIII dual experiment:
+// block the entire conservative analysis chain (ModeBlocking, empty
+// sequence) and measure what the existing analyses were buying.
+func BenchmarkAblation_BlockingChain(b *testing.B) {
+	cfg := apps.ByID("testsnap-seq")
+	for i := 0; i < b.N; i++ {
+		cc := cfg.Spec().Compile
+		cc.Name = "blocked"
+		base, err := CompileSource(cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseRun, err := RunProgram(base.Program, cfg.Run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cc.ORAQL = &ORAQLOptions{Mode: oraql.ModeBlocking}
+		blocked, err := CompileSource(cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blockedRun, err := RunProgram(blocked.Program, cfg.Run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Compare outputs with the configuration's volatile-field masks
+		// (the simulated clock differs across binaries by design).
+		spec := cfg.Spec()
+		spec.Verify.References = []string{baseRun.Stdout}
+		if err := spec.Verify.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		if v := spec.Verify.Check(blockedRun.Stdout, nil); !v.OK {
+			b.Fatalf("blocking changed semantics: %s", v.Diff)
+		}
+		b.ReportMetric(float64(baseRun.Instrs), "instrs-default-aa")
+		b.ReportMetric(float64(blockedRun.Instrs), "instrs-no-aa")
+		b.ReportMetric(100*float64(blockedRun.Instrs-baseRun.Instrs)/float64(baseRun.Instrs), "aa-value-%")
+	}
+}

@@ -1,0 +1,133 @@
+// Command oraql-opt is the single-compilation tool (the opt/clang
+// analogue): it compiles one minic source file through the -O3
+// pipeline with an optional ORAQL response sequence and prints IR,
+// statistics, and ORAQL dump output.
+//
+// Usage:
+//
+//	oraql-opt prog.mc [-opt-aa-seq "1 0 1"] [-opt-aa-seq @file]
+//	         [-opt-aa-target gpu] [-opt-aa-dump-pessimistic ...]
+//	         [-stats] [-print-ir] [-debug-pass] [-run] [-O1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/irtext"
+	"github.com/oraql/go-oraql/internal/minic"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/pipeline"
+)
+
+func main() {
+	fs := flag.NewFlagSet("oraql-opt", flag.ExitOnError)
+	seqStr := fs.String("opt-aa-seq", "", `ORAQL response sequence ("1 0 ...", or @file); empty enables the pass fully optimistic`)
+	useORAQL := fs.Bool("opt-aa", false, "enable the ORAQL pass (implied by -opt-aa-seq/-opt-aa-dump-*)")
+	target := fs.String("opt-aa-target", "", "restrict ORAQL to modules whose target contains this substring")
+	dumpFirst := fs.Bool("opt-aa-dump-first", false, "dump first (non-cached) queries")
+	dumpCached := fs.Bool("opt-aa-dump-cached", false, "dump cached queries")
+	dumpOpt := fs.Bool("opt-aa-dump-optimistic", false, "dump optimistically answered queries")
+	dumpPess := fs.Bool("opt-aa-dump-pessimistic", false, "dump pessimistically answered queries")
+	model := fs.String("model", "seq", "parallel model (seq|openmp|tasks|mpi|offload)")
+	fortran := fs.Bool("fortran", false, "Fortran dialect")
+	views := fs.Bool("views", false, "boxed heap arrays (Kokkos/Thrust views)")
+	o1 := fs.Bool("O1", false, "use the reduced O1 pipeline")
+	o0 := fs.Bool("O0", false, "frontend output only (no optimization)")
+	full := fs.Bool("full-aa", false, "enable the CFL points-to analyses in the chain")
+	stats := fs.Bool("stats", false, "print pass statistics (-mllvm -stats analogue)")
+	printIR := fs.Bool("print-ir", false, "print optimized IR")
+	debugPass := fs.Bool("debug-pass", false, "print pass executions (-debug-pass=Executions analogue)")
+	run := fs.Bool("run", false, "run the compiled program on the simulated machine")
+	ranks := fs.Int("ranks", 1, "simulated MPI ranks for -run")
+
+	if len(os.Args) < 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	file := os.Args[1]
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(file)
+	check(err)
+
+	models := map[string]minic.Model{"seq": minic.ModelSeq, "openmp": minic.ModelOpenMP,
+		"tasks": minic.ModelTasks, "mpi": minic.ModelMPI, "offload": minic.ModelOffload}
+	m, ok := models[*model]
+	if !ok {
+		check(fmt.Errorf("unknown model %q", *model))
+	}
+	d := minic.DialectC
+	if *fortran {
+		d = minic.DialectFortran
+	}
+
+	cfg := pipeline.Config{
+		Name: file, Source: string(src), SourceFile: file,
+		Frontend:      minic.Options{Dialect: d, Model: m, Views: *views},
+		FullAAChain:   *full,
+		DebugPassExec: *debugPass,
+	}
+	if strings.HasSuffix(file, ".ir") {
+		// Textual-IR input: bypass the frontend.
+		mod, err := irtext.Parse(string(src))
+		check(err)
+		cfg.Module = mod
+	}
+	if *o1 {
+		cfg.OptLevel = 1
+	}
+	if *o0 {
+		cfg.OptLevel = -1
+	}
+	dump := oraql.DumpFlags{First: *dumpFirst, Cached: *dumpCached, Optimistic: *dumpOpt, Pessimistic: *dumpPess}
+	if *useORAQL || *seqStr != "" || dump.Any() {
+		seq, err := oraql.ParseSeq(*seqStr)
+		check(err)
+		cfg.ORAQL = &oraql.Options{Seq: seq, Target: *target, Dump: dump, Out: os.Stderr}
+	}
+
+	cr, err := pipeline.Compile(cfg)
+	check(err)
+
+	if *printIR {
+		fmt.Print(cr.Host.Module.String())
+		if cr.Device != nil {
+			fmt.Print(cr.Device.Module.String())
+		}
+	}
+	if *stats {
+		fmt.Println("=== host statistics ===")
+		cr.Host.Pass.Print(os.Stdout)
+		if cr.Device != nil {
+			fmt.Println("=== device statistics ===")
+			cr.Device.Pass.Print(os.Stdout)
+		}
+		s := cr.ORAQLStats()
+		if cfg.ORAQL != nil {
+			fmt.Printf("%8d oraql - Number of unique optimistic responses\n", s.UniqueOptimistic)
+			fmt.Printf("%8d oraql - Number of cached optimistic responses\n", s.CachedOptimistic)
+			fmt.Printf("%8d oraql - Number of unique pessimistic responses\n", s.UniquePessimistic)
+			fmt.Printf("%8d oraql - Number of cached pessimistic responses\n", s.CachedPessimistic)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "exe hash: %s\n", cr.ExeHash())
+	if *run {
+		rr, err := irinterp.Run(cr.Program, irinterp.Options{NumRanks: *ranks})
+		check(err)
+		fmt.Print(rr.Stdout)
+		fmt.Fprintf(os.Stderr, "[%d instructions, %d cycles]\n", rr.Instrs, rr.Cycles)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oraql-opt:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Command oraql-tables regenerates the paper's tables and figures from
+// live runs of the evaluation:
+//
+//	oraql-tables               # everything
+//	oraql-tables -table fig4   # one table: fig3|fig4|fig5|fig6|fig7|runtime|effort
+//	oraql-tables -configs a,b  # restrict to a config subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print (fig3|fig4|fig5|fig6|fig7|runtime|effort|all)")
+	configs := flag.String("configs", "", "comma-separated config ids (default: all)")
+	verbose := flag.Bool("v", false, "verbose driver log")
+	flag.Parse()
+
+	var ids []string
+	if *configs != "" {
+		ids = strings.Split(*configs, ",")
+	}
+	var logW io.Writer = io.Discard
+	if *verbose {
+		logW = os.Stderr
+	}
+
+	if *table == "fig5" {
+		fmt.Println(report.Fig5())
+		return
+	}
+
+	exps, err := report.RunAll(ids, logW)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oraql-tables:", err)
+		os.Exit(1)
+	}
+	report.SortByFig4Order(exps)
+
+	show := func(name string) bool { return *table == "all" || *table == name }
+	if show("fig4") {
+		fmt.Println(report.Fig4(exps, true))
+	}
+	if show("fig5") {
+		fmt.Println(report.Fig5())
+	}
+	if show("fig6") {
+		fmt.Println(report.Fig6(exps))
+	}
+	if show("fig7") {
+		for _, e := range exps {
+			if e.Probe.Final.Compile.Device != nil {
+				fmt.Println(report.Fig7(e))
+			}
+		}
+	}
+	if show("fig3") {
+		for _, e := range exps {
+			s := e.Probe.Final.Compile.ORAQLStats()
+			if s.UniquePessimistic > 0 {
+				fmt.Println(report.Fig3(e))
+			}
+		}
+	}
+	if show("runtime") {
+		fmt.Println(report.Runtime(exps))
+	}
+	if show("effort") {
+		fmt.Println(report.ProbingEffort(exps))
+	}
+}

@@ -1,0 +1,204 @@
+// Command oraql is the ORAQL probing driver CLI: it runs the full
+// workflow (baseline, fully-optimistic attempt, bisection) on a
+// benchmark configuration or a standalone minic source file and
+// reports the locally maximal optimistic sequence.
+//
+// Usage:
+//
+//	oraql list
+//	oraql probe <config-id> [-strategy chunked|freq] [-v]
+//	oraql probe -file prog.mc [-model seq|openmp|tasks|mpi|offload] [-fortran] [-views]
+//	oraql report <config-id>        # Fig. 3-style pessimistic dump
+//	oraql run <config-id>           # baseline compile+run only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/driver"
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/minic"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "probe":
+		err = cmdProbe(args)
+	case "report":
+		err = cmdReport(args)
+	case "run":
+		err = cmdRun(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oraql:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  oraql list
+  oraql probe <config-id> [-strategy chunked|freq] [-no-exe-cache] [-v]
+  oraql probe -file prog.mc [-model seq|openmp|tasks|mpi|offload] [-fortran] [-views] [-target sub]
+  oraql report <config-id>
+  oraql run <config-id>`)
+}
+
+func cmdList() error {
+	fmt.Printf("%-22s %-14s %-22s %s\n", "ID", "BENCHMARK", "MODEL", "SOURCE")
+	for _, c := range apps.All() {
+		fmt.Printf("%-22s %-14s %-22s %s\n", c.ID, c.Benchmark, c.ModelLabel, c.SourceFiles)
+	}
+	return nil
+}
+
+func buildSpec(args []string) (*driver.BenchSpec, error) {
+	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
+	file := fs.String("file", "", "standalone minic source file instead of a config id")
+	model := fs.String("model", "seq", "parallel model for -file (seq|openmp|tasks|mpi|offload)")
+	fortran := fs.Bool("fortran", false, "Fortran dialect (descriptor arrays, no TBAA) for -file")
+	views := fs.Bool("views", false, "Kokkos/Thrust-style boxed heap arrays for -file")
+	target := fs.String("target", "", "-opt-aa-target substring (restrict ORAQL to a target)")
+	strategy := fs.String("strategy", "chunked", "bisection strategy (chunked|freq)")
+	noCache := fs.Bool("no-exe-cache", false, "disable the executable-hash test cache")
+	ranks := fs.Int("ranks", 1, "simulated MPI ranks")
+	verbose := fs.Bool("v", false, "verbose driver log")
+
+	var id string
+	if len(args) > 0 && args[0][0] != '-' {
+		id, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	var spec *driver.BenchSpec
+	switch {
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return nil, err
+		}
+		models := map[string]minic.Model{"seq": minic.ModelSeq, "openmp": minic.ModelOpenMP,
+			"tasks": minic.ModelTasks, "mpi": minic.ModelMPI, "offload": minic.ModelOffload}
+		m, ok := models[*model]
+		if !ok {
+			return nil, fmt.Errorf("unknown model %q", *model)
+		}
+		d := minic.DialectC
+		if *fortran {
+			d = minic.DialectFortran
+		}
+		spec = &driver.BenchSpec{
+			Name: *file,
+			Compile: pipeline.Config{
+				Source: string(src), SourceFile: *file,
+				Frontend: minic.Options{Dialect: d, Model: m, Views: *views},
+			},
+			Run:   irinterp.Options{NumRanks: *ranks},
+			ORAQL: oraql.Options{Target: *target},
+		}
+	case id != "":
+		cfg := apps.ByID(id)
+		if cfg == nil {
+			return nil, fmt.Errorf("unknown configuration %q (try `oraql list`)", id)
+		}
+		spec = cfg.Spec()
+	default:
+		return nil, fmt.Errorf("need a config id or -file")
+	}
+	if *strategy == "freq" {
+		spec.Strategy = driver.FreqSpace
+	}
+	spec.DisableExeCache = *noCache
+	var logW io.Writer = io.Discard
+	if *verbose {
+		logW = os.Stderr
+	}
+	spec.Log = logW
+	return spec, nil
+}
+
+func cmdProbe(args []string) error {
+	spec, err := buildSpec(args)
+	if err != nil {
+		return err
+	}
+	spec.Log = os.Stderr
+	res, err := driver.Probe(spec)
+	if err != nil {
+		return err
+	}
+	s := res.Final.Compile.ORAQLStats()
+	fmt.Printf("configuration:        %s\n", spec.Name)
+	fmt.Printf("fully optimistic:     %v\n", res.FullyOptimistic)
+	fmt.Printf("optimistic queries:   %d unique, %d cached\n", s.UniqueOptimistic, s.CachedOptimistic)
+	fmt.Printf("pessimistic queries:  %d unique, %d cached\n", s.UniquePessimistic, s.CachedPessimistic)
+	fmt.Printf("no-alias responses:   %d original -> %d ORAQL\n",
+		res.Baseline.Compile.NoAliasTotal(), res.Final.Compile.NoAliasTotal())
+	fmt.Printf("probing effort:       %d compiles, %d tests (+%d from exe cache)\n",
+		res.Compiles, res.TestsRun, res.TestsCached)
+	fmt.Printf("instructions:         %d original -> %d ORAQL\n",
+		res.Baseline.Run.Instrs, res.Final.Run.Instrs)
+	if len(res.FinalSeq) > 0 {
+		fmt.Printf("final -opt-aa-seq:    %s\n", res.FinalSeq)
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("report needs a config id")
+	}
+	cfg := apps.ByID(args[0])
+	if cfg == nil {
+		return fmt.Errorf("unknown configuration %q", args[0])
+	}
+	e, err := report.Run(cfg, io.Discard)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Fig3(e))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run needs a config id")
+	}
+	cfg := apps.ByID(args[0])
+	if cfg == nil {
+		return fmt.Errorf("unknown configuration %q", args[0])
+	}
+	cr, err := pipeline.Compile(pipeline.Config{
+		Name: cfg.ID, Source: cfg.Source, SourceFile: cfg.SourceName, Frontend: cfg.Frontend,
+	})
+	if err != nil {
+		return err
+	}
+	rr, err := irinterp.Run(cr.Program, cfg.Run)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rr.Stdout)
+	fmt.Fprintf(os.Stderr, "[%d instructions, %d cycles]\n", rr.Instrs, rr.Cycles)
+	return nil
+}

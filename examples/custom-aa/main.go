@@ -1,0 +1,183 @@
+// Custom alias analysis: the paper's second use case (Section I) —
+// compiler developers use ORAQL to find the most important classes of
+// conservatively answered queries, build a specialized analysis for
+// them, and check that it actually removes the residual queries.
+//
+// Here the specialized analysis disambiguates distinct heap
+// allocations reached through one level of context-struct indirection
+// (the OpenMP dptr pattern of the paper's Fig. 3), a case the default
+// chain cannot handle.
+//
+//	go run ./examples/custom-aa
+package main
+
+import (
+	"fmt"
+	"log"
+
+	goraql "github.com/oraql/go-oraql"
+	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/ir"
+	"github.com/oraql/go-oraql/internal/minic"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/passes"
+)
+
+// src passes two distinct heap arrays through a struct; every access
+// reloads the data pointers, producing may-alias queries that reach
+// ORAQL under the default chain.
+const src = `
+struct Pair {
+	double* xs;
+	double* ys;
+};
+
+void saxpy(Pair* p, int n, double a) {
+	for (int i = 0; i < n; i++) {
+		p.ys[i] = p.ys[i] + p.xs[i] * a;
+	}
+}
+
+int main() {
+	Pair p;
+	p.xs = new double[128];
+	p.ys = new double[128];
+	for (int i = 0; i < 128; i++) {
+		p.xs[i] = (double)i;
+		p.ys[i] = 1.0;
+	}
+	for (int it = 0; it < 10; it++) {
+		saxpy(&p, 128, 0.5);
+	}
+	print("checksum ", checksum(p.ys, 128), "\n");
+	return 0;
+}
+`
+
+// fieldAA answers queries between pointers loaded from *distinct
+// fields* of the same struct object when both fields were only ever
+// stored distinct allocation results — a deliberately narrow
+// specialized analysis. The heavy lifting (matching loads of different
+// constant offsets off one base, with the stored values being distinct
+// __malloc results module-wide) mirrors how a production field-aware
+// AA would work.
+type fieldAA struct {
+	mod *ir.Module
+}
+
+func (f *fieldAA) Name() string { return "field-aa" }
+
+// fieldSlot identifies "load of base+off" where base is a function
+// argument or alloca.
+func fieldSlot(v ir.Value) (base ir.Value, off int64, ok bool) {
+	ld, isLoad := v.(*ir.Instr)
+	if !isLoad || ld.Op != ir.OpLoad || ld.Ty != ir.Ptr {
+		return nil, 0, false
+	}
+	ptr := ld.Operands[0]
+	if g, isGep := ptr.(*ir.Instr); isGep && g.Op == ir.OpGEP && len(g.Operands) == 1 {
+		return g.Operands[0], g.Off, true
+	}
+	return ptr, 0, true
+}
+
+// distinctFieldInit reports whether every store to (anyObject, off) in
+// the module stores a fresh __malloc result, and offsets offA != offB
+// never receive the same value.
+func (f *fieldAA) distinctFieldInit(offA, offB int64) bool {
+	if offA == offB {
+		return false
+	}
+	fresh := func(v ir.Value) bool {
+		c, ok := v.(*ir.Instr)
+		return ok && c.Op == ir.OpCall && c.Callee == "__malloc"
+	}
+	for _, fn := range f.mod.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Dead() || in.Op != ir.OpStore || in.Operands[0].Type() != ir.Ptr {
+					continue
+				}
+				if !fresh(in.Operands[0]) {
+					return false // a pointer store we cannot account for
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (f *fieldAA) Alias(a, b aa.MemLoc, _ *aa.QueryCtx) aa.Result {
+	ua := aa.UnderlyingObject(a.Ptr)
+	ub := aa.UnderlyingObject(b.Ptr)
+	// Underlying objects that are loads of distinct struct fields.
+	pa, pb := ua, ub
+	if pa == nil {
+		pa = baseOfGEPChain(a.Ptr)
+	}
+	if pb == nil {
+		pb = baseOfGEPChain(b.Ptr)
+	}
+	baseA, offA, okA := fieldSlot(pa)
+	baseB, offB, okB := fieldSlot(pb)
+	if !okA || !okB || baseA != baseB {
+		return aa.MayAlias
+	}
+	if f.distinctFieldInit(offA, offB) {
+		return aa.NoAlias
+	}
+	return aa.MayAlias
+}
+
+func baseOfGEPChain(v ir.Value) ir.Value {
+	for i := 0; i < 64; i++ {
+		in, ok := v.(*ir.Instr)
+		if !ok || in.Op != ir.OpGEP {
+			return v
+		}
+		v = in.Operands[0]
+	}
+	return v
+}
+
+// residualQueries compiles the program with the given chain extension
+// and returns how many unique queries fell through to ORAQL.
+func residualQueries(withFieldAA bool) int {
+	hostMod, _, err := minic.Compile("pair.mc", src, minic.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chain := aa.DefaultChain(hostMod)
+	if withFieldAA {
+		chain = append(chain, &fieldAA{mod: hostMod})
+	}
+	mgr := aa.NewManager(hostMod, chain...)
+	op := oraql.New(hostMod, oraql.Options{})
+	mgr.Append(op)
+	ctx := &passes.Context{Module: hostMod, AA: mgr, Stats: passes.NewStats()}
+	passes.O3Pipeline().Run(ctx)
+	if err := ir.Verify(hostMod); err != nil {
+		log.Fatal(err)
+	}
+	return op.Stats().Unique()
+}
+
+func main() {
+	// Sanity: the ORAQL workflow on the program is fully optimistic
+	// (the dptr queries are real no-alias cases).
+	res, err := goraql.Probe(&goraql.ProbeSpec{
+		Name:    "custom-aa",
+		Compile: goraql.CompileConfig{Source: src, SourceFile: "pair.mc"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ORAQL verdict:   fully optimistic = %v\n", res.FullyOptimistic)
+
+	before := residualQueries(false)
+	after := residualQueries(true)
+	fmt.Printf("default chain:   %d queries fell through to ORAQL\n", before)
+	fmt.Printf("with field-aa:   %d queries fell through to ORAQL\n", after)
+	fmt.Printf("the specialized analysis answers %d of the dptr-class queries\n", before-after)
+	fmt.Println("the ORAQL report identified, without enabling the costly CFL analyses.")
+}

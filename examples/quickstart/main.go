@@ -1,0 +1,94 @@
+// Quickstart: compile a small program, break it with full optimism,
+// and let the ORAQL driver find the dangerous alias queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	goraql "github.com/oraql/go-oraql"
+)
+
+// The program carries one genuine flow dependence: a[i+1] depends on
+// a[i], so the loop must not be vectorized — but no conservative
+// analysis can prove whether the two accesses overlap, and an
+// optimistic "no-alias" answer miscompiles it.
+const src = `
+int main() {
+	double a[64];
+	for (int i = 0; i < 64; i++) {
+		a[i] = (double)i * 0.5;
+	}
+	for (int i = 0; i < 63; i++) {
+		a[i+1] = a[i] * 0.25 + a[i+1];
+	}
+	double s = 0.0;
+	for (int i = 0; i < 64; i++) {
+		s = s + a[i];
+	}
+	print("sum=", s, "\n");
+	return 0;
+}
+`
+
+func main() {
+	// 1. Plain compilation and run: the reference behaviour.
+	base, err := goraql.CompileSource(goraql.CompileConfig{
+		Name: "quickstart", Source: src, SourceFile: "quickstart.mc",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := goraql.RunProgram(base.Program, goraql.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline output:          %s", ref.Stdout)
+	fmt.Printf("baseline instructions:    %d\n", ref.Instrs)
+
+	// 2. Fully optimistic compilation: every unanswered alias query
+	// becomes "no-alias". The output changes — optimism is unsound.
+	opt, err := goraql.CompileSource(goraql.CompileConfig{
+		Name: "quickstart", Source: src, SourceFile: "quickstart.mc",
+		ORAQL: &goraql.ORAQLOptions{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrong, err := goraql.RunProgram(opt.Program, goraql.RunOptions{})
+	if err != nil {
+		fmt.Printf("fully optimistic run:     crashed: %v\n", err)
+	} else {
+		fmt.Printf("fully optimistic output:  %s", wrong.Stdout)
+	}
+
+	// 3. The ORAQL workflow: bisect to a locally maximal sequence that
+	// keeps the output intact.
+	res, err := goraql.Probe(&goraql.ProbeSpec{
+		Name:    "quickstart",
+		Compile: goraql.CompileConfig{Source: src, SourceFile: "quickstart.mc"},
+		Log:     os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := res.Final.Compile.ORAQLStats()
+	fmt.Printf("probed sequence:          %q\n", res.FinalSeq.String())
+	fmt.Printf("optimistic queries:       %d unique\n", stats.UniqueOptimistic)
+	fmt.Printf("pessimistic queries:      %d unique (the dangerous ones)\n", stats.UniquePessimistic)
+	fmt.Printf("final output:             %s", res.Final.Run.Stdout)
+	fmt.Printf("instructions saved:       %d -> %d (%.1f%%)\n",
+		res.Baseline.Run.Instrs, res.Final.Run.Instrs,
+		100*float64(res.Baseline.Run.Instrs-res.Final.Run.Instrs)/float64(res.Baseline.Run.Instrs))
+
+	// 4. Where do the dangerous queries come from? Source locations.
+	for _, rec := range res.Final.Compile.Records() {
+		if !rec.Optimistic {
+			fmt.Printf("dangerous query in %s (pass %q), reused %d times from cache\n",
+				rec.Func, rec.Pass, rec.CacheHits)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Stencil tuning: the paper's first use case (Section I) — a developer
+// uses ORAQL to find out whether aliasing limits their kernel, and
+// where a single `restrict` annotation recovers the entire gap,
+// instead of blindly annotating everything.
+//
+//	go run ./examples/stencil-tuning
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	goraql "github.com/oraql/go-oraql"
+)
+
+// A Jacobi smoother whose arrays travel through pointer parameters.
+// The compiler cannot prove `out` and `in` disjoint, so the sweep is
+// not vectorized. The %RESTRICT% marker toggles the annotation.
+const stencil = `
+void sweep(double* %RESTRICT%out, double* %RESTRICT%in, int n) {
+	for (int i = 1; i < n - 1; i++) {
+		out[i] = in[i] * 0.5 + (in[i - 1] + in[i + 1]) * 0.25;
+	}
+}
+
+int main() {
+	double a[256];
+	double b[256];
+	for (int i = 0; i < 256; i++) {
+		a[i] = sin((double)i * 0.1);
+		b[i] = 0.0;
+	}
+	for (int it = 0; it < 20; it++) {
+		sweep(b, a, 256);
+		sweep(a, b, 256);
+	}
+	print("checksum ", checksum(a, 256), "\n");
+	return 0;
+}
+`
+
+func compileAndRun(src string, withORAQL bool) (instrs int64, vectorized int64) {
+	cfg := goraql.CompileConfig{Name: "stencil", Source: src, SourceFile: "stencil.mc"}
+	if withORAQL {
+		cfg.ORAQL = &goraql.ORAQLOptions{}
+	}
+	c, err := goraql.CompileSource(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := goraql.RunProgram(c.Program, goraql.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r.Instrs, c.Host.Pass.Get("Loop Vectorizer", "# vectorized loops")
+}
+
+func main() {
+	plain := replace(stencil, "%RESTRICT%", "")
+	annotated := replace(stencil, "%RESTRICT%", "restrict ")
+
+	// Step 1: how much is on the table? Probe the plain version.
+	res, err := goraql.Probe(&goraql.ProbeSpec{
+		Name:    "stencil",
+		Compile: goraql.CompileConfig{Source: plain, SourceFile: "stencil.mc"},
+		Log:     io.Discard,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ORAQL verdict: fully optimistic = %v (no true aliasing on this input)\n", res.FullyOptimistic)
+	fmt.Printf("potential:     %d -> %d instructions (%.1f%% gap caused by alias information)\n",
+		res.Baseline.Run.Instrs, res.Final.Run.Instrs,
+		100*float64(res.Baseline.Run.Instrs-res.Final.Run.Instrs)/float64(res.Baseline.Run.Instrs))
+
+	// Step 2: one targeted annotation instead of optimism.
+	baseI, baseV := compileAndRun(plain, false)
+	annI, annV := compileAndRun(annotated, false)
+	oraqlI, _ := compileAndRun(plain, true)
+	fmt.Printf("\n%-34s %12s %18s\n", "configuration", "instructions", "vectorized loops")
+	fmt.Printf("%-34s %12d %18d\n", "plain", baseI, baseV)
+	fmt.Printf("%-34s %12d %18d\n", "restrict-annotated", annI, annV)
+	fmt.Printf("%-34s %12d %18s\n", "plain + (almost) perfect aliasing", oraqlI, "(upper bound)")
+	if annI <= oraqlI {
+		fmt.Println("\nthe single restrict annotation recovers the whole ORAQL upper bound —")
+		fmt.Println("no further annotations are worth their maintenance cost.")
+	} else {
+		fmt.Printf("\nannotation recovers %.1f%% of the ORAQL upper bound.\n",
+			100*float64(baseI-annI)/float64(baseI-oraqlI))
+	}
+}
+
+func replace(s, old, new string) string {
+	out := ""
+	for {
+		i := indexOf(s, old)
+		if i < 0 {
+			return out + s
+		}
+		out += s[:i] + new
+		s = s[i+len(old):]
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

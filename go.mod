@@ -1,0 +1,3 @@
+module github.com/oraql/go-oraql
+
+go 1.22

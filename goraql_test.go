@@ -1,0 +1,98 @@
+package goraql
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPICompileRunProbe exercises the full public surface the
+// way the README's quickstart does.
+func TestPublicAPICompileRunProbe(t *testing.T) {
+	src := `
+int main() {
+	double a[8];
+	for (int i = 0; i < 8; i++) {
+		a[i] = (double)i;
+	}
+	print("sum ", checksum(a, 8), "\n");
+	return 0;
+}`
+	c, err := CompileSource(CompileConfig{Name: "api", Source: src, SourceFile: "api.mc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunProgram(c.Program, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(r.Stdout, "sum ") {
+		t.Errorf("stdout = %q", r.Stdout)
+	}
+
+	res, err := Probe(&ProbeSpec{Name: "api", Compile: CompileConfig{Source: src, SourceFile: "api.mc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullyOptimistic {
+		t.Error("trivial program should be fully optimistic")
+	}
+}
+
+func TestPublicAPISequences(t *testing.T) {
+	seq, err := ParseSeq("1 0")
+	if err != nil || len(seq) != 2 || !seq[0] || seq[1] {
+		t.Fatalf("ParseSeq: %v %v", seq, err)
+	}
+	if seq.String() != "1 0" {
+		t.Errorf("String = %q", seq.String())
+	}
+}
+
+func TestBenchmarkRegistry(t *testing.T) {
+	all := Benchmarks()
+	if len(all) != 16 {
+		t.Fatalf("expected the 16 Fig. 4 configurations, got %d", len(all))
+	}
+	if BenchmarkByID("testsnap-openmp") == nil || BenchmarkByID("nope") != nil {
+		t.Error("BenchmarkByID")
+	}
+	benches := map[string]int{}
+	for _, c := range all {
+		benches[c.Benchmark]++
+	}
+	want := map[string]int{
+		"TestSNAP": 4, "XSBench": 3, "GridMini": 1, "Quicksilver": 1,
+		"LULESH": 3, "MiniFE": 1, "MiniGMG": 3,
+	}
+	for b, n := range want {
+		if benches[b] != n {
+			t.Errorf("%s has %d configs, want %d", b, benches[b], n)
+		}
+	}
+}
+
+func TestRunBenchmarkAndTables(t *testing.T) {
+	e, err := RunBenchmark(BenchmarkByID("xsbench-seq"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4 := Fig4Table([]*Experiment{e}, true)
+	if !strings.Contains(fig4, "XSBench") {
+		t.Errorf("Fig4 table:\n%s", fig4)
+	}
+	fig3 := Fig3Dump(e)
+	if !strings.Contains(fig3, "Pessimistic query") {
+		t.Errorf("Fig3 dump:\n%s", fig3)
+	}
+	rt := RuntimeTable([]*Experiment{e})
+	if !strings.Contains(rt, "# executed instructions") {
+		t.Errorf("runtime table:\n%s", rt)
+	}
+}
+
+func TestAliasResultConstants(t *testing.T) {
+	if NoAlias.String() != "no-alias" || MayAlias.String() != "may-alias" {
+		t.Error("re-exported alias results broken")
+	}
+}

@@ -1,0 +1,110 @@
+package aa
+
+import "github.com/oraql/go-oraql/internal/ir"
+
+// BasicAA is the stateless workhorse analysis: identical-pointer
+// must-alias, distinct identified objects, non-captured locals versus
+// externally visible memory, and constant-offset GEP range reasoning.
+// It mirrors the decision structure of LLVM's BasicAliasAnalysis.
+type BasicAA struct{}
+
+// NewBasicAA returns the analysis.
+func NewBasicAA() *BasicAA { return &BasicAA{} }
+
+// Name implements Analysis.
+func (*BasicAA) Name() string { return "basic-aa" }
+
+// Alias implements Analysis.
+func (ba *BasicAA) Alias(a, b MemLoc, _ *QueryCtx) Result {
+	if a.Ptr == b.Ptr {
+		return MustAlias
+	}
+
+	// Decompose both pointers into (base, constant offset, has variable
+	// index) form by walking GEP chains.
+	aBase, aOff, aVar := decompose(a.Ptr)
+	bBase, bOff, bVar := decompose(b.Ptr)
+
+	if aBase == bBase {
+		if !aVar && !bVar {
+			return constOffsetAlias(aOff, a.Size, bOff, b.Size)
+		}
+		return MayAlias
+	}
+
+	ua := UnderlyingObject(a.Ptr)
+	ub := UnderlyingObject(b.Ptr)
+
+	// Two distinct identified objects never overlap.
+	if ua != nil && ub != nil && ua != ub && IsIdentifiedObject(ua) && IsIdentifiedObject(ub) {
+		return NoAlias
+	}
+
+	// A non-captured local object cannot be reached through an
+	// argument, a global, or a loaded pointer.
+	if r := ba.localVsEscaping(ua, ub); r.Definitive() {
+		return r
+	}
+	if r := ba.localVsEscaping(ub, ua); r.Definitive() {
+		return r
+	}
+	return MayAlias
+}
+
+func (ba *BasicAA) localVsEscaping(local, other ir.Value) Result {
+	if local == nil || other == local {
+		return MayAlias
+	}
+	li, ok := local.(*ir.Instr)
+	if !ok || !IsLocalObject(local) {
+		return MayAlias
+	}
+	// other==nil means the second pointer's provenance is unknown (it
+	// was loaded, or merged through a phi); a non-captured local still
+	// cannot be reached that way.
+	if other == nil || !IsLocalObject(other) {
+		if IsNonCaptured(li) {
+			return NoAlias
+		}
+	}
+	return MayAlias
+}
+
+// decompose walks a GEP chain: ptr = base + constOff (+ variable parts).
+func decompose(p ir.Value) (base ir.Value, off int64, hasVar bool) {
+	base = p
+	for depth := 0; depth < 64; depth++ {
+		in, ok := base.(*ir.Instr)
+		if !ok || in.Op != ir.OpGEP {
+			return base, off, hasVar
+		}
+		off += in.Off
+		if len(in.Operands) > 1 {
+			if c, isConst := in.Operands[1].(*ir.Const); isConst {
+				off += c.I * in.Scale
+			} else {
+				hasVar = true
+			}
+		}
+		base = in.Operands[0]
+	}
+	return base, off, hasVar
+}
+
+// constOffsetAlias resolves two constant-offset ranges off one base.
+func constOffsetAlias(aOff int64, aSz LocationSize, bOff int64, bSz LocationSize) Result {
+	if aOff == bOff {
+		return MustAlias
+	}
+	lo, loSz, hi := aOff, aSz, bOff
+	if bOff < aOff {
+		lo, loSz, hi = bOff, bSz, aOff
+	}
+	if !loSz.Known {
+		return MayAlias // unknown extent may reach the other range
+	}
+	if lo+loSz.Bytes <= hi {
+		return NoAlias
+	}
+	return PartialAlias
+}

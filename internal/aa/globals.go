@@ -1,0 +1,114 @@
+package aa
+
+import "github.com/oraql/go-oraql/internal/ir"
+
+// GlobalsAA is a module analysis that identifies non-escaping globals:
+// globals whose address is never stored to memory nor passed to a
+// capturing call anywhere in the module. A pointer that is not derived
+// directly from such a global can never alias it.
+type GlobalsAA struct {
+	escaped map[*ir.Global]bool
+}
+
+// NewGlobalsAA analyses m and returns the analysis.
+func NewGlobalsAA(m *ir.Module) *GlobalsAA {
+	g := &GlobalsAA{escaped: map[*ir.Global]bool{}}
+	for _, f := range m.Funcs {
+		// Derived pointers per function: global -> set of derived values.
+		derivedFrom := map[ir.Value]*ir.Global{}
+		for changed := true; changed; {
+			changed = false
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Dead() {
+						continue
+					}
+					if in.Op != ir.OpGEP && in.Op != ir.OpSelect {
+						continue
+					}
+					if _, done := derivedFrom[in]; done {
+						continue
+					}
+					for _, op := range in.Operands {
+						if gl, ok := op.(*ir.Global); ok {
+							derivedFrom[in] = gl
+							changed = true
+						} else if gl, ok := derivedFrom[op]; ok {
+							derivedFrom[in] = gl
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		globalOf := func(v ir.Value) *ir.Global {
+			if gl, ok := v.(*ir.Global); ok {
+				return gl
+			}
+			return derivedFrom[v]
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Dead() {
+					continue
+				}
+				switch in.Op {
+				case ir.OpStore:
+					if gl := globalOf(in.Operands[0]); gl != nil {
+						g.escaped[gl] = true
+					}
+				case ir.OpCall:
+					eff := ir.CalleeEffects(in.Callee)
+					if ir.IsIntrinsic(in.Callee) && (nonCapturingIntrinsics[in.Callee] || (!eff.Reads && !eff.Writes)) {
+						continue
+					}
+					for _, op := range in.Operands {
+						if gl := globalOf(op); gl != nil {
+							g.escaped[gl] = true
+						}
+					}
+				case ir.OpPhi, ir.OpRet:
+					for _, op := range in.Operands {
+						if gl := globalOf(op); gl != nil {
+							g.escaped[gl] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Name implements Analysis.
+func (*GlobalsAA) Name() string { return "globals-aa" }
+
+// Escaped reports whether the global's address escapes.
+func (g *GlobalsAA) Escaped(gl *ir.Global) bool { return g.escaped[gl] }
+
+// Alias implements Analysis.
+func (g *GlobalsAA) Alias(a, b MemLoc, _ *QueryCtx) Result {
+	ua := UnderlyingObject(a.Ptr)
+	ub := UnderlyingObject(b.Ptr)
+	if r := g.oneSided(ua, ub); r.Definitive() {
+		return r
+	}
+	return g.oneSided(ub, ua)
+}
+
+// oneSided: if x is a non-escaping global and the other pointer is not
+// derived from x (its underlying object is a different value or
+// unknown), the two cannot overlap — no loaded or passed-in pointer
+// can hold x's address.
+func (g *GlobalsAA) oneSided(x, other ir.Value) Result {
+	gl, ok := x.(*ir.Global)
+	if !ok || g.escaped[gl] {
+		return MayAlias
+	}
+	if other == gl {
+		return MayAlias
+	}
+	// other == nil (unknown provenance) is fine: unknown pointers come
+	// from loads/phis/args, none of which can produce gl's address.
+	return NoAlias
+}

@@ -1,0 +1,143 @@
+package aa
+
+import "github.com/oraql/go-oraql/internal/ir"
+
+// UnderlyingObject strips GEPs (and, through select, both sides when
+// they agree) to find the base object a pointer is derived from.
+// Returns nil when the chain passes through a load, phi, select with
+// distinct bases, or call result other than __malloc.
+func UnderlyingObject(v ir.Value) ir.Value {
+	for depth := 0; depth < 64; depth++ {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return v // Arg, Global, Const
+		}
+		switch in.Op {
+		case ir.OpGEP:
+			v = in.Operands[0]
+		case ir.OpSelect:
+			a := UnderlyingObject(in.Operands[1])
+			b := UnderlyingObject(in.Operands[2])
+			if a != nil && a == b {
+				return a
+			}
+			return nil
+		case ir.OpAlloca:
+			return in
+		case ir.OpCall:
+			if in.Callee == "__malloc" {
+				return in
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// IsIdentifiedObject reports whether v is a distinct memory object:
+// an alloca, a global, a __malloc result, or a noalias argument.
+// Two different identified objects never overlap.
+func IsIdentifiedObject(v ir.Value) bool {
+	switch x := v.(type) {
+	case *ir.Global:
+		return true
+	case *ir.Arg:
+		return x.NoAlias
+	case *ir.Instr:
+		return x.Op == ir.OpAlloca || (x.Op == ir.OpCall && x.Callee == "__malloc")
+	}
+	return false
+}
+
+// IsLocalObject reports whether v is function-local memory (alloca or
+// malloc result), as opposed to an argument or global.
+func IsLocalObject(v ir.Value) bool {
+	x, ok := v.(*ir.Instr)
+	if !ok {
+		return false
+	}
+	return x.Op == ir.OpAlloca || (x.Op == ir.OpCall && x.Callee == "__malloc")
+}
+
+// callCaptures lists intrinsics that receive pointer arguments without
+// retaining them beyond the call: passing a pointer to these does not
+// make the pointee reachable through other names afterwards.
+var nonCapturingIntrinsics = map[string]bool{
+	"__print_str":         true,
+	"__checksum_f64":      true,
+	"__checksum_i64":      true,
+	"__free":              true,
+	"__mpi_sendrecv":      true,
+	"__mpi_allreduce_f64": true,
+}
+
+// IsNonCaptured reports whether the address of the local object obj
+// never escapes its function: it is not stored as a value, not passed
+// to a capturing call, and every derived pointer (via GEP/select) obeys
+// the same. A non-captured local cannot be reached through arguments,
+// globals, or loaded pointers.
+func IsNonCaptured(obj *ir.Instr) bool {
+	fn := obj.Parent.Parent
+	derived := map[ir.Value]bool{obj: true}
+	// Fixed point over derived pointers; functions are small.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Dead() {
+					continue
+				}
+				if (in.Op == ir.OpGEP || in.Op == ir.OpSelect) && !derived[in] {
+					for _, op := range in.Operands {
+						if derived[op] {
+							derived[in] = true
+							changed = true
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dead() {
+				continue
+			}
+			switch in.Op {
+			case ir.OpStore:
+				if derived[in.Operands[0]] {
+					return false // address stored to memory
+				}
+			case ir.OpCall:
+				if ir.IsIntrinsic(in.Callee) && (nonCapturingIntrinsics[in.Callee] ||
+					!ir.CalleeEffects(in.Callee).Reads && !ir.CalleeEffects(in.Callee).Writes) {
+					continue
+				}
+				if in.Callee == "__memcpy" {
+					continue
+				}
+				for _, op := range in.Operands {
+					if derived[op] {
+						return false // passed to a capturing call
+					}
+				}
+			case ir.OpPhi:
+				for _, op := range in.Operands {
+					if derived[op] {
+						return false // flows into a phi: give up tracking
+					}
+				}
+			case ir.OpRet:
+				for _, op := range in.Operands {
+					if derived[op] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

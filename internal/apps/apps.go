@@ -1,0 +1,116 @@
+// Package apps contains the seven HPC proxy applications of the
+// paper's evaluation, re-implemented in minic, in the sixteen
+// configurations of Fig. 4 (programming languages x parallel models).
+// Each configuration records the paper's published numbers so the
+// report layer can print paper-vs-measured tables.
+//
+// The applications are small but structurally faithful: the
+// indirection layers that generate hard alias queries (OpenMP context
+// structs, Kokkos/Thrust view descriptors, Fortran array descriptors,
+// MPI staging buffers) are produced by the corresponding frontend
+// lowering, and the configurations that the paper reports as needing
+// pessimistic answers contain genuine aliasing on the tested inputs
+// (see DESIGN.md, "Fidelity notes / seeded hazards").
+package apps
+
+import (
+	"fmt"
+
+	"github.com/oraql/go-oraql/internal/driver"
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/minic"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/verify"
+)
+
+// PaperRow holds the published Fig. 4 numbers for one configuration.
+type PaperRow struct {
+	OptUnique, OptCached      int
+	PessUnique, PessCached    int
+	NoAliasOrig, NoAliasORAQL int
+}
+
+// Config is one benchmark configuration (one Fig. 4 row).
+type Config struct {
+	// ID is the stable identifier, e.g. "testsnap-openmp".
+	ID string
+	// Benchmark and ModelLabel reproduce the first two Fig. 4 columns.
+	Benchmark  string
+	ModelLabel string
+	// SourceFiles is the Fig. 4 "Source Files" column.
+	SourceFiles string
+
+	// Source is the minic program; SourceName its file name.
+	Source     string
+	SourceName string
+	// Frontend selects dialect/model/views.
+	Frontend minic.Options
+	// ORAQLTarget restricts probing to one compilation target
+	// (offload configurations probe only the device).
+	ORAQLTarget string
+	// Run configures the simulated machine.
+	Run irinterp.Options
+	// Masks are verification regexes for volatile output.
+	Masks []string
+
+	// ExpectFullyOptimistic mirrors the paper's finding for this
+	// configuration (zero pessimistic queries needed).
+	ExpectFullyOptimistic bool
+
+	// Paper holds the published numbers for EXPERIMENTS.md.
+	Paper PaperRow
+}
+
+// Spec converts the configuration into a driver benchmark spec.
+func (c *Config) Spec() *driver.BenchSpec {
+	name := c.SourceName
+	if name == "" {
+		name = c.SourceFiles + ".mc"
+	}
+	return &driver.BenchSpec{
+		Name: c.ID,
+		Compile: pipeline.Config{
+			Source:     c.Source,
+			SourceFile: name,
+			Frontend:   c.Frontend,
+		},
+		Run:    c.Run,
+		Verify: verify.Spec{MaskPatterns: c.Masks},
+		ORAQL:  oraql.Options{Target: c.ORAQLTarget},
+	}
+}
+
+var registry []*Config
+
+func register(c *Config) *Config {
+	for _, old := range registry {
+		if old.ID == c.ID {
+			panic(fmt.Sprintf("apps: duplicate config %q", c.ID))
+		}
+	}
+	registry = append(registry, c)
+	return c
+}
+
+// All returns every configuration in Fig. 4 row order.
+func All() []*Config { return registry }
+
+// ByID returns the named configuration, or nil.
+func ByID(id string) *Config {
+	for _, c := range registry {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// runWithRanks returns run options with the given MPI rank count.
+func runWithRanks(n int) irinterp.Options { return irinterp.Options{NumRanks: n} }
+
+// timeMask matches the "time ... ms"-style lines every proxy app
+// prints; these vary across binaries (the simulated clock counts
+// cycles) and are masked during verification, exactly as the paper
+// masks reported runtimes.
+const timeMask = `time [0-9.eE+-]+`

@@ -1,0 +1,165 @@
+package apps
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/driver"
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/pipeline"
+)
+
+// TestAllConfigsProbe runs the full ORAQL workflow on every registered
+// configuration and checks the headline shape against the paper: which
+// configurations verify fully optimistic, and that the ones that do
+// not end up with a small pessimistic set and baseline-identical
+// output.
+func TestAllConfigsProbe(t *testing.T) {
+	for _, cfg := range All() {
+		cfg := cfg
+		t.Run(cfg.ID, func(t *testing.T) {
+			var log bytes.Buffer
+			spec := cfg.Spec()
+			spec.Log = &log
+			if testing.Verbose() {
+				spec.Log = os.Stderr
+			}
+			res, err := driver.Probe(spec)
+			if err != nil {
+				t.Fatalf("probe: %v\nlog:\n%s", err, log.String())
+			}
+			s := res.Final.Compile.ORAQLStats()
+			t.Logf("%s: opt=%d/%d pess=%d/%d noalias base=%d oraql=%d compiles=%d tests=%d(+%d cached)",
+				cfg.ID, s.UniqueOptimistic, s.CachedOptimistic, s.UniquePessimistic, s.CachedPessimistic,
+				res.Baseline.Compile.NoAliasTotal(), res.Final.Compile.NoAliasTotal(),
+				res.Compiles, res.TestsRun, res.TestsCached)
+			if res.FullyOptimistic != cfg.ExpectFullyOptimistic {
+				t.Errorf("fully-optimistic = %v, paper shape wants %v\nlog:\n%s",
+					res.FullyOptimistic, cfg.ExpectFullyOptimistic, log.String())
+			}
+			if !res.FullyOptimistic && s.UniquePessimistic == 0 {
+				t.Errorf("expected pessimistic queries after bisection")
+			}
+			if got, want := res.Spec.Verify.Mask(res.Final.Run.Stdout), res.Spec.Verify.Mask(res.Baseline.Run.Stdout); got != want {
+				t.Errorf("final output does not match baseline:\n got: %q\nwant: %q", got, want)
+			}
+			if d := res.Final.Compile.NoAliasTotal() - res.Baseline.Compile.NoAliasTotal(); d <= 0 {
+				t.Errorf("expected ORAQL to increase total no-alias responses, delta = %d", d)
+			}
+		})
+	}
+}
+
+// TestAppOutputsWellFormed checks every app's baseline output has the
+// expected figure-of-merit lines and is deterministic.
+func TestAppOutputsWellFormed(t *testing.T) {
+	wantLines := map[string][]string{
+		"testsnap":    {"TestSNAP proxy", "force checksum", "grind time"},
+		"xsbench":     {"XSBench proxy", "verification checksum"},
+		"gridmini":    {"GridMini proxy", "vector checksum", "output checksum"},
+		"quicksilver": {"Quicksilver proxy", "tally checksum", "position checksum"},
+		"lulesh":      {"LULESH proxy", "final origin energy", "mesh checksum"},
+		"minife":      {"miniFE proxy", "final residual", "solution checksum"},
+		"minigmg":     {"miniGMG proxy", "residual norm", "solution checksum"},
+	}
+	for _, cfg := range All() {
+		cfg := cfg
+		t.Run(cfg.ID, func(t *testing.T) {
+			compileOnce := func() string {
+				cr, err := pipeline.Compile(pipeline.Config{
+					Name: cfg.ID, Source: cfg.Source, SourceFile: cfg.SourceName, Frontend: cfg.Frontend,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rr, err := irinterp.Run(cr.Program, cfg.Run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rr.Stdout
+			}
+			out := compileOnce()
+			var key string
+			for prefix := range wantLines {
+				if strings.HasPrefix(cfg.ID, prefix) {
+					key = prefix
+				}
+			}
+			for _, want := range wantLines[key] {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			if out2 := compileOnce(); out2 != out {
+				t.Error("baseline output must be deterministic")
+			}
+		})
+	}
+}
+
+// TestPaperRowsRecorded sanity-checks that every configuration carries
+// its published Fig. 4 numbers for the report layer.
+func TestPaperRowsRecorded(t *testing.T) {
+	for _, cfg := range All() {
+		p := cfg.Paper
+		if p.NoAliasOrig == 0 || p.NoAliasORAQL == 0 || p.OptUnique == 0 {
+			t.Errorf("%s: paper row incomplete: %+v", cfg.ID, p)
+		}
+		if cfg.ExpectFullyOptimistic != (p.PessUnique == 0) {
+			t.Errorf("%s: ExpectFullyOptimistic inconsistent with paper row", cfg.ID)
+		}
+	}
+}
+
+// TestLULESHMPIRunsTwoRanks checks the MPI variant actually exercises
+// the simulated ranks.
+func TestLULESHMPIRunsTwoRanks(t *testing.T) {
+	cfg := ByID("lulesh-mpi")
+	if cfg.Run.NumRanks != 2 {
+		t.Fatalf("lulesh-mpi must run 2 ranks, has %d", cfg.Run.NumRanks)
+	}
+	cr, err := pipeline.Compile(pipeline.Config{
+		Name: cfg.ID, Source: cfg.Source, SourceFile: cfg.SourceName, Frontend: cfg.Frontend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := irinterp.Run(cr.Program, cfg.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only rank 0 prints, so exactly one header line.
+	if c := strings.Count(rr.Stdout, "LULESH proxy"); c != 1 {
+		t.Errorf("rank-0-only printing violated (%d headers)", c)
+	}
+}
+
+// TestOffloadConfigsHaveDeviceModules pins the offload wiring.
+func TestOffloadConfigsHaveDeviceModules(t *testing.T) {
+	for _, id := range []string{"testsnap-kokkos-cuda", "xsbench-cuda", "gridmini-offload"} {
+		cfg := ByID(id)
+		cr, err := pipeline.Compile(pipeline.Config{
+			Name: cfg.ID, Source: cfg.Source, SourceFile: cfg.SourceName, Frontend: cfg.Frontend,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.Program.Device == nil {
+			t.Errorf("%s must produce a device module", id)
+		}
+		kernels := 0
+		for _, f := range cr.Program.Device.Funcs {
+			if f.Attrs.Kernel {
+				kernels++
+			}
+		}
+		if kernels == 0 {
+			t.Errorf("%s device module has no kernels", id)
+		}
+		if cfg.ORAQLTarget == "" && id != "xsbench-cuda" {
+			t.Errorf("%s should restrict ORAQL to the device target", id)
+		}
+	}
+}

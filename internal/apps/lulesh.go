@@ -1,0 +1,208 @@
+package apps
+
+import (
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/minic"
+)
+
+// LULESH proxy: Lagrangian shock hydrodynamics on a 1-D staggered mesh.
+// All field arrays are views into one arena allocation at offsets read
+// from a table at runtime — the paper's LULESH cannot be compiled fully
+// optimistically, and neither can this one: several views genuinely
+// overlap (the "energy scratch" region shares storage with the tail of
+// the pressure region), so a locally maximal sequence must keep those
+// queries pessimistic. The MPI variant adds halo staging buffers that
+// are themselves views into the arena, which multiplies the dangerous
+// pairs, mirroring the paper's 99-vs-35-vs-15 ordering.
+func luleshSource(par, mpi bool) string {
+	forceLoop := "for (int i = 1; i < NELEM - 1; i++)"
+	posLoop := "for (int i = 0; i < NELEM; i++)"
+	if par {
+		forceLoop = "parallel for (i = 1; i < NELEM - 1; i++)"
+		posLoop = "parallel for (i = 0; i < NELEM; i++)"
+	}
+	halo := ""
+	haloCall := ""
+	if mpi {
+		halo = `
+// Halo exchange: the staging buffers are views into the arena tail,
+// and the unpack loop re-reads elements the pack loop updated.
+void exchange_halo(double* arena, int* offs, int nelem) {
+	double* xd = arena + offs[0];
+	double* send = arena + offs[6];
+	double* recv = arena + offs[7];
+	int rank = mpi_rank();
+	int size = mpi_size();
+	int right = (rank + 1) % size;
+	int left = (rank + size - 1) % size;
+	for (int k = 0; k < 4; k++) {
+		double t0 = xd[nelem - 4 + k];
+		send[k] = t0 * 0.5 + 1.0;
+		double t1 = xd[nelem - 4 + k];
+		send[k] = send[k] + t1 * 0.25;
+	}
+	sendrecv(send, recv, 32, right, left);
+	for (int k = 0; k < 4; k++) {
+		double r0 = recv[k];
+		xd[k] = xd[k] * 0.75 + r0 * 0.25;
+	}
+}
+`
+		haloCall = `
+		exchange_halo(arena, offs, NELEM);`
+	}
+	src := `
+// LULESH proxy: staggered-grid shock hydro, arena-based field views.
+int NELEM = 64;
+int NSTEPS = 12;
+
+// View offsets into the arena. Two of them encode genuine overlaps on
+// this mesh size: the scratch view (offs[5]=236) coincides with
+// p[i+44], and the MPI send staging view (offs[6]=60) coincides with
+// the x ghost layer.
+int offs[8] = { 0, 64, 128, 192, 256, 236, 60, 352 };
+
+void init_fields(double* arena, int* offs, int nelem) {
+	double* x = arena + offs[0];
+	double* v = arena + offs[1];
+	double* e = arena + offs[2];
+	double* p = arena + offs[3];
+	double* q = arena + offs[4];
+	for (int i = 0; i < nelem; i++) {
+		x[i] = (double)i * 1.125;
+		v[i] = sin((double)i * 0.1) * 0.01;
+		e[i] = 1.0 + (double)(i % 7) * 0.125;
+		p[i] = 0.5;
+		q[i] = 0.0;
+	}
+}
+
+// CalcForceForElems: pressure gradient into the scratch view. The
+// scratch region (offs[5]) starts inside the tail of the pressure
+// region (offs[3]..offs[3]+nelem), so scr[i] and p[i+k] truly alias on
+// this mesh size.
+void calc_force(double* arena, int* offs, int nelem) {
+	double* e = arena + offs[2];
+	double* p = arena + offs[3];
+	double* scr = arena + offs[5];
+	%FORCE_LOOP% {
+		double p0 = p[i + 44];
+		scr[i] = p0 * 0.5 + e[i] * 0.125;
+		double p1 = p[i + 44];
+		scr[i] = scr[i] + (p1 - p0) * 2.0 + p[i - 1] * 0.0625;
+	}
+}
+
+void calc_velocity(double* arena, int* offs, int nelem, double dt) {
+	double* v = arena + offs[1];
+	double* scr = arena + offs[5];
+	double* q = arena + offs[4];
+	%POS_LOOP% {
+		double a = scr[i] - q[i] * 0.5;
+		v[i] = v[i] + a * dt;
+	}
+}
+
+void calc_position(double* arena, int* offs, int nelem, double dt) {
+	double* x = arena + offs[0];
+	double* v = arena + offs[1];
+	%POS_LOOP% {
+		x[i] = x[i] + v[i] * dt;
+	}
+}
+
+// EvalEOS: update energy and pressure. The velocity "ghost layer"
+// write v[i+64] lands exactly on e[i] in the arena (offs[1]+64 ==
+// offs[2]), the second genuine hazard region.
+void eval_eos(double* arena, int* offs, int nelem) {
+	double* e = arena + offs[2];
+	double* p = arena + offs[3];
+	double* q = arena + offs[4];
+	double* v = arena + offs[1];
+	for (int i = 0; i < nelem; i++) {
+		double e0 = e[i];
+		v[i + 64] = e0 * 0.96875;
+		double e1 = e[i];
+		p[i] = e1 * 0.6666 + q[i] * 0.125;
+		e[i] = e1 + q[i] * 0.0078125;
+	}
+}
+%HALO%
+int main() {
+	int t0 = clock();
+	double* arena = new double[512];
+	init_fields(arena, offs, NELEM);
+	double dt = 0.0078125;
+	for (int step = 0; step < NSTEPS; step++) {
+		calc_force(arena, offs, NELEM);
+		calc_velocity(arena, offs, NELEM, dt);
+		calc_position(arena, offs, NELEM, dt);
+		eval_eos(arena, offs, NELEM);%HALO_CALL%
+	}
+	double chk = checksum(arena, 512);
+	%PRINT%
+	return 0;
+}
+`
+	printStmt := `print("LULESH proxy\n");
+	print("final origin energy ", arena[offs[2]], "\n");
+	print("mesh checksum ", chk, "\n");
+	print("time ", clock() - t0, "\n");`
+	if mpi {
+		printStmt = `if (mpi_rank() == 0) {
+		print("LULESH proxy (MPI)\n");
+		print("final origin energy ", arena[offs[2]], "\n");
+		print("mesh checksum ", chk, "\n");
+		print("time ", clock() - t0, "\n");
+	}`
+	}
+	r := strings.NewReplacer(
+		"%FORCE_LOOP%", forceLoop,
+		"%POS_LOOP%", posLoop,
+		"%HALO%", halo,
+		"%HALO_CALL%", haloCall,
+		"%PRINT%", printStmt,
+	)
+	return r.Replace(src)
+}
+
+var luleshMasks = []string{timeMask}
+
+// LULESHSeq is the sequential C++ row.
+var LULESHSeq = register(&Config{
+	ID: "lulesh-seq", Benchmark: "LULESH", ModelLabel: "C++",
+	SourceFiles: "lulesh",
+	Source:      luleshSource(false, false),
+	SourceName:  "lulesh.mc",
+	Frontend:    minic.Options{Dialect: minic.DialectC, Model: minic.ModelSeq},
+	Masks:       luleshMasks,
+	Paper: PaperRow{OptUnique: 30810, OptCached: 188826, PessUnique: 35, PessCached: 131,
+		NoAliasOrig: 416371, NoAliasORAQL: 668864},
+})
+
+// LULESHOpenMP is the C++/OpenMP row.
+var LULESHOpenMP = register(&Config{
+	ID: "lulesh-openmp", Benchmark: "LULESH", ModelLabel: "C++, OpenMP",
+	SourceFiles: "lulesh",
+	Source:      luleshSource(true, false),
+	SourceName:  "lulesh.mc",
+	Frontend:    minic.Options{Dialect: minic.DialectC, Model: minic.ModelOpenMP},
+	Masks:       luleshMasks,
+	Paper: PaperRow{OptUnique: 29981, OptCached: 128537, PessUnique: 15, PessCached: 0,
+		NoAliasOrig: 195724, NoAliasORAQL: 385730},
+})
+
+// LULESHMPI is the C++/MPI row (2 simulated ranks, larger hazard set
+// from the halo staging views).
+var LULESHMPI = register(&Config{
+	ID: "lulesh-mpi", Benchmark: "LULESH", ModelLabel: "C++, MPI",
+	SourceFiles: "lulesh",
+	Source:      luleshSource(false, true),
+	SourceName:  "lulesh.mc",
+	Frontend:    minic.Options{Dialect: minic.DialectC, Model: minic.ModelMPI},
+	Run:         runWithRanks(2),
+	Masks:       luleshMasks,
+	Paper: PaperRow{OptUnique: 28832, OptCached: 160032, PessUnique: 99, PessCached: 207,
+		NoAliasOrig: 356965, NoAliasORAQL: 555141},
+})

@@ -1,0 +1,138 @@
+package apps
+
+import "github.com/oraql/go-oraql/internal/minic"
+
+// MiniFE proxy: implicit unstructured finite elements — element
+// stiffness assembly into a CSR matrix followed by CG iterations
+// (SpMV, dot products, axpy). The assembly writes each element's 4x4
+// stiffness block as four groups of four consecutive stores, the SLP
+// vectorizer's food once ORAQL disambiguates the node-coordinate loads
+// from the matrix stores (the paper's "+33% vector instructions" row).
+// The pessimistic set comes from the diagonal-pointer shortcut: diagA
+// points into the values array, and the Jacobi preconditioner re-reads
+// values[...] around stores through diagA that genuinely hit the same
+// entries.
+var minifeSource = `
+// miniFE proxy: FE assembly + CG solve (openmp-opt variant).
+int NELEMS = 24;
+int NROWS = 25;
+int NNZ = 100;
+int CGITERS = 8;
+
+void assemble(double* A, int* rowptr, double* coords, int nelems) {
+	parallel for (e = 0; e < nelems; e++) {
+		double* blk = A + e * 4;
+		double* c = coords + e * 4;
+		double h = c[0] * 0.5 + 1.0;
+		blk[0] = c[0] * h + 1.5;
+		blk[1] = c[1] * h + 1.5;
+		blk[2] = c[2] * h + 1.5;
+		blk[3] = c[3] * h + 1.5;
+	}
+}
+
+// Jacobi setup: diagA points one entry into A (the diagonal shortcut
+// passed as a separate pointer), so diagA[r*4] and A[r*4+1] are the
+// same entry — the genuine hazard of this benchmark.
+void setup_precond(double* A, double* diagA, double* dinv, int nrows) {
+	for (int r = 0; r < nrows - 1; r++) {
+		double a0 = A[r * 4 + 1];
+		diagA[r * 4] = a0 * 0.5 + 1.0;
+		double a1 = A[r * 4 + 1];
+		dinv[r] = 1.0 / (a1 + 1.0);
+	}
+	dinv[nrows - 1] = 1.0;
+}
+
+void spmv(double* y, double* A, int* rowptr, int* cols, double* x, int nrows) {
+	parallel for (r = 0; r < nrows; r++) {
+		double sum = 0.0;
+		int b = rowptr[r];
+		int e2 = rowptr[r + 1];
+		for (int k = b; k < e2; k++) {
+			sum = sum + A[k] * x[cols[k]];
+		}
+		y[r] = sum;
+	}
+}
+
+double dot(double* a, double* b, int n) {
+	double s = 0.0;
+	for (int i = 0; i < n; i++) {
+		s = s + a[i] * b[i];
+	}
+	return s;
+}
+
+void axpy(double* y, double* x, double alpha, int n) {
+	for (int i = 0; i < n; i++) {
+		y[i] = y[i] + x[i] * alpha;
+	}
+}
+
+int main() {
+	int t0 = clock();
+	double* A = new double[NNZ];
+	int* rowptr = new int[NROWS + 1];
+	int* cols = new int[NNZ];
+	double* coords = new double[NELEMS * 4];
+	double* x = new double[NROWS];
+	double* b = new double[NROWS];
+	double* r = new double[NROWS];
+	double* p = new double[NROWS];
+	double* q = new double[NROWS];
+	double* dinv = new double[NROWS];
+	for (int i = 0; i < NROWS + 1; i++) {
+		rowptr[i] = i * 4;
+		if (rowptr[i] > NNZ) {
+			rowptr[i] = NNZ;
+		}
+	}
+	for (int k = 0; k < NNZ; k++) {
+		cols[k] = (k / 4 + k % 4) % NROWS;
+	}
+	for (int e = 0; e < NELEMS * 4; e++) {
+		coords[e] = (double)e * 0.0625;
+	}
+	for (int i = 0; i < NROWS; i++) {
+		x[i] = 0.0;
+		b[i] = 1.0 + (double)(i % 3);
+	}
+	assemble(A, rowptr, coords, NELEMS);
+	setup_precond(A, A + 1, dinv, NROWS);
+	for (int i = 0; i < NROWS; i++) {
+		r[i] = b[i];
+		p[i] = r[i] * dinv[i];
+	}
+	double rho = dot(r, r, NROWS);
+	for (int it = 0; it < CGITERS; it++) {
+		spmv(q, A, rowptr, cols, p, NROWS);
+		double alpha = rho / (dot(p, q, NROWS) + 1.0);
+		axpy(x, p, alpha, NROWS);
+		axpy(r, q, 0.0 - alpha, NROWS);
+		double rho2 = dot(r, r, NROWS);
+		double beta = rho2 / (rho + 0.000001);
+		for (int i = 0; i < NROWS; i++) {
+			p[i] = r[i] * dinv[i] + p[i] * beta;
+		}
+		rho = rho2;
+	}
+	print("miniFE proxy\n");
+	print("final residual ", sqrt(rho), "\n");
+	print("solution checksum ", checksum(x, NROWS), "\n");
+	print("time ", clock() - t0, "\n");
+	return 0;
+}
+`
+
+// MiniFEOpenMP is the openmp-opt configuration of Fig. 4.
+var MiniFEOpenMP = register(&Config{
+	ID: "minife-openmp", Benchmark: "MiniFE", ModelLabel: "C++, OpenMP",
+	SourceFiles: "main",
+	Source:      minifeSource,
+	SourceName:  "main.mc",
+	Frontend:    minic.Options{Dialect: minic.DialectC, Model: minic.ModelOpenMP},
+	Masks:       []string{timeMask},
+	Paper: PaperRow{OptUnique: 6592, OptCached: 10852, PessUnique: 58, PessCached: 142,
+		NoAliasOrig: 134567, NoAliasORAQL: 149912},
+})

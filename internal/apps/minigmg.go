@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/minic"
+)
+
+// MiniGMG proxy: geometric multigrid V-cycle building blocks — a
+// variable-coefficient smoother, residual, restriction, and
+// prolongation — on a 1-D hierarchy. The original miniGMG makefiles
+// pass icc's -fno-alias, so the paper expects (and finds) a fully
+// optimistic compilation; the interesting outcome is the vectorizer
+// delta: the smoother's arrays travel through non-restrict pointer
+// parameters, which only ORAQL can disambiguate. The "sse"
+// configuration vectorizes the smoother by hand with explicit SIMD
+// intrinsics, so optimism affects only the remaining loops.
+func minigmgSource(sse bool) string {
+	smooth := `
+void smooth(double* out, double* in, double* coef, int n, double w) {
+	for (int i = 1; i < n - 1; i++) {
+		out[i] = in[i] * coef[i] + (in[i - 1] + in[i + 1]) * w;
+	}
+	out[0] = in[0];
+	out[n - 1] = in[n - 1];
+}`
+	if sse {
+		smooth = `
+// Hand-vectorized smoother (SSE-intrinsics configuration): the
+// interior sweep uses explicit vector loads/stores; the scalar loop
+// handles the remainder.
+void smooth(double* out, double* in, double* coef, int n, double w) {
+	vec4 wv = vsplat(w);
+	int nv = ((n - 2) / 4) * 4 + 1;
+	for (int i = 1; i < nv; i += 4) {
+		vec4 c = vload(&coef[i]);
+		vec4 mid = vload(&in[i]);
+		vec4 lo = vload(&in[i - 1]);
+		vec4 hi = vload(&in[i + 1]);
+		vstore(&out[i], mid * c + (lo + hi) * wv);
+	}
+	for (int i = nv; i < n - 1; i++) {
+		out[i] = in[i] * coef[i] + (in[i - 1] + in[i + 1]) * w;
+	}
+	out[0] = in[0];
+	out[n - 1] = in[n - 1];
+}`
+	}
+	src := `
+// miniGMG proxy: multigrid V-cycle operators (operators.%KIND%.c).
+int NFINE = 128;
+int NCYCLES = 6;
+%SMOOTH%
+
+void residual(double* res, double* rhs, double* u, double* coef, int n) {
+	for (int i = 1; i < n - 1; i++) {
+		res[i] = rhs[i] - (u[i] * coef[i] - (u[i - 1] + u[i + 1]) * 0.5);
+	}
+	res[0] = 0.0;
+	res[n - 1] = 0.0;
+}
+
+void restrict_grid(double* coarse, double* fine, int nc) {
+	for (int i = 0; i < nc; i++) {
+		coarse[i] = (fine[2 * i] + fine[2 * i + 1]) * 0.5;
+	}
+}
+
+void prolongate(double* fine, double* coarse, int nc) {
+	for (int i = 0; i < nc; i++) {
+		fine[2 * i] = fine[2 * i] + coarse[i];
+		fine[2 * i + 1] = fine[2 * i + 1] + coarse[i];
+	}
+}
+
+double norm(double* v, int n) {
+	double s = 0.0;
+	for (int i = 0; i < n; i++) {
+		s = s + fabs(v[i]);
+	}
+	return s;
+}
+
+void vcycle(double* u, double* rhs, double* coef, double* res, double* cr, double* cu, int n) {
+	double* tmp = new double[n];
+	parallel for (sweep = 0; sweep < 4; sweep++) {
+		double w = 0.25 + (double)(sweep % 2) * 0.015625;
+		smooth(tmp, u, coef, n, w);
+		smooth(u, tmp, coef, n, w);
+	}
+	residual(res, rhs, u, coef, n);
+	restrict_grid(cr, res, n / 2);
+	for (int i = 0; i < n / 2; i++) {
+		cu[i] = cr[i] * 0.6;
+	}
+	prolongate(u, cu, n / 2);
+}
+
+int main() {
+	int t0 = clock();
+	double* u = new double[NFINE];
+	double* rhs = new double[NFINE];
+	double* coef = new double[NFINE];
+	double* res = new double[NFINE];
+	double* cr = new double[NFINE / 2];
+	double* cu = new double[NFINE / 2];
+	for (int i = 0; i < NFINE; i++) {
+		u[i] = 0.0;
+		rhs[i] = sin((double)i * 0.049) + 1.0;
+		coef[i] = 1.0 + (double)(i % 5) * 0.0625;
+	}
+	for (int c = 0; c < NCYCLES; c++) {
+		vcycle(u, rhs, coef, res, cr, cu, NFINE);
+	}
+	double r = norm(res, NFINE);
+	print("miniGMG proxy\n");
+	print("residual norm ", r, "\n");
+	print("solution checksum ", checksum(u, NFINE), "\n");
+	print("time ", clock() - t0, "\n");
+	return 0;
+}
+`
+	kind := "ompif"
+	if sse {
+		kind = "sse"
+	}
+	return strings.NewReplacer("%SMOOTH%", smooth, "%KIND%", kind).Replace(src)
+}
+
+var gmgMasks = []string{timeMask}
+
+// MiniGMGOmpIf is the OpenMP worksharing configuration.
+var MiniGMGOmpIf = register(&Config{
+	ID: "minigmg-ompif", Benchmark: "MiniGMG", ModelLabel: "C, OpenMP",
+	SourceFiles:           "operators.ompif",
+	Source:                minigmgSource(false),
+	SourceName:            "operators.ompif.mc",
+	Frontend:              minic.Options{Dialect: minic.DialectC, Model: minic.ModelOpenMP},
+	Masks:                 gmgMasks,
+	ExpectFullyOptimistic: true,
+	Paper: PaperRow{OptUnique: 36080, OptCached: 23235, PessUnique: 0, PessCached: 0,
+		NoAliasOrig: 124431, NoAliasORAQL: 198012},
+})
+
+// MiniGMGOmpTask is the OpenMP tasks configuration.
+var MiniGMGOmpTask = register(&Config{
+	ID: "minigmg-omptask", Benchmark: "MiniGMG", ModelLabel: "C, OpenMP tasks",
+	SourceFiles:           "operators.omptask",
+	Source:                minigmgSource(false),
+	SourceName:            "operators.omptask.mc",
+	Frontend:              minic.Options{Dialect: minic.DialectC, Model: minic.ModelTasks},
+	Masks:                 gmgMasks,
+	ExpectFullyOptimistic: true,
+	Paper: PaperRow{OptUnique: 33007, OptCached: 21845, PessUnique: 0, PessCached: 0,
+		NoAliasOrig: 121110, NoAliasORAQL: 186836},
+})
+
+// MiniGMGSSE is the explicit-SIMD configuration.
+var MiniGMGSSE = register(&Config{
+	ID: "minigmg-sse", Benchmark: "MiniGMG", ModelLabel: "C, SSE intrinsics",
+	SourceFiles:           "operators.sse",
+	Source:                minigmgSource(true),
+	SourceName:            "operators.sse.mc",
+	Frontend:              minic.Options{Dialect: minic.DialectC, Model: minic.ModelOpenMP},
+	Masks:                 gmgMasks,
+	ExpectFullyOptimistic: true,
+	Paper: PaperRow{OptUnique: 36166, OptCached: 32529, PessUnique: 0, PessCached: 0,
+		NoAliasOrig: 116700, NoAliasORAQL: 200120},
+})

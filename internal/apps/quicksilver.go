@@ -1,0 +1,120 @@
+package apps
+
+import "github.com/oraql/go-oraql/internal/minic"
+
+// Quicksilver proxy: Monte Carlo particle transport (Mercury's proxy).
+// Branch-heavy per-particle segment loops chase small latency-bound
+// loads through a facility struct — exactly the code the paper found
+// fully-optimistically compilable with the largest secondary-statistic
+// swings: dead diagnostic loops deleted, defensive double-stores
+// DSE'd, repeated cross-section loads GVN'd, and facility pointers
+// hoisted by LICM. Each mechanism is present here:
+//
+//   - per-segment diagnostic reductions are stored once and then
+//     overwritten; with optimistic aliasing DSE kills the first store,
+//     the reduction chain dies, and loop deletion removes the whole
+//     diagnostic loop (the paper's 2 -> 55 jump),
+//   - the cross-section lookup re-reads table entries around tally
+//     writes (GVN's 45 -> 245 "# loads deleted"),
+//   - the facility pointers load per segment but hoist once the tally
+//     writes are disambiguated (LICM 5 -> 21).
+var quicksilverSource = `
+// Quicksilver proxy: Monte Carlo transport segments.
+struct Facility {
+	double* xs_total;
+	double* xs_scatter;
+	double* tally;
+	double* scratch;
+	int ngroups;
+};
+
+int NPART = 48;
+int NSEG = 10;
+int NGROUPS = 8;
+int NCELLS = 16;
+
+double segment_distance(Facility* f, int group, double u) {
+	double t0 = f.xs_total[group];
+	double s0 = f.xs_scatter[group];
+	return 1.0 / (t0 + s0 * u + 0.125);
+}
+
+void track_particles(Facility* f, double* pos, int* cell, int npart) {
+	int ng = f.ngroups;
+	parallel for (p = 0; p < npart; p++) {
+		double u = pos[p];
+		int c = cell[p];
+		int group = (p + c) % ng;
+		for (int s = 0; s < NSEG; s++) {
+			// Diagnostic reduction: dbg feeds only the first scratch
+			// store, which a later store overwrites. Conservative
+			// aliasing cannot prove the tally read between them is
+			// unrelated, so the loop survives; ORAQL lets DSE and loop
+			// deletion cascade.
+			double dbg = 0.0;
+			for (int g = 0; g < 4; g++) {
+				dbg = dbg + f.xs_total[group];
+			}
+			f.scratch[p] = dbg;
+			double flux = f.tally[c];
+			f.scratch[p] = flux * 0.5 + u;
+
+			double d0 = segment_distance(f, group, u);
+			f.tally[c] = f.tally[c] + d0;
+			double t1 = f.xs_total[group];
+			f.tally[c + NCELLS] = f.tally[c + NCELLS] + t1 * d0;
+			double t2 = f.xs_total[group];
+			u = u * 0.9 + t2 * 0.01;
+			if (u > 1.0) {
+				u = u - 1.0;
+				group = (group + 1) % ng;
+			}
+			c = (c + 1) % NCELLS;
+		}
+		pos[p] = u;
+		cell[p] = c;
+	}
+}
+
+int main() {
+	int t0 = clock();
+	Facility f;
+	f.ngroups = NGROUPS;
+	f.xs_total = new double[NGROUPS];
+	f.xs_scatter = new double[NGROUPS];
+	f.tally = new double[NCELLS * 2];
+	f.scratch = new double[NPART];
+	double* pos = new double[NPART];
+	int* cell = new int[NPART];
+	for (int g = 0; g < NGROUPS; g++) {
+		f.xs_total[g] = 0.5 + (double)g * 0.0625;
+		f.xs_scatter[g] = 0.25 + (double)(g % 3) * 0.125;
+	}
+	for (int p = 0; p < NPART; p++) {
+		pos[p] = (double)(p % 7) * 0.125;
+		cell[p] = p % NCELLS;
+	}
+	for (int i = 0; i < NCELLS * 2; i++) {
+		f.tally[i] = 0.0;
+	}
+	track_particles(&f, pos, cell, NPART);
+	print("Quicksilver proxy\n");
+	print("tally checksum ", checksum(f.tally, NCELLS * 2), "\n");
+	print("position checksum ", checksum(pos, NPART), "\n");
+	print("time ", clock() - t0, "\n");
+	return 0;
+}
+`
+
+// QuicksilverOpenMP is the C++/OpenMP row of Fig. 4.
+var QuicksilverOpenMP = register(&Config{
+	ID: "quicksilver-openmp", Benchmark: "Quicksilver", ModelLabel: "C++, OpenMP",
+	SourceFiles:           "all (manual LTO)",
+	Source:                quicksilverSource,
+	SourceName:            "qs.mc",
+	Frontend:              minic.Options{Dialect: minic.DialectC, Model: minic.ModelOpenMP},
+	Masks:                 []string{timeMask},
+	ExpectFullyOptimistic: true,
+	Paper: PaperRow{OptUnique: 31312, OptCached: 68542, PessUnique: 0, PessCached: 0,
+		NoAliasOrig: 135504, NoAliasORAQL: 242001},
+})

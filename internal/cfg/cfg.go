@@ -1,0 +1,151 @@
+// Package cfg provides control-flow-graph analyses over the IR:
+// predecessor maps, reverse postorder, dominator trees
+// (Cooper–Harvey–Kennedy), and natural-loop detection. These back the
+// loop passes (LICM, loop deletion, vectorization) and the MemorySSA
+// walker.
+package cfg
+
+import "github.com/oraql/go-oraql/internal/ir"
+
+// Info bundles the CFG analyses of one function. Build it with New;
+// it is invalidated by any CFG edit.
+type Info struct {
+	Fn *ir.Func
+
+	// Preds maps a block to its predecessors in deterministic
+	// (reverse-postorder discovery) order.
+	Preds map[*ir.Block][]*ir.Block
+
+	// RPO is the reverse postorder over reachable blocks.
+	RPO []*ir.Block
+
+	// rpoIndex maps a block to its position in RPO.
+	rpoIndex map[*ir.Block]int
+
+	// idom maps each reachable block (except entry) to its immediate
+	// dominator.
+	idom map[*ir.Block]*ir.Block
+}
+
+// New computes CFG analyses for f.
+func New(f *ir.Func) *Info {
+	info := &Info{
+		Fn:       f,
+		Preds:    map[*ir.Block][]*ir.Block{},
+		rpoIndex: map[*ir.Block]int{},
+		idom:     map[*ir.Block]*ir.Block{},
+	}
+	info.buildOrder()
+	info.buildDom()
+	return info
+}
+
+func (in *Info) buildOrder() {
+	visited := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		visited[b] = true
+		for _, s := range b.Succs() {
+			in.Preds[s] = append(in.Preds[s], b)
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(in.Fn.Entry())
+	for i := len(post) - 1; i >= 0; i-- {
+		in.rpoIndex[post[i]] = len(in.RPO)
+		in.RPO = append(in.RPO, post[i])
+	}
+}
+
+// buildDom implements the Cooper–Harvey–Kennedy iterative dominator
+// algorithm over the reverse postorder.
+func (in *Info) buildDom() {
+	entry := in.Fn.Entry()
+	in.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range in.RPO {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range in.Preds[b] {
+				if _, ok := in.idom[p]; !ok {
+					continue // not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = in.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && in.idom[b] != newIdom {
+				in.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (in *Info) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for in.rpoIndex[a] > in.rpoIndex[b] {
+			a = in.idom[a]
+		}
+		for in.rpoIndex[b] > in.rpoIndex[a] {
+			b = in.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (entry returns itself).
+func (in *Info) IDom(b *ir.Block) *ir.Block { return in.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (in *Info) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		id, ok := in.idom[b]
+		if !ok || id == b {
+			return false
+		}
+		b = id
+	}
+}
+
+// Reachable reports whether b is reachable from the entry block.
+func (in *Info) Reachable(b *ir.Block) bool {
+	_, ok := in.rpoIndex[b]
+	return ok
+}
+
+// DominatesInstr reports whether the definition a dominates the use
+// site u. Both must be in the same function; non-instruction values
+// (arguments, constants, globals) dominate everything.
+func (in *Info) DominatesInstr(a ir.Value, u *ir.Instr) bool {
+	ai, ok := a.(*ir.Instr)
+	if !ok {
+		return true
+	}
+	if ai.Parent == u.Parent {
+		return instrIndex(ai) < instrIndex(u)
+	}
+	return in.Dominates(ai.Parent, u.Parent)
+}
+
+func instrIndex(x *ir.Instr) int {
+	for i, in := range x.Parent.Instrs {
+		if in == x {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,148 @@
+package codegen
+
+import (
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+func simpleModule() *ir.Module {
+	m := ir.NewModule("t")
+	m.AddGlobal(&ir.Global{Name: "g", Size: 16, InitI64: []int64{1, 2}})
+	_, b := ir.NewFunc(m, "main", ir.I64)
+	a := b.Alloca(24, "a")
+	b.Store(ir.ConstInt(5), a, "")
+	ld := b.Load(ir.I64, a, "")
+	x := b.Bin(ir.OpAdd, ld, ir.ConstInt(1), "x")
+	b.Ret(x)
+	return m
+}
+
+func TestCompileCountsInstructions(t *testing.T) {
+	res := Compile(simpleModule())
+	if res.MachineInstrs == 0 {
+		t.Fatal("no machine instructions")
+	}
+	if len(res.Funcs) != 1 || res.Funcs[0].Name != "main" {
+		t.Fatalf("func stats: %+v", res.Funcs)
+	}
+	if res.Funcs[0].StackBytes < 24 {
+		t.Errorf("stack bytes = %d, want >= alloca size", res.Funcs[0].StackBytes)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	r1 := Compile(simpleModule())
+	r2 := Compile(simpleModule())
+	if r1.HashString() != r2.HashString() {
+		t.Error("identical modules must hash identically")
+	}
+}
+
+func TestHashSensitiveToCode(t *testing.T) {
+	m1 := simpleModule()
+	m2 := simpleModule()
+	// Change a constant in m2.
+	for _, bb := range m2.FuncByName("main").Blocks {
+		for _, in := range bb.Instrs {
+			if in.Op == ir.OpStore {
+				in.Operands[0] = ir.ConstInt(6)
+			}
+		}
+	}
+	if Compile(m1).HashString() == Compile(m2).HashString() {
+		t.Error("different code must hash differently")
+	}
+}
+
+func TestHashSensitiveToGlobals(t *testing.T) {
+	m1 := simpleModule()
+	m2 := simpleModule()
+	m2.Globals[0].InitI64[0] = 99
+	if Compile(m1).HashString() == Compile(m2).HashString() {
+		t.Error("different global initializers must hash differently")
+	}
+}
+
+// pressureModule defines K long-lived values used at the end, forcing
+// spills when K exceeds the register bank.
+func pressureModule(k int) *ir.Module {
+	m := ir.NewModule("t")
+	_, b := ir.NewFunc(m, "hot", ir.I64, &ir.Arg{Name: "x", Ty: ir.I64})
+	vals := make([]ir.Value, k)
+	for i := 0; i < k; i++ {
+		vals[i] = b.Bin(ir.OpMul, b.Func().Params[0], ir.ConstInt(int64(i+3)), "v")
+	}
+	acc := vals[0]
+	for i := 1; i < k; i++ {
+		acc = b.Bin(ir.OpAdd, acc, vals[i], "acc")
+	}
+	b.Ret(acc)
+	return m
+}
+
+func TestRegisterPressureAndSpills(t *testing.T) {
+	low := Compile(pressureModule(8)).Funcs[0]
+	high := Compile(pressureModule(60)).Funcs[0]
+	if low.Spills != 0 {
+		t.Errorf("8 live values should not spill on x86 (got %d spills)", low.Spills)
+	}
+	if high.Spills == 0 {
+		t.Error("60 simultaneously live values must spill")
+	}
+	if high.PeakPressure <= low.PeakPressure {
+		t.Error("peak pressure must grow with live values")
+	}
+	if high.StackBytes == 0 {
+		t.Error("spills must consume stack space")
+	}
+}
+
+func TestGPUTargetHasMoreRegisters(t *testing.T) {
+	m := pressureModule(40)
+	m.Target = "gpu-sim"
+	gpu := Compile(m).Funcs[0]
+	cpu := Compile(pressureModule(40)).Funcs[0]
+	if gpu.Spills >= cpu.Spills && cpu.Spills > 0 {
+		t.Errorf("GPU bank (64) should spill less than CPU: gpu=%d cpu=%d", gpu.Spills, cpu.Spills)
+	}
+}
+
+func TestKernelFlagPropagates(t *testing.T) {
+	m := ir.NewModule("t")
+	m.Target = "gpu-sim"
+	fn, b := ir.NewFunc(m, "k", ir.Void, &ir.Arg{Name: "ctx", Ty: ir.Ptr})
+	fn.Attrs.Kernel = true
+	b.Ret(nil)
+	res := Compile(m)
+	if !res.Funcs[0].IsKernel {
+		t.Error("kernel attribute must appear in function stats")
+	}
+	if res.Target.Name != "gpu-sim" || !res.Target.Unified {
+		t.Errorf("target = %+v", res.Target)
+	}
+}
+
+func TestPhiElimEmitsCopies(t *testing.T) {
+	m := ir.NewModule("t")
+	c := &ir.Arg{Name: "c", Ty: ir.I1}
+	_, b := ir.NewFunc(m, "f", ir.I64, c)
+	entry := b.Block()
+	then := b.NewBlock("then")
+	join := b.NewBlock("join")
+	b.CondBr(c, then, join)
+	b.SetBlock(then)
+	x := b.Bin(ir.OpAdd, ir.ConstInt(1), ir.ConstInt(2), "x")
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(ir.I64, "p")
+	ir.AddIncoming(phi, ir.ConstInt(0), entry)
+	ir.AddIncoming(phi, x, then)
+	b.Ret(phi)
+	res := Compile(m)
+	// The phi needs at least two mov.phi copies, so instruction count
+	// must exceed the naive op count.
+	if res.MachineInstrs < 6 {
+		t.Errorf("machine instrs = %d, expected phi copies to be emitted", res.MachineInstrs)
+	}
+}

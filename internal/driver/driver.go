@@ -1,0 +1,370 @@
+// Package driver implements the ORAQL probing driver (paper Section
+// IV-B): it compiles a benchmark with increasingly refined response
+// sequences until it finds a locally maximal set of queries that can
+// be answered "no-alias" without breaking the benchmark's verification.
+// Two bisection strategies are provided — the chunked recursion the
+// paper settled on, and the frequency-space splitting it compares
+// against — plus the executable-hash test cache that skips re-running
+// bit-identical binaries.
+package driver
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/verify"
+)
+
+// Strategy selects the bisection order.
+type Strategy int
+
+// Strategies.
+const (
+	// Chunked recursively splits the sequence into consecutive halves
+	// (good when dangerous queries cluster).
+	Chunked Strategy = iota
+	// FreqSpace splits by integer-division remainder (even/odd first);
+	// descriptors are independent of the sequence length.
+	FreqSpace
+)
+
+// BenchSpec is the benchmark-specific configuration file equivalent:
+// compiler invocation, probing scope, run options, and verification.
+type BenchSpec struct {
+	Name     string
+	Compile  pipeline.Config // ORAQL field is managed by the driver
+	Run      irinterp.Options
+	Verify   verify.Spec // empty references: baseline output is recorded
+	ORAQL    oraql.Options
+	Strategy Strategy
+	// DisableExeCache turns off the executable-hash test cache (for the
+	// ablation benchmark).
+	DisableExeCache bool
+	// MaxTests bounds probing effort (0 = no bound).
+	MaxTests int
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+}
+
+// Outcome is one compile+run+verify cycle.
+type Outcome struct {
+	Compile *pipeline.CompileResult
+	Run     *irinterp.Result
+	RunErr  error
+	Verify  verify.Result
+}
+
+// Result is the full probing outcome.
+type Result struct {
+	Spec *BenchSpec
+
+	// Baseline is the non-ORAQL compilation (the reference).
+	Baseline *Outcome
+	// Final is the compilation with the discovered sequence.
+	Final *Outcome
+	// FinalSeq is the locally maximal response sequence.
+	FinalSeq oraql.Seq
+	// FullyOptimistic reports whether the empty sequence already
+	// verified (no pessimistic answers needed).
+	FullyOptimistic bool
+
+	// Probing effort counters.
+	Compiles    int
+	TestsRun    int
+	TestsCached int
+}
+
+// Probe runs the full ORAQL workflow on a benchmark.
+func Probe(spec *BenchSpec) (*Result, error) {
+	st := &state{spec: spec, exeCache: map[string]verify.Result{}}
+	return st.probe()
+}
+
+type state struct {
+	spec     *BenchSpec
+	res      *Result
+	exeCache map[string]verify.Result
+	padLen   int // generous pessimistic padding length
+	maxSeen  int // highest unique-query count observed
+}
+
+func (st *state) logf(format string, args ...any) {
+	if st.spec.Log != nil {
+		fmt.Fprintf(st.spec.Log, "[oraql-driver] "+format+"\n", args...)
+	}
+}
+
+// execute compiles with the given ORAQL options (nil = pass disabled)
+// and runs the program.
+func (st *state) execute(opts *oraql.Options) (*Outcome, error) {
+	cfg := st.spec.Compile
+	cfg.Name = st.spec.Name
+	cfg.ORAQL = opts
+	cr, err := pipeline.Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.res.Compiles++
+	rr, runErr := irinterp.Run(cr.Program, st.spec.Run)
+	out := &Outcome{Compile: cr, Run: rr, RunErr: runErr}
+	var stdout string
+	if rr != nil {
+		stdout = rr.Stdout
+	}
+	out.Verify = st.spec.Verify.Check(stdout, runErr)
+	return out, nil
+}
+
+// test compiles with a sequence and verifies, consulting the
+// executable-hash cache to skip runs of bit-identical binaries.
+func (st *state) test(seq oraql.Seq) (bool, error) {
+	if st.spec.MaxTests > 0 && st.res.TestsRun+st.res.TestsCached >= st.spec.MaxTests {
+		return false, fmt.Errorf("driver: test budget (%d) exhausted", st.spec.MaxTests)
+	}
+	opts := st.spec.ORAQL
+	opts.Seq = seq
+	cfg := st.spec.Compile
+	cfg.Name = st.spec.Name
+	cfg.ORAQL = &opts
+	cr, err := pipeline.Compile(cfg)
+	if err != nil {
+		return false, err
+	}
+	st.res.Compiles++
+	if u := cr.ORAQLStats().Unique(); u > st.maxSeen {
+		st.maxSeen = u
+	}
+	hash := cr.ExeHash()
+	if !st.spec.DisableExeCache {
+		if v, ok := st.exeCache[hash]; ok {
+			st.res.TestsCached++
+			return v.OK, nil
+		}
+	}
+	rr, runErr := irinterp.Run(cr.Program, st.spec.Run)
+	var stdout string
+	if rr != nil {
+		stdout = rr.Stdout
+	}
+	v := st.spec.Verify.Check(stdout, runErr)
+	st.res.TestsRun++
+	if !st.spec.DisableExeCache {
+		st.exeCache[hash] = v
+	}
+	return v.OK, nil
+}
+
+func (st *state) probe() (*Result, error) {
+	spec := st.spec
+	st.res = &Result{Spec: spec}
+	if err := spec.Verify.Compile(); err != nil {
+		return nil, fmt.Errorf("driver: verify spec: %w", err)
+	}
+
+	// Step 1: baseline compile and run without ORAQL.
+	base, err := st.execute(nil)
+	if err != nil {
+		return nil, fmt.Errorf("driver: baseline: %w", err)
+	}
+	if base.RunErr != nil {
+		return nil, fmt.Errorf("driver: baseline run failed: %w", base.RunErr)
+	}
+	if len(spec.Verify.References) == 0 {
+		spec.Verify.References = []string{base.Run.Stdout}
+	}
+	base.Verify = spec.Verify.Check(base.Run.Stdout, nil)
+	if !base.Verify.OK {
+		return nil, fmt.Errorf("driver: baseline does not verify: %s", base.Verify.Diff)
+	}
+	st.res.Baseline = base
+	st.logf("%s: baseline verified (%d instrs)", spec.Name, base.Run.Instrs)
+
+	// Step 2: fully optimistic attempt (empty sequence).
+	ok, err := st.test(nil)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		st.logf("%s: fully optimistic compilation verified", spec.Name)
+		st.res.FullyOptimistic = true
+		st.res.FinalSeq = nil
+		return st.finalize(nil)
+	}
+	st.logf("%s: fully optimistic failed; bisecting %d unique queries", spec.Name, st.maxSeen)
+
+	// Step 3: bisection. The padding keeps undecided queries
+	// pessimistic; it adapts as query counts drift.
+	var final oraql.Seq
+	for round := 0; round < 4; round++ {
+		n := st.maxSeen
+		st.padLen = 2*n + 64
+		var decided oraql.Seq
+		switch spec.Strategy {
+		case FreqSpace:
+			decided, err = st.freqSolve(n)
+		default:
+			decided, err = st.chunkSolve(n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		final = trimTrailingOptimistic(decided)
+		ok, err := st.test(final)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return st.finalize(final)
+		}
+		st.logf("%s: query count drifted (now %d); re-probing", spec.Name, st.maxSeen)
+	}
+	// Fall back to the all-pessimistic sequence, which reproduces the
+	// baseline compilation behaviour for ORAQL-visible queries.
+	final = make(oraql.Seq, st.maxSeen+64)
+	ok, err = st.test(final)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("driver: %s: even the all-pessimistic sequence fails verification", spec.Name)
+	}
+	return st.finalize(final)
+}
+
+// finalize recompiles with the final sequence and records results.
+func (st *state) finalize(seq oraql.Seq) (*Result, error) {
+	opts := st.spec.ORAQL
+	opts.Seq = seq
+	fin, err := st.execute(&opts)
+	if err != nil {
+		return nil, err
+	}
+	if !fin.Verify.OK {
+		return nil, fmt.Errorf("driver: final sequence does not verify: %s", fin.Verify.Diff)
+	}
+	st.res.Final = fin
+	st.res.FinalSeq = seq
+	s := fin.Compile.ORAQLStats()
+	st.logf("%s: done: %d opt (%d cached), %d pess (%d cached); %d compiles, %d tests (+%d cached)",
+		st.spec.Name, s.UniqueOptimistic, s.CachedOptimistic, s.UniquePessimistic, s.CachedPessimistic,
+		st.res.Compiles, st.res.TestsRun, st.res.TestsCached)
+	return st.res, nil
+}
+
+// pad extends a decided prefix with pessimistic padding.
+func (st *state) pad(decided oraql.Seq, upto int) oraql.Seq {
+	out := decided.Clone()
+	for len(out) < upto {
+		out = append(out, false)
+	}
+	return out
+}
+
+// chunkSolve runs the chunked recursion over [0, n). The knownBad flag
+// implements the paper's Fig. 2 deduction: when a parent range failed
+// and its first half verified entirely optimistic, the second half must
+// contain a dangerous query, so its whole-range test is skipped.
+func (st *state) chunkSolve(n int) (oraql.Seq, error) {
+	decided := make(oraql.Seq, n)
+	// allOpt reports whether the whole range ended up optimistic.
+	var solve func(lo, hi int, knownBad bool) (bool, error)
+	solve = func(lo, hi int, knownBad bool) (bool, error) {
+		if lo >= hi {
+			return true, nil
+		}
+		if !knownBad {
+			cand := decided.Clone()
+			for i := lo; i < hi; i++ {
+				cand[i] = true
+			}
+			ok, err := st.test(st.pad(cand[:hi], st.padLen))
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				copy(decided[lo:hi], cand[lo:hi])
+				return true, nil
+			}
+		}
+		if hi-lo == 1 {
+			decided[lo] = false // dangerous query pinned
+			st.logf("%s: query %d must stay pessimistic", st.spec.Name, lo)
+			return false, nil
+		}
+		mid := (lo + hi) / 2
+		leftAll, err := solve(lo, mid, false)
+		if err != nil {
+			return false, err
+		}
+		// If the left half is entirely optimistic, the dangerous query
+		// must be on the right: skip the right's whole-range test.
+		if _, err := solve(mid, hi, leftAll); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	if _, err := solve(0, n, true); err != nil {
+		return nil, err
+	}
+	return decided, nil
+}
+
+// freqSolve runs the frequency-space recursion: residue classes of the
+// query index, refined by doubling the modulus.
+func (st *state) freqSolve(n int) (oraql.Seq, error) {
+	decided := make(oraql.Seq, n)
+	done := make([]bool, n)
+	var solve func(m, r int) error
+	solve = func(m, r int) error {
+		if r >= n {
+			return nil
+		}
+		cand := decided.Clone()
+		for i := r; i < n; i += m {
+			if !done[i] {
+				cand[i] = true
+			}
+		}
+		ok, err := st.test(st.pad(cand, st.padLen))
+		if err != nil {
+			return err
+		}
+		if ok {
+			for i := r; i < n; i += m {
+				if !done[i] {
+					decided[i] = true
+					done[i] = true
+				}
+			}
+			return nil
+		}
+		if m >= n {
+			// The class has a single member in range.
+			decided[r] = false
+			done[r] = true
+			st.logf("%s: query %d must stay pessimistic", st.spec.Name, r)
+			return nil
+		}
+		if err := solve(2*m, r); err != nil {
+			return err
+		}
+		return solve(2*m, r+m)
+	}
+	if err := solve(1, 0); err != nil {
+		return nil, err
+	}
+	return decided, nil
+}
+
+// trimTrailingOptimistic drops trailing 1s (queries beyond the sequence
+// end are optimistic by definition).
+func trimTrailingOptimistic(s oraql.Seq) oraql.Seq {
+	end := len(s)
+	for end > 0 && s[end-1] {
+		end--
+	}
+	return s[:end].Clone()
+}

@@ -1,0 +1,183 @@
+package ir
+
+import "fmt"
+
+// Builder constructs IR instruction-by-instruction at an insertion
+// point, in the style of LLVM's IRBuilder. All Create* methods append
+// to the current block and return the new instruction (usable as a
+// Value).
+type Builder struct {
+	fn  *Func
+	bb  *Block
+	loc SrcLoc
+}
+
+// NewFunc creates a function in m and returns a builder positioned at a
+// fresh entry block.
+func NewFunc(m *Module, name string, retTy *Type, params ...*Arg) (*Func, *Builder) {
+	f := &Func{Name: name, RetTy: retTy, Params: params}
+	for i, p := range params {
+		p.ID = i
+		p.Func = f
+	}
+	m.AddFunc(f)
+	entry := f.NewBlock("entry")
+	return f, &Builder{fn: f, bb: entry}
+}
+
+// NewBuilder returns a builder positioned at the end of bb.
+func NewBuilder(bb *Block) *Builder { return &Builder{fn: bb.Parent, bb: bb} }
+
+// Func returns the function under construction.
+func (b *Builder) Func() *Func { return b.fn }
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.bb }
+
+// SetBlock moves the insertion point to the end of bb.
+func (b *Builder) SetBlock(bb *Block) { b.bb = bb }
+
+// NewBlock creates a block in the current function (the insertion point
+// does not move).
+func (b *Builder) NewBlock(name string) *Block { return b.fn.NewBlock(name) }
+
+// SetLoc sets the source location attached to subsequently created
+// instructions.
+func (b *Builder) SetLoc(loc SrcLoc) { b.loc = loc }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.bb == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if t := b.bb.Term(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s after terminator in %s/%s", in.Op, b.fn.Name, b.bb.Name))
+	}
+	in.ID = b.fn.nextInstrID
+	b.fn.nextInstrID++
+	in.Parent = b.bb
+	if !in.Loc.IsValid() {
+		in.Loc = b.loc
+	}
+	b.bb.Instrs = append(b.bb.Instrs, in)
+	return in
+}
+
+// Alloca allocates size bytes of stack memory and returns its address.
+func (b *Builder) Alloca(size int64, name string) *Instr {
+	return b.emit(&Instr{Op: OpAlloca, Ty: Ptr, Size: size, Name: name})
+}
+
+// Load reads a value of type ty from ptr. tbaa may be "".
+func (b *Builder) Load(ty *Type, ptr Value, tbaa string) *Instr {
+	return b.emit(&Instr{Op: OpLoad, Ty: ty, Operands: []Value{ptr}, TBAA: tbaa})
+}
+
+// Store writes val to ptr. tbaa may be "".
+func (b *Builder) Store(val, ptr Value, tbaa string) *Instr {
+	return b.emit(&Instr{Op: OpStore, Ty: Void, Operands: []Value{val, ptr}, TBAA: tbaa})
+}
+
+// GEP computes base + index*scale + off. A nil index yields a
+// constant-offset GEP (base + off).
+func (b *Builder) GEP(base Value, index Value, scale, off int64, name string) *Instr {
+	ops := []Value{base}
+	if index != nil {
+		ops = append(ops, index)
+	}
+	return b.emit(&Instr{Op: OpGEP, Ty: Ptr, Operands: ops, Scale: scale, Off: off, Name: name})
+}
+
+// MemCpy copies n bytes from src to dst (non-overlapping).
+func (b *Builder) MemCpy(dst, src, n Value) *Instr {
+	return b.emit(&Instr{Op: OpMemCpy, Ty: Void, Operands: []Value{dst, src, n}})
+}
+
+// MemSet fills n bytes at dst with the low byte of val.
+func (b *Builder) MemSet(dst, val, n Value) *Instr {
+	return b.emit(&Instr{Op: OpMemSet, Ty: Void, Operands: []Value{dst, val, n}})
+}
+
+// Bin emits a binary arithmetic instruction of the given opcode.
+func (b *Builder) Bin(op Opcode, x, y Value, name string) *Instr {
+	ty := x.Type()
+	return b.emit(&Instr{Op: op, Ty: ty, Operands: []Value{x, y}, Name: name})
+}
+
+// ICmp compares two i64 values.
+func (b *Builder) ICmp(p Pred, x, y Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpICmp, Ty: I1, Pred: p, Operands: []Value{x, y}, Name: name})
+}
+
+// FCmp compares two f64 values.
+func (b *Builder) FCmp(p Pred, x, y Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpFCmp, Ty: I1, Pred: p, Operands: []Value{x, y}, Name: name})
+}
+
+// SIToFP converts i64 to f64.
+func (b *Builder) SIToFP(x Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpSIToFP, Ty: F64, Operands: []Value{x}, Name: name})
+}
+
+// FPToSI converts f64 to i64 (truncating).
+func (b *Builder) FPToSI(x Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpFPToSI, Ty: I64, Operands: []Value{x}, Name: name})
+}
+
+// Select returns iftrue if cond else iffalse.
+func (b *Builder) Select(cond, iftrue, iffalse Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpSelect, Ty: iftrue.Type(), Operands: []Value{cond, iftrue, iffalse}, Name: name})
+}
+
+// Phi creates an empty phi of type ty; fill it with AddIncoming.
+func (b *Builder) Phi(ty *Type, name string) *Instr {
+	return b.emit(&Instr{Op: OpPhi, Ty: ty, Name: name})
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a phi.
+func AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Operands = append(phi.Operands, v)
+	phi.Incoming = append(phi.Incoming, from)
+}
+
+// Call emits a call to a function or intrinsic with the given result
+// type (Void for none).
+func (b *Builder) Call(retTy *Type, callee string, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Ty: retTy, Callee: callee, Operands: args})
+}
+
+// VSplat broadcasts a scalar into a vector.
+func (b *Builder) VSplat(ty *Type, x Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpVSplat, Ty: ty, Operands: []Value{x}, Name: name})
+}
+
+// VExtract extracts lane (a constant) from a vector.
+func (b *Builder) VExtract(vec Value, lane int64, name string) *Instr {
+	return b.emit(&Instr{Op: OpVExtract, Ty: vec.Type().Elem, Operands: []Value{vec, ConstInt(lane)}, Name: name})
+}
+
+// VReduce sums the lanes of a vector into a scalar.
+func (b *Builder) VReduce(vec Value, name string) *Instr {
+	return b.emit(&Instr{Op: OpVReduce, Ty: vec.Type().Elem, Operands: []Value{vec}, Name: name})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(to *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Ty: Void, Succs: []*Block{to}})
+}
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Ty: Void, Operands: []Value{cond}, Succs: []*Block{then, els}})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (b *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Ty: Void}
+	if v != nil {
+		in.Operands = []Value{v}
+	}
+	return b.emit(in)
+}

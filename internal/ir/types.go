@@ -1,0 +1,108 @@
+// Package ir defines the intermediate representation used throughout
+// go-oraql: a small SSA-based IR modeled after LLVM-IR with opaque
+// pointers, typed memory accesses, and the metadata kinds that alias
+// analyses consume (TBAA tags, alias scopes, noalias argument
+// attributes, and source locations).
+//
+// The IR is deliberately deterministic: every value carries a stable
+// integer ID assigned in creation order, and all containers are slices,
+// so that two compilations of the same module issue alias queries in
+// the same order. The ORAQL probing driver depends on this property.
+package ir
+
+import "fmt"
+
+// Kind enumerates the type kinds of the IR.
+type Kind int
+
+const (
+	// KVoid is the type of instructions that produce no value.
+	KVoid Kind = iota
+	// KI1 is a boolean (comparison results, branch conditions).
+	KI1
+	// KI64 is a 64-bit signed integer, the only integer data type.
+	KI64
+	// KF64 is a 64-bit IEEE-754 float.
+	KF64
+	// KPtr is an opaque pointer (addresses are 64-bit in the simulated
+	// machine). Pointee types are not tracked; loads and stores carry
+	// the accessed type instead, exactly like modern LLVM-IR.
+	KPtr
+	// KVec is a short SIMD vector of I64 or F64 lanes.
+	KVec
+)
+
+// Type describes an IR type. Types are interned: use the package-level
+// singletons and VecType so that == comparisons are meaningful.
+type Type struct {
+	Kind  Kind
+	Elem  *Type // lane type for KVec
+	Lanes int   // lane count for KVec
+}
+
+// Interned scalar types.
+var (
+	Void = &Type{Kind: KVoid}
+	I1   = &Type{Kind: KI1}
+	I64  = &Type{Kind: KI64}
+	F64  = &Type{Kind: KF64}
+	Ptr  = &Type{Kind: KPtr}
+
+	V4F64 = &Type{Kind: KVec, Elem: F64, Lanes: 4}
+	V4I64 = &Type{Kind: KVec, Elem: I64, Lanes: 4}
+)
+
+// VecType returns the interned vector type with the given lane type and
+// count. Only 4-lane vectors of I64/F64 are currently interned; other
+// shapes panic, which keeps the simulated ISA small.
+func VecType(elem *Type, lanes int) *Type {
+	switch {
+	case elem == F64 && lanes == 4:
+		return V4F64
+	case elem == I64 && lanes == 4:
+		return V4I64
+	}
+	panic(fmt.Sprintf("ir: unsupported vector type <%d x %s>", lanes, elem))
+}
+
+// Size returns the size of the type in bytes in the simulated machine.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case KI1:
+		return 1
+	case KI64, KF64, KPtr:
+		return 8
+	case KVec:
+		return t.Elem.Size() * int64(t.Lanes)
+	}
+	return 0
+}
+
+// IsFloat reports whether the type is F64 or a vector of F64.
+func (t *Type) IsFloat() bool {
+	return t.Kind == KF64 || (t.Kind == KVec && t.Elem.Kind == KF64)
+}
+
+// IsInt reports whether the type is I64/I1 or a vector of I64.
+func (t *Type) IsInt() bool {
+	return t.Kind == KI64 || t.Kind == KI1 || (t.Kind == KVec && t.Elem.Kind == KI64)
+}
+
+// String renders the type in LLVM-like syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KI1:
+		return "i1"
+	case KI64:
+		return "i64"
+	case KF64:
+		return "double"
+	case KPtr:
+		return "ptr"
+	case KVec:
+		return fmt.Sprintf("<%d x %s>", t.Lanes, t.Elem)
+	}
+	return "?"
+}

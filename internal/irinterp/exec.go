@@ -1,0 +1,310 @@
+package irinterp
+
+import (
+	"math"
+
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// exec executes one non-terminator, non-phi instruction.
+func (m *machine) exec(fr *frame, in *ir.Instr) {
+	switch in.Op {
+	case ir.OpAlloca:
+		size := (in.Size + 15) &^ 15
+		addr := m.stackPtr
+		m.checkAddr(addr, size)
+		// Zero the slot: allocas start deterministic (the frontend
+		// always initializes, but optimized code must not observe
+		// garbage either).
+		for i := int64(0); i < size; i++ {
+			m.mem[addr+i] = 0
+		}
+		m.stackPtr += size
+		fr.vals[in] = iv(addr)
+
+	case ir.OpLoad:
+		addr := m.eval(fr, in.Operands[0]).i
+		var out value
+		switch in.Ty.Kind {
+		case ir.KVec:
+			for l := 0; l < in.Ty.Lanes; l++ {
+				bits := m.load64(addr + int64(8*l))
+				out.vi[l] = int64(bits)
+				out.vf[l] = math.Float64frombits(bits)
+			}
+		case ir.KF64:
+			out = fv(math.Float64frombits(m.load64(addr)))
+		default:
+			out = iv(int64(m.load64(addr)))
+		}
+		fr.vals[in] = out
+
+	case ir.OpStore:
+		val := m.eval(fr, in.Operands[0])
+		addr := m.eval(fr, in.Operands[1]).i
+		ty := in.Operands[0].Type()
+		switch ty.Kind {
+		case ir.KVec:
+			for l := 0; l < ty.Lanes; l++ {
+				if ty.Elem.Kind == ir.KF64 {
+					m.store64(addr+int64(8*l), math.Float64bits(val.vf[l]))
+				} else {
+					m.store64(addr+int64(8*l), uint64(val.vi[l]))
+				}
+			}
+		case ir.KF64:
+			m.store64(addr, math.Float64bits(val.f))
+		default:
+			m.store64(addr, uint64(val.i))
+		}
+
+	case ir.OpGEP:
+		addr := m.eval(fr, in.Operands[0]).i + in.Off
+		if len(in.Operands) > 1 {
+			addr += m.eval(fr, in.Operands[1]).i * in.Scale
+		}
+		fr.vals[in] = iv(addr)
+
+	case ir.OpMemCpy:
+		dst := m.eval(fr, in.Operands[0]).i
+		src := m.eval(fr, in.Operands[1]).i
+		n := m.eval(fr, in.Operands[2]).i
+		if n < 0 {
+			m.trap("memcpy with negative length %d", n)
+		}
+		m.checkAddr(dst, n)
+		m.checkAddr(src, n)
+		copy(m.mem[dst:dst+n], m.mem[src:src+n])
+
+	case ir.OpMemSet:
+		dst := m.eval(fr, in.Operands[0]).i
+		b := byte(m.eval(fr, in.Operands[1]).i)
+		n := m.eval(fr, in.Operands[2]).i
+		if n < 0 {
+			m.trap("memset with negative length %d", n)
+		}
+		m.checkAddr(dst, n)
+		for i := int64(0); i < n; i++ {
+			m.mem[dst+i] = b
+		}
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpAShr:
+		fr.vals[in] = m.intBin(fr, in)
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		fr.vals[in] = m.floatBin(fr, in)
+
+	case ir.OpSIToFP:
+		x := m.eval(fr, in.Operands[0])
+		if in.Ty.Kind == ir.KVec {
+			var out value
+			for l := 0; l < in.Ty.Lanes; l++ {
+				out.vf[l] = float64(x.vi[l])
+			}
+			fr.vals[in] = out
+		} else {
+			fr.vals[in] = fv(float64(x.i))
+		}
+
+	case ir.OpFPToSI:
+		x := m.eval(fr, in.Operands[0])
+		if in.Ty.Kind == ir.KVec {
+			var out value
+			for l := 0; l < in.Ty.Lanes; l++ {
+				out.vi[l] = int64(x.vf[l])
+			}
+			fr.vals[in] = out
+		} else {
+			fr.vals[in] = iv(int64(x.f))
+		}
+
+	case ir.OpICmp:
+		x := m.eval(fr, in.Operands[0]).i
+		y := m.eval(fr, in.Operands[1]).i
+		fr.vals[in] = iv(b2i(cmpInt(in.Pred, x, y)))
+
+	case ir.OpFCmp:
+		x := m.eval(fr, in.Operands[0]).f
+		y := m.eval(fr, in.Operands[1]).f
+		fr.vals[in] = iv(b2i(cmpFloat(in.Pred, x, y)))
+
+	case ir.OpSelect:
+		if m.eval(fr, in.Operands[0]).i != 0 {
+			fr.vals[in] = m.eval(fr, in.Operands[1])
+		} else {
+			fr.vals[in] = m.eval(fr, in.Operands[2])
+		}
+
+	case ir.OpVSplat:
+		x := m.eval(fr, in.Operands[0])
+		var out value
+		for l := 0; l < in.Ty.Lanes; l++ {
+			out.vi[l] = x.i
+			out.vf[l] = x.f
+		}
+		fr.vals[in] = out
+
+	case ir.OpVExtract:
+		x := m.eval(fr, in.Operands[0])
+		lane := m.eval(fr, in.Operands[1]).i
+		vt := in.Operands[0].Type()
+		if lane < 0 || int(lane) >= vt.Lanes {
+			m.trap("vector lane %d out of range", lane)
+		}
+		if vt.Elem.Kind == ir.KF64 {
+			fr.vals[in] = fv(x.vf[lane])
+		} else {
+			fr.vals[in] = iv(x.vi[lane])
+		}
+
+	case ir.OpVInsert:
+		x := m.eval(fr, in.Operands[0])
+		s := m.eval(fr, in.Operands[1])
+		lane := m.eval(fr, in.Operands[2]).i
+		if lane < 0 || int(lane) >= in.Ty.Lanes {
+			m.trap("vector lane %d out of range", lane)
+		}
+		x.vi[lane] = s.i
+		x.vf[lane] = s.f
+		fr.vals[in] = x
+
+	case ir.OpVReduce:
+		x := m.eval(fr, in.Operands[0])
+		vt := in.Operands[0].Type()
+		if vt.Elem.Kind == ir.KF64 {
+			var sum float64
+			for l := 0; l < vt.Lanes; l++ {
+				sum += x.vf[l]
+			}
+			fr.vals[in] = fv(sum)
+		} else {
+			var sum int64
+			for l := 0; l < vt.Lanes; l++ {
+				sum += x.vi[l]
+			}
+			fr.vals[in] = iv(sum)
+		}
+
+	case ir.OpCall:
+		fr.vals[in] = m.execCall(fr, in)
+
+	default:
+		m.trap("unhandled opcode %s", in.Op)
+	}
+}
+
+func (m *machine) intBin(fr *frame, in *ir.Instr) value {
+	x := m.eval(fr, in.Operands[0])
+	y := m.eval(fr, in.Operands[1])
+	one := func(a, b int64) int64 {
+		switch in.Op {
+		case ir.OpAdd:
+			return a + b
+		case ir.OpSub:
+			return a - b
+		case ir.OpMul:
+			return a * b
+		case ir.OpSDiv:
+			if b == 0 {
+				m.trap("integer division by zero")
+			}
+			return a / b
+		case ir.OpSRem:
+			if b == 0 {
+				m.trap("integer remainder by zero")
+			}
+			return a % b
+		case ir.OpAnd:
+			return a & b
+		case ir.OpOr:
+			return a | b
+		case ir.OpXor:
+			return a ^ b
+		case ir.OpShl:
+			return a << uint(b&63)
+		case ir.OpAShr:
+			return a >> uint(b&63)
+		}
+		m.trap("bad int op")
+		return 0
+	}
+	if in.Ty.Kind == ir.KVec {
+		var out value
+		for l := 0; l < in.Ty.Lanes; l++ {
+			out.vi[l] = one(x.vi[l], y.vi[l])
+		}
+		return out
+	}
+	return iv(one(x.i, y.i))
+}
+
+func (m *machine) floatBin(fr *frame, in *ir.Instr) value {
+	x := m.eval(fr, in.Operands[0])
+	y := m.eval(fr, in.Operands[1])
+	one := func(a, b float64) float64 {
+		switch in.Op {
+		case ir.OpFAdd:
+			return a + b
+		case ir.OpFSub:
+			return a - b
+		case ir.OpFMul:
+			return a * b
+		case ir.OpFDiv:
+			return a / b
+		}
+		m.trap("bad float op")
+		return 0
+	}
+	if in.Ty.Kind == ir.KVec {
+		var out value
+		for l := 0; l < in.Ty.Lanes; l++ {
+			out.vf[l] = one(x.vf[l], y.vf[l])
+		}
+		return out
+	}
+	return fv(one(x.f, y.f))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(p ir.Pred, x, y int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return x == y
+	case ir.PredNE:
+		return x != y
+	case ir.PredLT:
+		return x < y
+	case ir.PredLE:
+		return x <= y
+	case ir.PredGT:
+		return x > y
+	case ir.PredGE:
+		return x >= y
+	}
+	return false
+}
+
+func cmpFloat(p ir.Pred, x, y float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return x == y
+	case ir.PredNE:
+		return x != y
+	case ir.PredLT:
+		return x < y
+	case ir.PredLE:
+		return x <= y
+	case ir.PredGT:
+		return x > y
+	case ir.PredGE:
+		return x >= y
+	}
+	return false
+}

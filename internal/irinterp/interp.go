@@ -1,0 +1,433 @@
+// Package irinterp executes IR modules on a simulated machine. It is
+// the "hardware" of the reproduction: the ORAQL verification script
+// compares the stdout of interpreter runs, and the dynamic instruction
+// and cycle counters stand in for perf's executed-instruction counts
+// and wall-clock measurements. Deterministic simulated runtimes provide
+// OpenMP (fork/join and tasks), MPI (rank goroutines with synchronous
+// exchanges), and GPU kernel launches for offload modules.
+package irinterp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// Options configures a run.
+type Options struct {
+	// NumThreads is the simulated OpenMP thread count (default 4).
+	NumThreads int
+	// NumRanks is the simulated MPI rank count (default 1).
+	NumRanks int
+	// StepLimit aborts runs exceeding this many executed instructions,
+	// catching non-termination introduced by bad optimizations
+	// (default 200M).
+	StepLimit int64
+	// MemLimit caps simulated memory per rank in bytes (default 64MB).
+	MemLimit int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumThreads <= 0 {
+		o.NumThreads = 4
+	}
+	if o.NumRanks <= 0 {
+		o.NumRanks = 1
+	}
+	if o.StepLimit <= 0 {
+		o.StepLimit = 200_000_000
+	}
+	if o.MemLimit <= 0 {
+		o.MemLimit = 64 << 20
+	}
+	return o
+}
+
+// Program bundles the host module with an optional device module
+// (offload configurations compile kernels separately).
+type Program struct {
+	Host   *ir.Module
+	Device *ir.Module
+}
+
+// Result reports a completed run.
+type Result struct {
+	Stdout string
+	// Instrs / Cycles count host-side dynamic instructions and
+	// cost-model cycles (summed over ranks).
+	Instrs int64
+	Cycles int64
+	// DeviceInstrs / DeviceCycles count work inside GPU kernels.
+	DeviceInstrs int64
+	DeviceCycles int64
+	// KernelCycles breaks device time down per kernel function.
+	KernelCycles map[string]int64
+	// KernelLaunches counts launches per kernel.
+	KernelLaunches map[string]int64
+}
+
+// KernelNames returns the launched kernels sorted by name.
+func (r *Result) KernelNames() []string {
+	names := make([]string, 0, len(r.KernelCycles))
+	for n := range r.KernelCycles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the program's main function on every rank and returns
+// the combined result. Any simulated trap (out-of-bounds access,
+// division by zero, step limit) is returned as an error; the
+// verification layer treats those as failures, exactly like a crashed
+// benchmark binary.
+func Run(p *Program, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{KernelCycles: map[string]int64{}, KernelLaunches: map[string]int64{}}
+	if p.Host.FuncByName("main") == nil {
+		return nil, errors.New("irinterp: no main function")
+	}
+	ranks := make([]*machine, opts.NumRanks)
+	boxes := newMailboxes(opts.NumRanks)
+	for r := 0; r < opts.NumRanks; r++ {
+		ranks[r] = newMachine(p, opts, r, boxes)
+	}
+	if opts.NumRanks == 1 {
+		if err := ranks[0].callMain(); err != nil {
+			return nil, err
+		}
+	} else {
+		errs := make([]error, opts.NumRanks)
+		done := make(chan int, opts.NumRanks)
+		for r := 0; r < opts.NumRanks; r++ {
+			go func(r int) {
+				errs[r] = ranks[r].callMain()
+				done <- r
+			}(r)
+		}
+		for i := 0; i < opts.NumRanks; i++ {
+			<-done
+		}
+		for r, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("rank %d: %w", r, err)
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, m := range ranks {
+		sb.WriteString(m.out.String())
+		res.Instrs += m.instrs
+		res.Cycles += m.cycles
+		res.DeviceInstrs += m.devInstrs
+		res.DeviceCycles += m.devCycles
+		for k, v := range m.kernelCycles {
+			res.KernelCycles[k] += v
+		}
+		for k, v := range m.kernelLaunches {
+			res.KernelLaunches[k] += v
+		}
+	}
+	res.Stdout = sb.String()
+	return res, nil
+}
+
+// value is a runtime scalar or vector.
+type value struct {
+	i int64
+	f float64
+	// vector lanes (valid when the static type is a vector).
+	vi [4]int64
+	vf [4]float64
+}
+
+func iv(x int64) value   { return value{i: x} }
+func fv(x float64) value { return value{f: x} }
+
+// machine is the per-rank execution state.
+type machine struct {
+	prog *Program
+	opts Options
+	rank int
+	box  *mailboxes
+
+	mem      []byte
+	heapPtr  int64
+	stackPtr int64
+	globals  map[*ir.Global]int64
+	devGlob  bool // device globals materialized
+
+	out strings.Builder
+
+	instrs, cycles       int64
+	devInstrs, devCycles int64
+	kernelCycles         map[string]int64
+	kernelLaunches       map[string]int64
+
+	// runtime state
+	ompTID   int
+	inKernel string
+	gpuTID   int64
+	gpuNtid  int64
+	tasks    []pendingTask
+}
+
+type pendingTask struct {
+	fn  *ir.Func
+	ctx int64
+}
+
+// Memory layout (per rank).
+const (
+	globalBase = 0x1000
+	heapBase   = 8 << 20
+	stackBase  = 48 << 20
+)
+
+func newMachine(p *Program, opts Options, rank int, boxes *mailboxes) *machine {
+	m := &machine{
+		prog: p, opts: opts, rank: rank, box: boxes,
+		mem:     make([]byte, 1<<20),
+		heapPtr: heapBase, stackPtr: stackBase,
+		globals:        map[*ir.Global]int64{},
+		kernelCycles:   map[string]int64{},
+		kernelLaunches: map[string]int64{},
+	}
+	addr := int64(globalBase)
+	layout := func(mod *ir.Module) {
+		for _, g := range mod.Globals {
+			if _, done := m.globals[g]; done {
+				continue // shared host/device global
+			}
+			addr = (addr + 15) &^ 15
+			m.globals[g] = addr
+			for i, v := range g.InitI64 {
+				m.store64(addr+int64(8*i), uint64(v))
+			}
+			for i, v := range g.InitF64 {
+				m.store64(addr+int64(8*i), math.Float64bits(v))
+			}
+			if len(g.InitI64) == 0 && len(g.InitF64) == 0 {
+				m.ensure(addr + g.Size)
+			}
+			addr += g.Size
+		}
+	}
+	layout(p.Host)
+	if p.Device != nil {
+		layout(p.Device)
+	}
+	return m
+}
+
+func (m *machine) callMain() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if te, ok := r.(trapError); ok {
+				err = errors.New(string(te))
+				return
+			}
+			panic(r)
+		}
+	}()
+	_, err2 := m.call(m.prog.Host.FuncByName("main"), nil)
+	if err2 != nil {
+		return err2
+	}
+	return nil
+}
+
+type trapError string
+
+func (m *machine) trap(format string, args ...any) {
+	panic(trapError(fmt.Sprintf("simulated trap: "+format, args...)))
+}
+
+// ensure grows memory to cover addr (exclusive bound).
+func (m *machine) ensure(addr int64) {
+	if addr <= int64(len(m.mem)) {
+		return
+	}
+	if addr > m.opts.MemLimit {
+		m.trap("memory limit exceeded at address %#x", addr)
+	}
+	n := int64(len(m.mem))
+	for n < addr {
+		n *= 2
+	}
+	if n > m.opts.MemLimit {
+		n = m.opts.MemLimit
+	}
+	grown := make([]byte, n)
+	copy(grown, m.mem)
+	m.mem = grown
+}
+
+func (m *machine) checkAddr(addr, size int64) {
+	if addr < globalBase || addr+size > m.opts.MemLimit {
+		m.trap("out-of-bounds access at %#x (size %d)", addr, size)
+	}
+	m.ensure(addr + size)
+}
+
+func (m *machine) store64(addr int64, bits uint64) {
+	m.checkAddr(addr, 8)
+	for i := 0; i < 8; i++ {
+		m.mem[addr+int64(i)] = byte(bits >> (8 * i))
+	}
+}
+
+func (m *machine) load64(addr int64) uint64 {
+	m.checkAddr(addr, 8)
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(m.mem[addr+int64(i)]) << (8 * i)
+	}
+	return bits
+}
+
+// frame is one function activation.
+type frame struct {
+	fn       *ir.Func
+	args     []value
+	vals     map[*ir.Instr]value
+	stackTop int64 // saved stack pointer for alloca unwinding
+}
+
+// cost is the cycle cost model (the "wall time" stand-in).
+func cost(in *ir.Instr) int64 {
+	switch in.Op {
+	case ir.OpMul, ir.OpFMul:
+		return 3
+	case ir.OpSDiv, ir.OpSRem, ir.OpFDiv:
+		return 16
+	case ir.OpLoad, ir.OpStore:
+		return 4
+	case ir.OpMemCpy, ir.OpMemSet:
+		return 8
+	case ir.OpCall:
+		switch in.Callee {
+		case "__sqrt", "__exp", "__log", "__sin", "__cos", "__pow":
+			return 20
+		}
+		return 4
+	case ir.OpPhi:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func (m *machine) tick(in *ir.Instr) {
+	c := cost(in)
+	if m.inKernel != "" {
+		m.devInstrs++
+		m.devCycles += c
+		m.kernelCycles[m.inKernel] += c
+	} else {
+		m.instrs++
+		m.cycles += c
+	}
+	if m.instrs+m.devInstrs > m.opts.StepLimit {
+		m.trap("step limit exceeded (%d instructions): possible non-termination", m.opts.StepLimit)
+	}
+}
+
+// call runs fn with args and returns its return value.
+func (m *machine) call(fn *ir.Func, args []value) (value, error) {
+	fr := &frame{fn: fn, args: args, vals: map[*ir.Instr]value{}, stackTop: m.stackPtr}
+	defer func() { m.stackPtr = fr.stackTop }()
+
+	block := fn.Entry()
+	var prev *ir.Block
+	for {
+		// Phi nodes evaluate in parallel against the incoming edge.
+		var phiVals []value
+		var phis []*ir.Instr
+		for _, in := range block.Instrs {
+			if in.Dead() || in.Op != ir.OpPhi {
+				continue
+			}
+			found := false
+			for i, from := range in.Incoming {
+				if from == prev {
+					phiVals = append(phiVals, m.eval(fr, in.Operands[i]))
+					phis = append(phis, in)
+					found = true
+					break
+				}
+			}
+			if !found {
+				m.trap("phi in %s/%s has no incoming for predecessor", fn.Name, block.Name)
+			}
+		}
+		for i, phi := range phis {
+			fr.vals[phi] = phiVals[i]
+			m.tick(phi)
+		}
+
+		redirect := false
+		for _, in := range block.Instrs {
+			if in.Dead() || in.Op == ir.OpPhi {
+				continue
+			}
+			m.tick(in)
+			switch in.Op {
+			case ir.OpBr:
+				next := in.Succs[0]
+				if len(in.Succs) == 2 && m.eval(fr, in.Operands[0]).i == 0 {
+					next = in.Succs[1]
+				}
+				prev, block = block, next
+				redirect = true
+			case ir.OpRet:
+				if len(in.Operands) > 0 {
+					return m.eval(fr, in.Operands[0]), nil
+				}
+				return value{}, nil
+			default:
+				m.exec(fr, in)
+			}
+			if redirect {
+				break
+			}
+		}
+		if !redirect {
+			m.trap("block %s/%s fell through without terminator", fn.Name, block.Name)
+		}
+	}
+}
+
+// eval resolves an operand to its runtime value.
+func (m *machine) eval(fr *frame, v ir.Value) value {
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Ty == ir.F64 {
+			return fv(x.F)
+		}
+		return iv(x.I)
+	case *ir.Global:
+		a, ok := m.globals[x]
+		if !ok {
+			m.trap("unknown global %s", x.Name)
+		}
+		return iv(a)
+	case *ir.Arg:
+		if x.ID >= len(fr.args) {
+			m.trap("missing argument %d of %s", x.ID, fr.fn.Name)
+		}
+		return fr.args[x.ID]
+	case *ir.Instr:
+		val, ok := fr.vals[x]
+		if !ok {
+			m.trap("use of undefined value %s in %s", x.Ident(), fr.fn.Name)
+		}
+		return val
+	}
+	m.trap("unknown value kind %T", v)
+	return value{}
+}

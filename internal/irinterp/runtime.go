@@ -1,0 +1,310 @@
+package irinterp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// mailboxes provide the synchronous MPI exchange channels: one buffered
+// channel per (from, to) rank pair.
+type mailboxes struct {
+	n  int
+	ch []chan []byte
+}
+
+func newMailboxes(n int) *mailboxes {
+	b := &mailboxes{n: n, ch: make([]chan []byte, n*n)}
+	for i := range b.ch {
+		b.ch[i] = make(chan []byte, 4)
+	}
+	return b
+}
+
+func (b *mailboxes) send(from, to int, data []byte) { b.ch[from*b.n+to] <- data }
+func (b *mailboxes) recv(from, to int) []byte       { return <-b.ch[from*b.n+to] }
+
+// execCall dispatches calls: intrinsics run in the simulated runtime,
+// user functions recurse through the interpreter.
+func (m *machine) execCall(fr *frame, in *ir.Instr) value {
+	if !ir.IsIntrinsic(in.Callee) {
+		callee := m.lookupFunc(in.Callee)
+		args := make([]value, len(in.Operands))
+		for i, op := range in.Operands {
+			args[i] = m.eval(fr, op)
+		}
+		out, err := m.call(callee, args)
+		if err != nil {
+			m.trap("call %s: %v", in.Callee, err)
+		}
+		return out
+	}
+	arg := func(i int) value { return m.eval(fr, in.Operands[i]) }
+	switch in.Callee {
+	case "__print_i64":
+		fmt.Fprintf(&m.out, "%d", arg(0).i)
+	case "__print_f64":
+		fmt.Fprintf(&m.out, "%.10g", arg(0).f)
+	case "__print_str":
+		c, ok := in.Operands[0].(*ir.Const)
+		if !ok {
+			m.trap("print_str needs a string constant")
+		}
+		m.out.WriteString(c.Str)
+	case "__sqrt":
+		return fv(math.Sqrt(arg(0).f))
+	case "__fabs":
+		return fv(math.Abs(arg(0).f))
+	case "__exp":
+		return fv(math.Exp(arg(0).f))
+	case "__log":
+		return fv(math.Log(arg(0).f))
+	case "__sin":
+		return fv(math.Sin(arg(0).f))
+	case "__cos":
+		return fv(math.Cos(arg(0).f))
+	case "__pow":
+		return fv(math.Pow(arg(0).f, arg(1).f))
+	case "__min_i64":
+		return iv(min64(arg(0).i, arg(1).i))
+	case "__max_i64":
+		return iv(max64(arg(0).i, arg(1).i))
+	case "__min_f64":
+		return fv(math.Min(arg(0).f, arg(1).f))
+	case "__max_f64":
+		return fv(math.Max(arg(0).f, arg(1).f))
+	case "__malloc":
+		size := (arg(0).i + 15) &^ 15
+		if size < 0 {
+			m.trap("malloc with negative size")
+		}
+		addr := m.heapPtr
+		m.checkAddr(addr, size)
+		m.heapPtr += size
+		return iv(addr)
+	case "__free":
+		// Bump allocator: free is a no-op, like many HPC arenas.
+	case "__clock":
+		// Deterministic per binary, volatile across binaries — the
+		// verification regexes must mask lines containing it, exactly
+		// as the paper masks reported runtimes.
+		return iv(m.cycles + m.devCycles)
+	case "__checksum_f64":
+		return fv(m.checksumF64(arg(0).i, arg(1).i))
+	case "__checksum_i64":
+		return iv(m.checksumI64(arg(0).i, arg(1).i))
+	case "__omp_fork":
+		m.ompFork(in, arg(1).i, arg(2).i)
+	case "__omp_task":
+		m.tasks = append(m.tasks, pendingTask{fn: m.namedFunc(in.Operands[0]), ctx: arg(1).i})
+	case "__omp_taskwait":
+		m.drainTasks()
+	case "__omp_thread_id":
+		return iv(int64(m.ompTID))
+	case "__omp_num_threads":
+		return iv(int64(m.opts.NumThreads))
+	case "__mpi_rank":
+		return iv(int64(m.rank))
+	case "__mpi_size":
+		return iv(int64(m.opts.NumRanks))
+	case "__mpi_sendrecv":
+		m.mpiSendrecv(arg(0).i, arg(1).i, arg(2).i, arg(3).i, arg(4).i)
+	case "__mpi_allreduce_f64":
+		return fv(m.mpiAllreduce(arg(0).f))
+	case "__gpu_launch":
+		m.gpuLaunch(in, arg(1).i, arg(2).i)
+	case "__gpu_tid":
+		return iv(m.gpuTID)
+	case "__gpu_ntid":
+		return iv(m.gpuNtid)
+	default:
+		m.trap("unhandled intrinsic %s", in.Callee)
+	}
+	return value{}
+}
+
+func (m *machine) lookupFunc(name string) *ir.Func {
+	// Inside a kernel, device copies of functions take precedence (the
+	// __device__ compilation of the same source function).
+	if m.inKernel != "" && m.prog.Device != nil {
+		if f := m.prog.Device.FuncByName(name); f != nil {
+			return f
+		}
+	}
+	if f := m.prog.Host.FuncByName(name); f != nil {
+		return f
+	}
+	if m.prog.Device != nil {
+		if f := m.prog.Device.FuncByName(name); f != nil {
+			return f
+		}
+	}
+	m.trap("call to unknown function %s", name)
+	return nil
+}
+
+// namedFunc resolves the function-name constant of fork/task/launch.
+func (m *machine) namedFunc(v ir.Value) *ir.Func {
+	c, ok := v.(*ir.Const)
+	if !ok || c.Str == "" {
+		m.trap("fork/launch target must be a function-name constant")
+	}
+	return m.lookupFunc(c.Str)
+}
+
+// ompFork executes the outlined region for each simulated thread's
+// chunk of [0, n), sequentially and in thread order — deterministic by
+// construction. Outlined signature: (ctx ptr, lo i64, hi i64).
+func (m *machine) ompFork(in *ir.Instr, ctx, n int64) {
+	fn := m.namedFunc(in.Operands[0])
+	t := int64(m.opts.NumThreads)
+	chunk := (n + t - 1) / t
+	if chunk < 1 {
+		chunk = 1
+	}
+	savedTID := m.ompTID
+	for tid := int64(0); tid < t; tid++ {
+		lo := tid * chunk
+		hi := min64(lo+chunk, n)
+		if lo >= n {
+			break
+		}
+		m.ompTID = int(tid)
+		if _, err := m.call(fn, []value{iv(ctx), iv(lo), iv(hi)}); err != nil {
+			m.trap("omp region: %v", err)
+		}
+	}
+	m.ompTID = savedTID
+}
+
+// drainTasks runs queued tasks FIFO; tasks may enqueue more tasks.
+func (m *machine) drainTasks() {
+	for len(m.tasks) > 0 {
+		t := m.tasks[0]
+		m.tasks = m.tasks[1:]
+		// Task signature: (ctx ptr, lo i64, hi i64); lo/hi carried in
+		// the context by the frontend, passed as zeros here.
+		if _, err := m.call(t.fn, []value{iv(t.ctx), iv(0), iv(0)}); err != nil {
+			m.trap("omp task: %v", err)
+		}
+	}
+}
+
+// mpiSendrecv performs the synchronous pairwise exchange
+// (sendbuf, recvbuf, nbytes, dest, source).
+func (m *machine) mpiSendrecv(sendbuf, recvbuf, n, dest, source int64) {
+	if n < 0 {
+		m.trap("sendrecv with negative length")
+	}
+	m.checkAddr(sendbuf, n)
+	m.checkAddr(recvbuf, n)
+	if dest < 0 || dest >= int64(m.box.n) || source < 0 || source >= int64(m.box.n) {
+		m.trap("sendrecv peer out of range (dest %d, source %d)", dest, source)
+	}
+	if int(dest) == m.rank && int(source) == m.rank {
+		copy(m.mem[recvbuf:recvbuf+n], m.mem[sendbuf:sendbuf+n])
+		return
+	}
+	out := make([]byte, n)
+	copy(out, m.mem[sendbuf:sendbuf+n])
+	m.box.send(m.rank, int(dest), out)
+	data := m.box.recv(int(source), m.rank)
+	if int64(len(data)) != n {
+		m.trap("sendrecv length mismatch: sent %d, expected %d", len(data), n)
+	}
+	copy(m.mem[recvbuf:recvbuf+n], data)
+}
+
+// mpiAllreduce sums a double across ranks (deterministic rank order).
+func (m *machine) mpiAllreduce(x float64) float64 {
+	if m.box.n == 1 {
+		return x
+	}
+	// Gather to rank 0 via the mailboxes, then broadcast.
+	buf := make([]byte, 8)
+	if m.rank != 0 {
+		putF64(buf, x)
+		m.box.send(m.rank, 0, buf)
+		res := m.box.recv(0, m.rank)
+		return getF64(res)
+	}
+	sum := x
+	for r := 1; r < m.box.n; r++ {
+		sum += getF64(m.box.recv(r, 0))
+	}
+	for r := 1; r < m.box.n; r++ {
+		out := make([]byte, 8)
+		putF64(out, sum)
+		m.box.send(0, r, out)
+	}
+	return sum
+}
+
+// gpuLaunch runs the kernel for tid 0..n-1 on the simulated device.
+// Kernel signature: (ctx ptr, tid i64 via __gpu_tid).
+func (m *machine) gpuLaunch(in *ir.Instr, ctx, n int64) {
+	fn := m.namedFunc(in.Operands[0])
+	if m.prog.Device != nil && m.prog.Device.FuncByName(fn.Name) != nil {
+		fn = m.prog.Device.FuncByName(fn.Name)
+	}
+	savedKernel, savedTID, savedN := m.inKernel, m.gpuTID, m.gpuNtid
+	m.inKernel = fn.Name
+	m.gpuNtid = n
+	m.kernelLaunches[fn.Name]++
+	for tid := int64(0); tid < n; tid++ {
+		m.gpuTID = tid
+		if _, err := m.call(fn, []value{iv(ctx)}); err != nil {
+			m.trap("kernel %s: %v", fn.Name, err)
+		}
+	}
+	m.inKernel, m.gpuTID, m.gpuNtid = savedKernel, savedTID, savedN
+}
+
+// checksumF64 is an order-sensitive checksum over n doubles: any
+// miscompiled store or reordered result changes it.
+func (m *machine) checksumF64(addr, n int64) float64 {
+	var acc float64
+	for i := int64(0); i < n; i++ {
+		x := math.Float64frombits(m.load64(addr + 8*i))
+		acc = acc*1.0000001 + x*float64(i%7+1)
+	}
+	return acc
+}
+
+func (m *machine) checksumI64(addr, n int64) int64 {
+	var acc int64 = 1469598103934665603 // FNV offset basis
+	for i := int64(0); i < n; i++ {
+		acc = (acc ^ int64(m.load64(addr+8*i))) * 1099511628211
+	}
+	return acc
+}
+
+func putF64(b []byte, f float64) {
+	u := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func getF64(b []byte) float64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package irtext
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/ir"
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/minic"
+	"github.com/oraql/go-oraql/internal/pipeline"
+)
+
+// TestRoundTripAllApps prints every benchmark's modules (both the
+// frontend output and the optimized form), parses them back, and
+// checks (a) print→parse→print is a fixpoint and (b) the reparsed
+// module behaves identically on the simulated machine.
+func TestRoundTripAllApps(t *testing.T) {
+	for _, cfg := range apps.All() {
+		cfg := cfg
+		t.Run(cfg.ID, func(t *testing.T) {
+			// Frontend output.
+			host, dev, err := minic.Compile(cfg.SourceName, cfg.Source, cfg.Frontend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, cfg, host, dev)
+
+			// Optimized output.
+			cr, err := pipeline.Compile(pipeline.Config{
+				Name: cfg.ID, Source: cfg.Source, SourceFile: cfg.SourceName, Frontend: cfg.Frontend,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, cfg, cr.Program.Host, cr.Program.Device)
+		})
+	}
+}
+
+func roundTrip(t *testing.T, cfg *apps.Config, host, dev *ir.Module) {
+	t.Helper()
+	hostTxt := host.String()
+	host2, err := Parse(hostTxt)
+	if err != nil {
+		t.Fatalf("parse host: %v", err)
+	}
+	if again := host2.String(); again != hostTxt {
+		t.Fatalf("print->parse->print is not a fixpoint:\nfirst diff at %s", firstDiff(hostTxt, again))
+	}
+	prog := &irinterp.Program{Host: host2}
+	if dev != nil {
+		devTxt := dev.String()
+		dev2, err := Parse(devTxt)
+		if err != nil {
+			t.Fatalf("parse device: %v", err)
+		}
+		if again := dev2.String(); again != devTxt {
+			t.Fatalf("device round-trip mismatch at %s", firstDiff(devTxt, again))
+		}
+		prog.Device = dev2
+	}
+	res, err := irinterp.Run(prog, cfg.Run)
+	if err != nil {
+		t.Fatalf("reparsed program run: %v", err)
+	}
+	if res.Stdout == "" {
+		t.Fatal("reparsed program produced no output")
+	}
+}
+
+func firstDiff(a, b string) string {
+	al := strings.Split(a, "\n")
+	bl := strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + itoa(i+1) + ":\n  a: " + al[i] + "\n  b: " + bl[i]
+		}
+	}
+	return "length mismatch"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestSemanticEquivalenceAfterReparse compares interpreter output of
+// the original and reparsed optimized modules for one configuration.
+func TestSemanticEquivalenceAfterReparse(t *testing.T) {
+	cfg := apps.ByID("lulesh-seq")
+	cr, err := pipeline.Compile(pipeline.Config{
+		Name: cfg.ID, Source: cfg.Source, SourceFile: cfg.SourceName, Frontend: cfg.Frontend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := irinterp.Run(cr.Program, cfg.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host2, err := Parse(cr.Program.Host.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := irinterp.Run(&irinterp.Program{Host: host2}, cfg.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stdout != ref.Stdout {
+		t.Fatalf("reparsed module diverges:\n ref: %q\n got: %q", ref.Stdout, got.Stdout)
+	}
+	if got.Instrs != ref.Instrs {
+		t.Errorf("instruction counts differ: %d vs %d", ref.Instrs, got.Instrs)
+	}
+}
+
+// TestParserErrors checks diagnostics on malformed input.
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		"",                              // no header
+		"; module x target=t\n@g = bad", // malformed global
+		"; module x target=t\ndefine void @f() {\nentry:\n  bogus 1\n}\n",                             // unknown op
+		"; module x target=t\ndefine void @f() {\nentry:\n  ret void\n",                               // unterminated
+		"; module x target=t\ndefine void @f() {\nentry:\n  %x = load i64, %missing\n  ret void\n}\n", // undefined value
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package minic
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// TypeExpr is a syntactic type: a base name plus pointer depth.
+type TypeExpr struct {
+	Base     string // "int", "double", "void", "vec4", or a struct name
+	Ptr      int    // pointer depth
+	Restrict bool
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Structs []*StructDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct with 8-byte fields.
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	Pos    Pos
+}
+
+// Field is one struct field.
+type Field struct {
+	Name string
+	Type TypeExpr
+}
+
+// GlobalDecl declares a module-level variable or fixed array.
+type GlobalDecl struct {
+	Name    string
+	Type    TypeExpr
+	Len     int64 // array length; 0 for scalars
+	InitI   []int64
+	InitF   []float64
+	HasInit bool
+	Pos     Pos
+}
+
+// FuncDecl declares a function. Kernel functions compile to the device
+// module under offload models.
+type FuncDecl struct {
+	Name   string
+	Ret    TypeExpr
+	Params []Param
+	Body   *Block
+	Kernel bool
+	Pos    Pos
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type TypeExpr
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// Block is a brace-enclosed statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDecl declares a local scalar, fixed array, or struct value.
+type VarDecl struct {
+	Name string
+	Type TypeExpr
+	Len  *Expr // array length (constant or expression); nil for scalars
+	Init *Expr
+	Pos  Pos
+}
+
+// Assign is lvalue op= expr; Op is "=", "+=", "-=", "*=", "/=", "%=".
+type Assign struct {
+	LHS *Expr
+	Op  string
+	RHS *Expr
+	Pos Pos
+}
+
+// IncDec is lvalue++ / lvalue-- as a statement.
+type IncDec struct {
+	LHS *Expr
+	Dec bool
+	Pos Pos
+}
+
+// ExprStmt is a bare call expression.
+type ExprStmt struct {
+	X   *Expr
+	Pos Pos
+}
+
+// If statement.
+type If struct {
+	Cond *Expr
+	Then *Block
+	Else *Block // may be nil
+	Pos  Pos
+}
+
+// While statement.
+type While struct {
+	Cond *Expr
+	Body *Block
+	Pos  Pos
+}
+
+// For statement: for (init; cond; step) body.
+type For struct {
+	Init Stmt // VarDecl, Assign or nil
+	Cond *Expr
+	Step Stmt // Assign, IncDec or nil
+	Body *Block
+	Pos  Pos
+}
+
+// ParallelFor is the parallel-model loop construct. Lowering depends on
+// the configured model: sequential loop, OpenMP outlining, task
+// chunks, or GPU kernel launch.
+type ParallelFor struct {
+	Var  string
+	From *Expr
+	To   *Expr
+	Body *Block
+	Pos  Pos
+}
+
+// Task spawns its body as a deferred task (omptask model); in other
+// models it lowers inline.
+type Task struct {
+	Body *Block
+	Pos  Pos
+}
+
+// TaskWait drains the task queue.
+type TaskWait struct{ Pos Pos }
+
+// Return statement.
+type Return struct {
+	X   *Expr // nil for void
+	Pos Pos
+}
+
+// Break / Continue.
+type Break struct{ Pos Pos }
+type Continue struct{ Pos Pos }
+
+func (b *Block) stmtPos() Pos       { return b.Pos }
+func (s *VarDecl) stmtPos() Pos     { return s.Pos }
+func (s *Assign) stmtPos() Pos      { return s.Pos }
+func (s *IncDec) stmtPos() Pos      { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos    { return s.Pos }
+func (s *If) stmtPos() Pos          { return s.Pos }
+func (s *While) stmtPos() Pos       { return s.Pos }
+func (s *For) stmtPos() Pos         { return s.Pos }
+func (s *ParallelFor) stmtPos() Pos { return s.Pos }
+func (s *Task) stmtPos() Pos        { return s.Pos }
+func (s *TaskWait) stmtPos() Pos    { return s.Pos }
+func (s *Return) stmtPos() Pos      { return s.Pos }
+func (s *Break) stmtPos() Pos       { return s.Pos }
+func (s *Continue) stmtPos() Pos    { return s.Pos }
+
+// ExprKind enumerates expression node kinds.
+type ExprKind int
+
+const (
+	EInt ExprKind = iota
+	EFloat
+	EString
+	EIdent
+	EBinary // Op, X, Y
+	EUnary  // Op ("-", "!", "~", "*" deref, "&" addr), X
+	EIndex  // X[Y]
+	EField  // X.Name (auto-derefs pointers)
+	ECall   // Name(Args...)
+	ECast   // (type) X
+	ECond   // X ? Y : Z
+	ENewArr // new T[n]
+	ENewObj // new StructName
+	ELaunch // launch kernel(args)[n] — expression statement form
+)
+
+// Expr is an expression node.
+type Expr struct {
+	Kind    ExprKind
+	Op      string
+	Name    string
+	I       int64
+	F       float64
+	S       string
+	X, Y, Z *Expr
+	Args    []*Expr
+	Type    TypeExpr // for ECast / ENewArr
+	N       *Expr    // launch thread count
+	Pos     Pos
+}

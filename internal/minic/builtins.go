@@ -1,0 +1,256 @@
+package minic
+
+import (
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// lowerCall lowers builtin and user function calls.
+func (fc *fnctx) lowerCall(e *Expr) (ir.Value, semType) {
+	lw := fc.lw
+	args := func(want int) []ir.Value {
+		if len(e.Args) != want {
+			lw.errf(e.Pos, "%s expects %d argument(s), got %d", e.Name, want, len(e.Args))
+		}
+		out := make([]ir.Value, want)
+		for i, a := range e.Args {
+			out[i], _ = fc.lowerExpr(a)
+		}
+		return out
+	}
+	argT := func(i int) (ir.Value, semType) { return fc.lowerExpr(e.Args[i]) }
+
+	switch e.Name {
+	case "print":
+		for _, a := range e.Args {
+			if a.Kind == EString {
+				fc.b.Call(ir.Void, "__print_str", ir.ConstStr(a.S))
+				continue
+			}
+			v, vt := fc.lowerExpr(a)
+			switch {
+			case vt.isFloat():
+				fc.b.Call(ir.Void, "__print_f64", v)
+			case vt.isInt() || vt.isPtr():
+				fc.b.Call(ir.Void, "__print_i64", v)
+			case vt.isBool():
+				fc.b.Call(ir.Void, "__print_i64", fc.convert(a.Pos, v, vt, tyInt))
+			default:
+				lw.errf(a.Pos, "cannot print value of type %s", vt)
+			}
+		}
+		return ir.ConstInt(0), tyVoid
+	case "sqrt", "fabs", "exp", "log", "sin", "cos":
+		a := args(1)
+		return fc.b.Call(ir.F64, "__"+e.Name, a[0]), tyFloat
+	case "pow":
+		a := args(2)
+		return fc.b.Call(ir.F64, "__pow", a[0], a[1]), tyFloat
+	case "mini", "maxi":
+		a := args(2)
+		name := map[string]string{"mini": "__min_i64", "maxi": "__max_i64"}[e.Name]
+		return fc.b.Call(ir.I64, name, a[0], a[1]), tyInt
+	case "minf", "maxf":
+		a := args(2)
+		name := map[string]string{"minf": "__min_f64", "maxf": "__max_f64"}[e.Name]
+		return fc.b.Call(ir.F64, name, a[0], a[1]), tyFloat
+	case "clock":
+		args(0)
+		return fc.b.Call(ir.I64, "__clock"), tyInt
+	case "checksum":
+		a := args(2)
+		return fc.b.Call(ir.F64, "__checksum_f64", a[0], a[1]), tyFloat
+	case "checksumi":
+		a := args(2)
+		return fc.b.Call(ir.I64, "__checksum_i64", a[0], a[1]), tyInt
+	case "thread_id":
+		args(0)
+		if lw.opts.Model == ModelOpenMP || lw.opts.Model == ModelTasks {
+			return fc.b.Call(ir.I64, "__omp_thread_id"), tyInt
+		}
+		return ir.ConstInt(0), tyInt
+	case "num_threads":
+		args(0)
+		if lw.opts.Model == ModelOpenMP || lw.opts.Model == ModelTasks {
+			return fc.b.Call(ir.I64, "__omp_num_threads"), tyInt
+		}
+		return ir.ConstInt(1), tyInt
+	case "mpi_rank":
+		args(0)
+		return fc.b.Call(ir.I64, "__mpi_rank"), tyInt
+	case "mpi_size":
+		args(0)
+		return fc.b.Call(ir.I64, "__mpi_size"), tyInt
+	case "sendrecv":
+		a := args(5)
+		fc.b.Call(ir.Void, "__mpi_sendrecv", a...)
+		return ir.ConstInt(0), tyVoid
+	case "allreduce":
+		a := args(1)
+		return fc.b.Call(ir.F64, "__mpi_allreduce_f64", a[0]), tyFloat
+	case "tid":
+		args(0)
+		if !fc.device {
+			// Host fallback (kernels compiled for the host under
+			// non-offload models read the loop induction instead).
+			if vi := fc.lookup("__host_tid"); vi != nil {
+				return fc.ssa.read(vi.ssa, fc.b.Block()), tyInt
+			}
+			return ir.ConstInt(0), tyInt
+		}
+		return fc.b.Call(ir.I64, "__gpu_tid"), tyInt
+	case "ntid":
+		args(0)
+		if !fc.device {
+			if vi := fc.lookup("__host_ntid"); vi != nil {
+				return fc.ssa.read(vi.ssa, fc.b.Block()), tyInt
+			}
+			return ir.ConstInt(1), tyInt
+		}
+		return fc.b.Call(ir.I64, "__gpu_ntid"), tyInt
+	case "memcpy":
+		a := args(3)
+		fc.b.MemCpy(a[0], a[1], a[2])
+		return ir.ConstInt(0), tyVoid
+	case "memset":
+		a := args(3)
+		fc.b.MemSet(a[0], a[1], a[2])
+		return ir.ConstInt(0), tyVoid
+	case "free":
+		a := args(1)
+		fc.b.Call(ir.Void, "__free", a[0])
+		return ir.ConstInt(0), tyVoid
+
+	// Explicit SIMD intrinsics (the miniGMG "sse" configuration).
+	case "vload":
+		v, vt := argT(0)
+		if len(e.Args) != 1 || !vt.isPtr() {
+			lw.errf(e.Pos, "vload expects one pointer argument")
+		}
+		return fc.b.Load(ir.V4F64, v, lw.tbaaFor(tyFloat)), tyVec
+	case "vstore":
+		if len(e.Args) != 2 {
+			lw.errf(e.Pos, "vstore expects (ptr, vec4)")
+		}
+		p, pt := argT(0)
+		v, vt := argT(1)
+		if !pt.isPtr() || !vt.isVec() {
+			lw.errf(e.Pos, "vstore expects (ptr, vec4)")
+		}
+		fc.b.Store(v, p, lw.tbaaFor(tyFloat))
+		return ir.ConstInt(0), tyVoid
+	case "vsplat":
+		a := args(1)
+		return fc.b.VSplat(ir.V4F64, a[0], "vsplat"), tyVec
+	case "vreduce":
+		a := args(1)
+		return fc.b.VReduce(a[0], "vreduce"), tyFloat
+	case "vget":
+		if len(e.Args) != 2 {
+			lw.errf(e.Pos, "vget expects (vec4, lane)")
+		}
+		v, _ := argT(0)
+		lane, ok := constFold(e.Args[1])
+		if !ok {
+			lw.errf(e.Pos, "vget lane must be a constant")
+		}
+		return fc.b.VExtract(v, lane, "vget"), tyFloat
+	}
+
+	// User function call.
+	fd, ok := lw.funcs[e.Name]
+	if !ok {
+		lw.errf(e.Pos, "call to undefined function %q", e.Name)
+	}
+	if fd.Kernel && lw.opts.Model == ModelOffload {
+		lw.errf(e.Pos, "kernel %q must be invoked via launch", e.Name)
+	}
+	if fc.device && containsParallelWork(fd.Body) {
+		lw.errf(e.Pos, "device code cannot call %q: it contains parallel constructs", e.Name)
+	}
+	if len(e.Args) != len(fd.Params) {
+		lw.errf(e.Pos, "%s expects %d arguments, got %d", e.Name, len(fd.Params), len(e.Args))
+	}
+	irArgs := make([]ir.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, vt := fc.lowerExpr(a)
+		irArgs[i] = fc.convert(a.Pos, v, vt, lw.resolve(fd.Params[i].Type))
+	}
+	ret := lw.resolve(fd.Ret)
+	call := fc.b.Call(lw.irType(ret), e.Name, irArgs...)
+	call.Loc = fc.loc(e.Pos)
+	return call, ret
+}
+
+// lowerLaunch lowers `launch f(args)[n]`: pack arguments by value into
+// a context and hand it to the GPU runtime (offload model) or run the
+// kernel as a host loop (all other models).
+func (fc *fnctx) lowerLaunch(e *Expr) {
+	lw := fc.lw
+	fd, ok := lw.funcs[e.Name]
+	if !ok || !fd.Kernel {
+		lw.errf(e.Pos, "launch target %q is not a kernel", e.Name)
+	}
+	if len(e.Args) != len(fd.Params) {
+		lw.errf(e.Pos, "kernel %s expects %d arguments, got %d", e.Name, len(fd.Params), len(e.Args))
+	}
+	n, nt := fc.lowerExpr(e.N)
+	if !nt.isInt() {
+		lw.errf(e.Pos, "launch thread count must be int")
+	}
+	if lw.opts.Model == ModelOffload {
+		ctx := fc.b.Alloca(int64(8*max(1, len(e.Args))), "kargs")
+		for i, a := range e.Args {
+			v, vt := fc.lowerExpr(a)
+			v = fc.convert(a.Pos, v, vt, lw.resolve(fd.Params[i].Type))
+			slot := fc.b.GEP(ctx, nil, 0, int64(8*i), "kargs.slot")
+			fc.b.Store(v, slot, lw.tbaaArgSlot(lw.resolve(fd.Params[i].Type)))
+		}
+		fc.b.Call(ir.Void, "__gpu_launch", ir.ConstStr(e.Name), ctx, n)
+		return
+	}
+	// Host execution: for (t = 0; t < n; t++) f(args) with tid() = t.
+	fc.lowerHostKernelLoop(e, fd, n)
+}
+
+// lowerHostKernelLoop runs a kernel sequentially on the host,
+// providing tid()/ntid() through hidden SSA variables.
+func (fc *fnctx) lowerHostKernelLoop(e *Expr, fd *FuncDecl, n ir.Value) {
+	lw := fc.lw
+	irArgs := make([]ir.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, vt := fc.lowerExpr(a)
+		irArgs[i] = fc.convert(a.Pos, v, vt, lw.resolve(fd.Params[i].Type))
+	}
+	header := fc.b.NewBlock("launch.cond")
+	body := fc.b.NewBlock("launch.body")
+	exit := fc.b.NewBlock("launch.end")
+	tv := fc.ssa.newVar(ir.I64)
+	fc.ssa.write(tv, fc.b.Block(), ir.ConstInt(0))
+	fc.br(header)
+	fc.b.SetBlock(header)
+	t := fc.ssa.read(tv, header)
+	cond := fc.b.ICmp(ir.PredLT, t, n, "launch.cmp")
+	fc.condBr(cond, body, exit)
+	fc.ssa.seal(body)
+	fc.b.SetBlock(body)
+	// Kernel called with an extra hidden convention: the host variant
+	// of the kernel has real parameters plus tid/ntid globals; we
+	// simply pass tid/ntid as extra trailing arguments.
+	callArgs := append(append([]ir.Value{}, irArgs...), t, n)
+	fc.b.Call(ir.Void, hostKernelName(e.Name), callArgs...)
+	tn := fc.b.Bin(ir.OpAdd, t, ir.ConstInt(1), "launch.next")
+	fc.ssa.write(tv, fc.b.Block(), tn)
+	fc.br(header)
+	fc.ssa.seal(header)
+	fc.ssa.seal(exit)
+	fc.b.SetBlock(exit)
+}
+
+func hostKernelName(base string) string { return base + ".host" }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

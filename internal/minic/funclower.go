@@ -1,0 +1,501 @@
+package minic
+
+import (
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+type varKind int
+
+const (
+	// vkSSA scalars live in SSA registers.
+	vkSSA varKind = iota
+	// vkMemory objects (arrays, structs) live at a fixed address.
+	vkMemory
+	// vkBoxed scalars/pointers live in a memory slot (descriptors,
+	// captured variables): every access loads/stores through base.
+	vkBoxed
+)
+
+type varInfo struct {
+	name       string
+	ty         semType // value type (vkSSA/vkBoxed) or element type (vkMemory arrays)
+	kind       varKind
+	ssa        int      // SSA variable id (vkSSA)
+	base       ir.Value // object address (vkMemory) or slot address (vkBoxed)
+	arr        bool     // vkMemory: array (true) vs struct value (false)
+	structName string   // vkMemory structs: the struct type name
+}
+
+type loopCtx struct {
+	continueTo *ir.Block
+	breakTo    *ir.Block
+}
+
+// fnctx lowers one function body.
+type fnctx struct {
+	lw     *lowerer
+	mod    *ir.Module
+	fn     *ir.Func
+	b      *ir.Builder
+	ssa    *ssaBuilder
+	scopes []map[string]*varInfo
+	retTy  semType
+	loops  []loopCtx
+	device bool
+}
+
+func (fc *fnctx) pushScope() { fc.scopes = append(fc.scopes, map[string]*varInfo{}) }
+func (fc *fnctx) popScope()  { fc.scopes = fc.scopes[:len(fc.scopes)-1] }
+
+func (fc *fnctx) declare(pos Pos, vi *varInfo) {
+	top := fc.scopes[len(fc.scopes)-1]
+	if _, dup := top[vi.name]; dup {
+		fc.lw.errf(pos, "redeclaration of %q", vi.name)
+	}
+	top[vi.name] = vi
+}
+
+func (fc *fnctx) lookup(name string) *varInfo {
+	for i := len(fc.scopes) - 1; i >= 0; i-- {
+		if vi, ok := fc.scopes[i][name]; ok {
+			return vi
+		}
+	}
+	return nil
+}
+
+// br / condBr wrap the builder, recording CFG edges for SSA phis.
+func (fc *fnctx) br(to *ir.Block) {
+	from := fc.b.Block()
+	fc.b.Br(to)
+	fc.ssa.addEdge(from, to)
+}
+
+func (fc *fnctx) condBr(cond ir.Value, then, els *ir.Block) {
+	from := fc.b.Block()
+	fc.b.CondBr(cond, then, els)
+	fc.ssa.addEdge(from, then)
+	fc.ssa.addEdge(from, els)
+}
+
+// startDeadBlock begins an unreachable block after a terminator so
+// later statements in the source block have somewhere to go; it is
+// sealed with zero predecessors and removed by SimplifyCFG.
+func (fc *fnctx) startDeadBlock() {
+	nb := fc.b.NewBlock("dead")
+	fc.ssa.seal(nb)
+	fc.b.SetBlock(nb)
+}
+
+func (fc *fnctx) loc(pos Pos) ir.SrcLoc {
+	return ir.SrcLoc{File: fc.lw.file.Name, Line: pos.Line, Col: pos.Col}
+}
+
+// lowerFunc lowers a top-level function declaration. Under offload
+// models, explicit kernels compile to the device module with a packed
+// argument context; ordinary functions (without parallel constructs)
+// are additionally cloned into the device module so kernels can call
+// them, mirroring CUDA's __device__ functions.
+func (lw *lowerer) lowerFunc(fd *FuncDecl) {
+	if fd.Kernel && lw.opts.Model == ModelOffload {
+		lw.lowerKernelFunc(lw.deviceModule(), fd)
+		return
+	}
+	lw.lowerFuncInto(lw.host, fd, false)
+	if lw.opts.Model == ModelOffload && fd.Name != "main" && !containsParallelWork(fd.Body) {
+		lw.lowerFuncInto(lw.deviceModule(), fd, true)
+	}
+}
+
+// lowerFuncInto lowers fd as a regular function into mod.
+func (lw *lowerer) lowerFuncInto(mod *ir.Module, fd *FuncDecl, device bool) {
+	retTy := lw.resolve(fd.Ret)
+	name := fd.Name
+	hostKernel := fd.Kernel && lw.opts.Model != ModelOffload
+	nParams := len(fd.Params)
+	if hostKernel {
+		// Host execution of kernels: the launch loop passes tid and
+		// ntid as two hidden trailing parameters.
+		name = hostKernelName(fd.Name)
+		nParams += 2
+	}
+	params := make([]*ir.Arg, nParams)
+	for i, p := range fd.Params {
+		params[i] = &ir.Arg{Name: p.Name, Ty: lw.irType(lw.resolve(p.Type)), NoAlias: p.Type.Restrict}
+	}
+	if hostKernel {
+		params[len(fd.Params)] = &ir.Arg{Name: "tid", Ty: ir.I64}
+		params[len(fd.Params)+1] = &ir.Arg{Name: "ntid", Ty: ir.I64}
+	}
+	fn, b := ir.NewFunc(mod, name, lw.irType(retTy), params...)
+	fc := &fnctx{lw: lw, mod: mod, fn: fn, b: b, ssa: newSSABuilder(fn), retTy: retTy, device: device}
+	fc.ssa.seal(fn.Entry())
+	fc.pushScope()
+	for i, p := range fd.Params {
+		pty := lw.resolve(p.Type)
+		if lw.opts.Dialect == DialectFortran && pty.isPtr() {
+			// Fortran dialect: pointer parameters are boxed in a
+			// descriptor slot; every use reloads the base pointer.
+			slot := b.Alloca(8, p.Name+".box")
+			b.Store(params[i], slot, "")
+			fc.declare(fd.Pos, &varInfo{name: p.Name, ty: pty, kind: vkBoxed, base: slot})
+			continue
+		}
+		v := fc.ssa.newVar(lw.irType(pty))
+		fc.ssa.write(v, fn.Entry(), params[i])
+		fc.declare(fd.Pos, &varInfo{name: p.Name, ty: pty, kind: vkSSA, ssa: v})
+	}
+	if hostKernel {
+		for off, hidden := range []string{"__host_tid", "__host_ntid"} {
+			v := fc.ssa.newVar(ir.I64)
+			fc.ssa.write(v, fn.Entry(), params[len(fd.Params)+off])
+			fc.declare(fd.Pos, &varInfo{name: hidden, ty: tyInt, kind: vkSSA, ssa: v})
+		}
+	}
+	fc.lowerBlock(fd.Body)
+	fc.finish(fd)
+}
+
+// finish adds an implicit return and sanity-checks termination.
+func (fc *fnctx) finish(fd *FuncDecl) {
+	if fc.b.Block().Term() == nil {
+		if fc.retTy.isVoid() {
+			fc.b.Ret(nil)
+		} else if fc.retTy.isFloat() {
+			fc.b.Ret(ir.ConstFloat(0))
+		} else {
+			fc.b.Ret(ir.ConstInt(0))
+		}
+	}
+	// Seal any remaining blocks (loop exits already sealed; this is a
+	// safety net for dead blocks).
+	for _, blk := range fc.fn.Blocks {
+		fc.ssa.seal(blk)
+	}
+	fc.fn.Compact()
+	_ = fd
+}
+
+// lowerKernelFunc lowers `kernel T f(params)` for the device: the IR
+// function takes a single context pointer, and the prologue unpacks
+// the declared parameters from it ("byte slot k holds parameter k").
+func (lw *lowerer) lowerKernelFunc(mod *ir.Module, fd *FuncDecl) {
+	ctx := &ir.Arg{Name: "ctx", Ty: ir.Ptr}
+	fn, b := ir.NewFunc(mod, fd.Name, lw.irType(lw.resolve(fd.Ret)), ctx)
+	fn.Attrs.Kernel = true
+	fc := &fnctx{lw: lw, mod: mod, fn: fn, b: b, ssa: newSSABuilder(fn), retTy: lw.resolve(fd.Ret), device: true}
+	fc.ssa.seal(fn.Entry())
+	fc.pushScope()
+	for i, p := range fd.Params {
+		pty := lw.resolve(p.Type)
+		slot := b.GEP(ctx, nil, 0, int64(8*i), p.Name+".slot")
+		val := b.Load(lw.irType(pty), slot, lw.tbaaArgSlot(pty))
+		val.Name = p.Name
+		v := fc.ssa.newVar(lw.irType(pty))
+		fc.ssa.write(v, fn.Entry(), val)
+		fc.declare(fd.Pos, &varInfo{name: p.Name, ty: pty, kind: vkSSA, ssa: v})
+	}
+	fc.lowerBlock(fd.Body)
+	fc.finish(fd)
+}
+
+func (lw *lowerer) tbaaArgSlot(t semType) string {
+	if !lw.opts.strictAliasing() {
+		return ""
+	}
+	if t.isPtr() {
+		return "any pointer"
+	}
+	if t.isFloat() {
+		return "double"
+	}
+	return "long"
+}
+
+// lowerBlock lowers a brace block in a fresh scope.
+func (fc *fnctx) lowerBlock(b *Block) {
+	fc.pushScope()
+	for _, st := range b.Stmts {
+		fc.lowerStmt(st)
+	}
+	fc.popScope()
+}
+
+func (fc *fnctx) lowerStmt(st Stmt) {
+	fc.b.SetLoc(fc.loc(st.stmtPos()))
+	switch s := st.(type) {
+	case *Block:
+		fc.lowerBlock(s)
+	case *VarDecl:
+		fc.lowerVarDecl(s)
+	case *Assign:
+		fc.lowerAssign(s)
+	case *IncDec:
+		op := "+="
+		if s.Dec {
+			op = "-="
+		}
+		fc.lowerAssign(&Assign{LHS: s.LHS, Op: op, RHS: &Expr{Kind: EInt, I: 1, Pos: s.Pos}, Pos: s.Pos})
+	case *ExprStmt:
+		fc.lowerExpr(s.X)
+	case *If:
+		fc.lowerIf(s)
+	case *While:
+		fc.lowerWhile(s)
+	case *For:
+		fc.lowerFor(s)
+	case *ParallelFor:
+		fc.lowerParallelFor(s)
+	case *Task:
+		fc.lowerTask(s)
+	case *TaskWait:
+		if fc.lw.opts.Model == ModelTasks {
+			fc.b.Call(ir.Void, "__omp_taskwait")
+		}
+	case *Return:
+		fc.lowerReturn(s)
+	case *Break:
+		if len(fc.loops) == 0 {
+			fc.lw.errf(s.Pos, "break outside loop")
+		}
+		fc.br(fc.loops[len(fc.loops)-1].breakTo)
+		fc.startDeadBlock()
+	case *Continue:
+		if len(fc.loops) == 0 {
+			fc.lw.errf(s.Pos, "continue outside loop")
+		}
+		fc.br(fc.loops[len(fc.loops)-1].continueTo)
+		fc.startDeadBlock()
+	default:
+		fc.lw.errf(st.stmtPos(), "unhandled statement %T", st)
+	}
+}
+
+func (fc *fnctx) lowerVarDecl(s *VarDecl) {
+	lw := fc.lw
+	ty := lw.resolve(s.Type)
+	switch {
+	case s.Len != nil:
+		// Fixed local array: alloca length*elemsize. Length must be a
+		// compile-time constant expression for allocas; dynamic
+		// lengths heap-allocate.
+		if lit, ok := constFold(s.Len); ok {
+			a := fc.b.Alloca(lit*lw.sizeOf(ty), s.Name)
+			fc.declare(s.Pos, &varInfo{name: s.Name, ty: ty, kind: vkMemory, base: a, arr: true})
+		} else {
+			n, nt := fc.lowerExpr(s.Len)
+			if !nt.isInt() {
+				lw.errf(s.Pos, "array length must be int")
+			}
+			sz := fc.b.Bin(ir.OpMul, n, ir.ConstInt(lw.sizeOf(ty)), s.Name+".bytes")
+			p := fc.b.Call(ir.Ptr, "__malloc", sz)
+			fc.declare(s.Pos, &varInfo{name: s.Name, ty: ty, kind: vkMemory, base: p, arr: true})
+		}
+		if s.Init != nil {
+			lw.errf(s.Pos, "array declarations cannot have initializers")
+		}
+	case ty.isStruct():
+		if _, ok := lw.structs[ty.base]; !ok {
+			lw.errf(s.Pos, "unknown struct type %q", ty.base)
+		}
+		a := fc.b.Alloca(lw.sizeOf(ty), s.Name)
+		fc.declare(s.Pos, &varInfo{name: s.Name, ty: ty, kind: vkMemory, base: a, structName: ty.base})
+		if s.Init != nil {
+			lw.errf(s.Pos, "struct declarations cannot have initializers")
+		}
+	default:
+		// Scalar or pointer.
+		var init ir.Value
+		if s.Init != nil {
+			v, vt := fc.lowerExpr(s.Init)
+			init = fc.convert(s.Pos, v, vt, ty)
+		} else if ty.isFloat() {
+			init = ir.ConstFloat(0)
+		} else {
+			init = ir.ConstInt(0)
+		}
+		boxed := ty.isPtr() &&
+			(lw.opts.Dialect == DialectFortran ||
+				(lw.opts.Views && s.Init != nil && (s.Init.Kind == ENewArr || s.Init.Kind == ENewObj)))
+		if boxed {
+			slot := fc.b.Alloca(8, s.Name+".box")
+			fc.b.Store(init, slot, lw.tbaaFor(ty))
+			fc.declare(s.Pos, &varInfo{name: s.Name, ty: ty, kind: vkBoxed, base: slot})
+			return
+		}
+		v := fc.ssa.newVar(lw.irType(ty))
+		fc.ssa.write(v, fc.b.Block(), init)
+		fc.declare(s.Pos, &varInfo{name: s.Name, ty: ty, kind: vkSSA, ssa: v})
+	}
+}
+
+// constFold evaluates integer constant expressions at compile time.
+func constFold(e *Expr) (int64, bool) {
+	switch e.Kind {
+	case EInt:
+		return e.I, true
+	case EBinary:
+		x, okx := constFold(e.X)
+		y, oky := constFold(e.Y)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch e.Op {
+		case "+":
+			return x + y, true
+		case "-":
+			return x - y, true
+		case "*":
+			return x * y, true
+		case "/":
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case "%":
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		}
+	case EUnary:
+		if e.Op == "-" {
+			if x, ok := constFold(e.X); ok {
+				return -x, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (fc *fnctx) lowerReturn(s *Return) {
+	if s.X == nil {
+		if !fc.retTy.isVoid() {
+			fc.lw.errf(s.Pos, "missing return value")
+		}
+		fc.b.Ret(nil)
+	} else {
+		v, vt := fc.lowerExpr(s.X)
+		fc.b.Ret(fc.convert(s.Pos, v, vt, fc.retTy))
+	}
+	fc.startDeadBlock()
+}
+
+func (fc *fnctx) lowerIf(s *If) {
+	cond := fc.lowerCond(s.Cond)
+	then := fc.b.NewBlock("if.then")
+	merge := fc.b.NewBlock("if.end")
+	els := merge
+	if s.Else != nil {
+		els = fc.b.NewBlock("if.else")
+	}
+	fc.condBr(cond, then, els)
+	fc.ssa.seal(then)
+	fc.b.SetBlock(then)
+	fc.lowerBlock(s.Then)
+	if fc.b.Block().Term() == nil {
+		fc.br(merge)
+	}
+	if s.Else != nil {
+		fc.ssa.seal(els)
+		fc.b.SetBlock(els)
+		fc.lowerBlock(s.Else)
+		if fc.b.Block().Term() == nil {
+			fc.br(merge)
+		}
+	}
+	fc.ssa.seal(merge)
+	fc.b.SetBlock(merge)
+}
+
+func (fc *fnctx) lowerWhile(s *While) {
+	header := fc.b.NewBlock("while.cond")
+	body := fc.b.NewBlock("while.body")
+	exit := fc.b.NewBlock("while.end")
+	fc.br(header)
+	fc.b.SetBlock(header)
+	cond := fc.lowerCond(s.Cond)
+	fc.condBr(cond, body, exit)
+	fc.ssa.seal(body)
+	fc.b.SetBlock(body)
+	fc.loops = append(fc.loops, loopCtx{continueTo: header, breakTo: exit})
+	fc.lowerBlock(s.Body)
+	fc.loops = fc.loops[:len(fc.loops)-1]
+	if fc.b.Block().Term() == nil {
+		fc.br(header)
+	}
+	fc.ssa.seal(header)
+	fc.ssa.seal(exit)
+	fc.b.SetBlock(exit)
+}
+
+func (fc *fnctx) lowerFor(s *For) {
+	fc.pushScope()
+	if s.Init != nil {
+		fc.lowerStmt(s.Init)
+	}
+	header := fc.b.NewBlock("for.cond")
+	body := fc.b.NewBlock("for.body")
+	latch := fc.b.NewBlock("for.inc")
+	exit := fc.b.NewBlock("for.end")
+	fc.br(header)
+	fc.b.SetBlock(header)
+	var cond ir.Value = ir.ConstBool(true)
+	if s.Cond != nil {
+		cond = fc.lowerCond(s.Cond)
+	}
+	fc.condBr(cond, body, exit)
+	fc.ssa.seal(body)
+	fc.b.SetBlock(body)
+	fc.loops = append(fc.loops, loopCtx{continueTo: latch, breakTo: exit})
+	fc.lowerBlock(s.Body)
+	fc.loops = fc.loops[:len(fc.loops)-1]
+	if fc.b.Block().Term() == nil {
+		fc.br(latch)
+	}
+	fc.ssa.seal(latch)
+	fc.b.SetBlock(latch)
+	if s.Step != nil {
+		fc.lowerStmt(s.Step)
+	}
+	fc.br(header)
+	fc.ssa.seal(header)
+	fc.ssa.seal(exit)
+	fc.b.SetBlock(exit)
+	fc.popScope()
+}
+
+// lowerCond lowers an expression used as a branch condition to i1.
+func (fc *fnctx) lowerCond(e *Expr) ir.Value {
+	v, vt := fc.lowerExpr(e)
+	if vt.isBool() {
+		return v
+	}
+	if vt.isInt() || vt.isPtr() {
+		return fc.b.ICmp(ir.PredNE, v, ir.ConstInt(0), "tobool")
+	}
+	if vt.isFloat() {
+		return fc.b.FCmp(ir.PredNE, v, ir.ConstFloat(0), "tobool")
+	}
+	fc.lw.errf(e.Pos, "invalid condition type %s", vt)
+	return nil
+}
+
+// convert coerces v of type from to type to (int<->double implicit).
+func (fc *fnctx) convert(pos Pos, v ir.Value, from, to semType) ir.Value {
+	if from == to || (from.isPtr() && to.isPtr()) {
+		return v
+	}
+	switch {
+	case from.isBool() && to.isInt():
+		return fc.b.Select(v, ir.ConstInt(1), ir.ConstInt(0), "booltoint")
+	case from.isInt() && to.isFloat():
+		return fc.b.SIToFP(v, "conv")
+	case from.isFloat() && to.isInt():
+		return fc.b.FPToSI(v, "conv")
+	case from.isInt() && to.isPtr(), from.isPtr() && to.isInt():
+		return v // addresses are integers in the simulated machine
+	}
+	fc.lw.errf(pos, "cannot convert %s to %s", from, to)
+	return nil
+}

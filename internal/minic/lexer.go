@@ -1,0 +1,235 @@
+// Package minic is the compiler frontend: a small C-like language with
+// structs, pointers (including restrict), fixed arrays, heap
+// allocation, parallel-for regions, tasks, GPU kernels, and explicit
+// SIMD intrinsics. The lowering constructs SSA directly (Braun et al.
+// style) and implements the dialect and parallel-model variations the
+// paper studies: C vs Fortran-style descriptor arrays, OpenMP-style
+// outlining with context structs, OpenMP tasks, MPI, offload kernels,
+// and Kokkos/Thrust-style view indirection.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	i    int64
+	f    float64
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes src, returning an error with position info on bad input.
+func lex(file, src string) ([]token, error) {
+	lx := &lexer{src: src, file: file, line: 1, col: 1}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.toks, nil
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d:%d: %s", lx.file, lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) run() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			for lx.pos < len(lx.src) && !(lx.peek() == '*' && lx.peek2() == '/') {
+				lx.advance()
+			}
+			if lx.pos >= len(lx.src) {
+				return lx.errf("unterminated block comment")
+			}
+			lx.advance()
+			lx.advance()
+		case isAlpha(c):
+			if err := lx.ident(); err != nil {
+				return err
+			}
+		case isDigit(c):
+			if err := lx.number(); err != nil {
+				return err
+			}
+		case c == '"':
+			if err := lx.str(); err != nil {
+				return err
+			}
+		default:
+			if err := lx.punct(); err != nil {
+				return err
+			}
+		}
+	}
+	lx.toks = append(lx.toks, token{kind: tokEOF, line: lx.line, col: lx.col})
+	return nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) ident() error {
+	line, col := lx.line, lx.col
+	start := lx.pos
+	for lx.pos < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+		lx.advance()
+	}
+	lx.toks = append(lx.toks, token{kind: tokIdent, text: lx.src[start:lx.pos], line: line, col: col})
+	return nil
+}
+
+func (lx *lexer) number() error {
+	line, col := lx.line, lx.col
+	start := lx.pos
+	isFloat := false
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		if isDigit(c) {
+			lx.advance()
+		} else if c == '.' && !isFloat && isDigit(lx.peek2()) {
+			isFloat = true
+			lx.advance()
+		} else if (c == 'e' || c == 'E') && lx.pos > start {
+			isFloat = true
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+		} else {
+			break
+		}
+	}
+	text := lx.src[start:lx.pos]
+	t := token{text: text, line: line, col: col}
+	if isFloat {
+		t.kind = tokFloat
+		if _, err := fmt.Sscanf(text, "%g", &t.f); err != nil {
+			return lx.errf("bad float literal %q", text)
+		}
+	} else {
+		t.kind = tokInt
+		if _, err := fmt.Sscanf(text, "%d", &t.i); err != nil {
+			return lx.errf("bad int literal %q", text)
+		}
+	}
+	lx.toks = append(lx.toks, t)
+	return nil
+}
+
+func (lx *lexer) str() error {
+	line, col := lx.line, lx.col
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) && lx.peek() != '"' {
+		c := lx.advance()
+		if c == '\\' && lx.pos < len(lx.src) {
+			switch lx.advance() {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				return lx.errf("unknown escape in string literal")
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	if lx.pos >= len(lx.src) {
+		return lx.errf("unterminated string literal")
+	}
+	lx.advance() // closing quote
+	lx.toks = append(lx.toks, token{kind: tokString, text: sb.String(), line: line, col: col})
+	return nil
+}
+
+var puncts = []string{
+	// Longest first.
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+	"++", "--", "->", "<<", ">>",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+func (lx *lexer) punct() error {
+	line, col := lx.line, lx.col
+	rest := lx.src[lx.pos:]
+	for _, p := range puncts {
+		if strings.HasPrefix(rest, p) {
+			for range p {
+				lx.advance()
+			}
+			lx.toks = append(lx.toks, token{kind: tokPunct, text: p, line: line, col: col})
+			return nil
+		}
+	}
+	return lx.errf("unexpected character %q", lx.peek())
+}

@@ -1,0 +1,200 @@
+package minic
+
+import (
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// lvalue describes an assignable location.
+type lvalue struct {
+	isSSA bool
+	vi    *varInfo // SSA variable
+	addr  ir.Value // memory location otherwise
+	ty    semType  // value type stored at the location
+	tbaa  string
+}
+
+// lowerLValue resolves an assignable expression.
+func (fc *fnctx) lowerLValue(e *Expr) lvalue {
+	lw := fc.lw
+	switch e.Kind {
+	case EIdent:
+		if vi := fc.lookup(e.Name); vi != nil {
+			switch vi.kind {
+			case vkSSA:
+				return lvalue{isSSA: true, vi: vi, ty: vi.ty}
+			case vkBoxed:
+				return lvalue{addr: vi.base, ty: vi.ty, tbaa: lw.tbaaFor(vi.ty)}
+			case vkMemory:
+				lw.errf(e.Pos, "%q is an aggregate and cannot be assigned directly", e.Name)
+			}
+		}
+		if gi, ok := lw.globals[e.Name]; ok {
+			gi = fc.useGlobal(gi)
+			if gi.arr {
+				lw.errf(e.Pos, "global array %q cannot be assigned directly", e.Name)
+			}
+			fc.checkGlobalAccess(e.Pos)
+			return lvalue{addr: gi.g, ty: gi.elem, tbaa: lw.tbaaFor(gi.elem)}
+		}
+		lw.errf(e.Pos, "undefined variable %q", e.Name)
+	case EIndex:
+		base, elem := fc.indexBase(e.X)
+		idx, it := fc.lowerExpr(e.Y)
+		if !it.isInt() {
+			lw.errf(e.Pos, "array index must be int")
+		}
+		g := fc.b.GEP(base, idx, lw.sizeOf(elem), 0, "idx")
+		g.Loc = fc.loc(e.Pos)
+		return lvalue{addr: g, ty: elem, tbaa: lw.tbaaFor(elem)}
+	case EField:
+		addr, sname := fc.fieldBase(e.X)
+		sd, ok := lw.structs[sname]
+		if !ok {
+			lw.errf(e.Pos, "unknown struct type %q", sname)
+		}
+		for i, f := range sd.Fields {
+			if f.Name == e.Name {
+				fty := lw.resolve(f.Type)
+				g := fc.b.GEP(addr, nil, 0, int64(8*i), sname+"."+e.Name)
+				g.Loc = fc.loc(e.Pos)
+				return lvalue{addr: g, ty: fty, tbaa: lw.tbaaFor(fty)}
+			}
+		}
+		lw.errf(e.Pos, "struct %q has no field %q", sname, e.Name)
+	case EUnary:
+		if e.Op == "*" {
+			p, pt := fc.lowerExpr(e.X)
+			if !pt.isPtr() {
+				lw.errf(e.Pos, "cannot dereference non-pointer %s", pt)
+			}
+			return lvalue{addr: p, ty: pt.deref(), tbaa: lw.tbaaFor(pt.deref())}
+		}
+	}
+	lw.errf(e.Pos, "expression is not assignable")
+	return lvalue{}
+}
+
+// checkGlobalAccess registers a global referenced from device code in
+// the device module (unified-memory __device__ global semantics).
+func (fc *fnctx) checkGlobalAccess(pos Pos) {
+	_ = pos
+}
+
+// useGlobal resolves a global by name and, for device code, imports it
+// into the device module.
+func (fc *fnctx) useGlobal(gi *globalInfo) *globalInfo {
+	if fc.device {
+		fc.lw.importGlobalToDevice(gi.g)
+	}
+	return gi
+}
+
+// indexBase resolves the base pointer and element type for x[...].
+func (fc *fnctx) indexBase(x *Expr) (ir.Value, semType) {
+	lw := fc.lw
+	if x.Kind == EIdent {
+		if vi := fc.lookup(x.Name); vi != nil && vi.kind == vkMemory && vi.arr {
+			return vi.base, vi.ty
+		}
+		if gi, ok := lw.globals[x.Name]; ok && gi.arr {
+			gi = fc.useGlobal(gi)
+			fc.checkGlobalAccess(x.Pos)
+			return gi.g, gi.elem
+		}
+	}
+	v, vt := fc.lowerExpr(x)
+	if !vt.isPtr() {
+		lw.errf(x.Pos, "cannot index non-pointer %s", vt)
+	}
+	return v, vt.deref()
+}
+
+// fieldBase resolves the struct address and struct name for x.field.
+func (fc *fnctx) fieldBase(x *Expr) (ir.Value, string) {
+	lw := fc.lw
+	if x.Kind == EIdent {
+		if vi := fc.lookup(x.Name); vi != nil && vi.kind == vkMemory && vi.structName != "" {
+			return vi.base, vi.structName
+		}
+	}
+	v, vt := fc.lowerExpr(x)
+	if vt.ptr == 1 && lw.structs[vt.base] != nil {
+		return v, vt.base
+	}
+	lw.errf(x.Pos, "%s is not a struct or struct pointer", vt)
+	return nil, ""
+}
+
+// readLV loads the current value of an lvalue.
+func (fc *fnctx) readLV(lv lvalue, pos Pos) (ir.Value, semType) {
+	if lv.isSSA {
+		return fc.ssa.read(lv.vi.ssa, fc.b.Block()), lv.ty
+	}
+	ld := fc.b.Load(fc.lw.irType(lv.ty), lv.addr, lv.tbaa)
+	ld.Loc = fc.loc(pos)
+	return ld, lv.ty
+}
+
+// writeLV stores v into an lvalue.
+func (fc *fnctx) writeLV(lv lvalue, v ir.Value, pos Pos) {
+	if lv.isSSA {
+		fc.ssa.write(lv.vi.ssa, fc.b.Block(), v)
+		return
+	}
+	st := fc.b.Store(v, lv.addr, lv.tbaa)
+	st.Loc = fc.loc(pos)
+}
+
+func (fc *fnctx) lowerAssign(s *Assign) {
+	lv := fc.lowerLValue(s.LHS)
+	rhs, rt := fc.lowerExpr(s.RHS)
+	if s.Op == "=" {
+		fc.writeLV(lv, fc.convert(s.Pos, rhs, rt, lv.ty), s.Pos)
+		return
+	}
+	cur, ct := fc.readLV(lv, s.Pos)
+	rhs = fc.convert(s.Pos, rhs, rt, ct)
+	var op ir.Opcode
+	switch s.Op {
+	case "+=":
+		op = ir.OpAdd
+	case "-=":
+		op = ir.OpSub
+	case "*=":
+		op = ir.OpMul
+	case "/=":
+		op = ir.OpSDiv
+	case "%=":
+		op = ir.OpSRem
+	}
+	if ct.isFloat() {
+		switch s.Op {
+		case "+=":
+			op = ir.OpFAdd
+		case "-=":
+			op = ir.OpFSub
+		case "*=":
+			op = ir.OpFMul
+		case "/=":
+			op = ir.OpFDiv
+		case "%=":
+			fc.lw.errf(s.Pos, "%%= on floating-point value")
+		}
+	}
+	if ct.isPtr() {
+		// p += n: pointer arithmetic through GEP.
+		if s.Op != "+=" && s.Op != "-=" {
+			fc.lw.errf(s.Pos, "unsupported pointer compound assignment %s", s.Op)
+		}
+		idx := rhs
+		if s.Op == "-=" {
+			idx = fc.b.Bin(ir.OpSub, ir.ConstInt(0), rhs, "neg")
+		}
+		g := fc.b.GEP(cur, idx, fc.lw.sizeOf(ct.deref()), 0, "padd")
+		fc.writeLV(lv, g, s.Pos)
+		return
+	}
+	res := fc.b.Bin(op, cur, rhs, "")
+	res.Loc = fc.loc(s.Pos)
+	fc.writeLV(lv, res, s.Pos)
+}

@@ -1,0 +1,297 @@
+package minic
+
+import (
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+var (
+	tyInt    = semType{base: "int"}
+	tyFloat  = semType{base: "double"}
+	tyBool   = semType{base: "bool"}
+	tyVoid   = semType{base: "void"}
+	tyVec    = semType{base: "vec4"}
+	tyIntPtr = semType{base: "int", ptr: 1}
+	tyFltPtr = semType{base: "double", ptr: 1}
+)
+
+// lowerExpr lowers an expression to an IR value with its semantic type.
+func (fc *fnctx) lowerExpr(e *Expr) (ir.Value, semType) {
+	lw := fc.lw
+	fc.b.SetLoc(fc.loc(e.Pos))
+	switch e.Kind {
+	case EInt:
+		return ir.ConstInt(e.I), tyInt
+	case EFloat:
+		return ir.ConstFloat(e.F), tyFloat
+	case EString:
+		lw.errf(e.Pos, "string literals are only valid in print()")
+	case EIdent:
+		return fc.lowerIdent(e)
+	case EBinary:
+		return fc.lowerBinary(e)
+	case EUnary:
+		return fc.lowerUnary(e)
+	case EIndex, EField:
+		lv := fc.lowerLValue(e)
+		return fc.readLV(lv, e.Pos)
+	case ECall:
+		return fc.lowerCall(e)
+	case ECast:
+		v, vt := fc.lowerExpr(e.X)
+		to := lw.resolve(e.Type)
+		return fc.convert(e.Pos, v, vt, to), to
+	case ECond:
+		cond := fc.lowerCond(e.X)
+		x, xt := fc.lowerExpr(e.Y)
+		y, yt := fc.lowerExpr(e.Z)
+		xt2 := fc.unifyArith(e.Pos, &x, xt, &y, yt)
+		return fc.b.Select(cond, x, y, "cond"), xt2
+	case ENewArr:
+		elem := lw.resolve(e.Type)
+		n, nt := fc.lowerExpr(e.X)
+		if !nt.isInt() {
+			lw.errf(e.Pos, "allocation length must be int")
+		}
+		sz := fc.b.Bin(ir.OpMul, n, ir.ConstInt(lw.sizeOf(elem)), "alloc.bytes")
+		p := fc.b.Call(ir.Ptr, "__malloc", sz)
+		return p, semType{base: elem.base, ptr: elem.ptr + 1}
+	case ENewObj:
+		st := lw.resolve(e.Type)
+		if lw.structs[st.base] == nil {
+			lw.errf(e.Pos, "unknown struct type %q in new", st.base)
+		}
+		p := fc.b.Call(ir.Ptr, "__malloc", ir.ConstInt(lw.sizeOf(st)))
+		return p, semType{base: st.base, ptr: 1}
+	case ELaunch:
+		fc.lowerLaunch(e)
+		return ir.ConstInt(0), tyVoid
+	}
+	lw.errf(e.Pos, "unhandled expression kind %d", e.Kind)
+	return nil, tyVoid
+}
+
+func (fc *fnctx) lowerIdent(e *Expr) (ir.Value, semType) {
+	lw := fc.lw
+	if vi := fc.lookup(e.Name); vi != nil {
+		switch vi.kind {
+		case vkSSA:
+			return fc.ssa.read(vi.ssa, fc.b.Block()), vi.ty
+		case vkBoxed:
+			ld := fc.b.Load(lw.irType(vi.ty), vi.base, lw.tbaaFor(vi.ty))
+			ld.Loc = fc.loc(e.Pos)
+			return ld, vi.ty
+		case vkMemory:
+			// Arrays decay to element pointers; struct values to
+			// struct pointers.
+			if vi.arr {
+				return vi.base, semType{base: vi.ty.base, ptr: vi.ty.ptr + 1}
+			}
+			return vi.base, semType{base: vi.structName, ptr: 1}
+		}
+	}
+	if gi, ok := lw.globals[e.Name]; ok {
+		gi = fc.useGlobal(gi)
+		fc.checkGlobalAccess(e.Pos)
+		if gi.arr {
+			return gi.g, semType{base: gi.elem.base, ptr: gi.elem.ptr + 1}
+		}
+		ld := fc.b.Load(lw.irType(gi.elem), gi.g, lw.tbaaFor(gi.elem))
+		ld.Loc = fc.loc(e.Pos)
+		return ld, gi.elem
+	}
+	lw.errf(e.Pos, "undefined identifier %q", e.Name)
+	return nil, tyVoid
+}
+
+// unifyArith converts mixed int/double operands to double.
+func (fc *fnctx) unifyArith(pos Pos, x *ir.Value, xt semType, y *ir.Value, yt semType) semType {
+	if xt == yt {
+		return xt
+	}
+	if xt.isInt() && yt.isFloat() {
+		*x = fc.b.SIToFP(*x, "conv")
+		return tyFloat
+	}
+	if xt.isFloat() && yt.isInt() {
+		*y = fc.b.SIToFP(*y, "conv")
+		return tyFloat
+	}
+	if xt.isPtr() && yt.isPtr() {
+		return xt
+	}
+	fc.lw.errf(pos, "type mismatch: %s vs %s", xt, yt)
+	return xt
+}
+
+func (fc *fnctx) lowerBinary(e *Expr) (ir.Value, semType) {
+	lw := fc.lw
+	// Logical operators on bools.
+	if e.Op == "&&" || e.Op == "||" {
+		x := fc.lowerCond(e.X)
+		y := fc.lowerCond(e.Y)
+		op := ir.OpAnd
+		if e.Op == "||" {
+			op = ir.OpOr
+		}
+		return fc.b.Bin(op, x, y, "logic"), tyBool
+	}
+	x, xt := fc.lowerExpr(e.X)
+	y, yt := fc.lowerExpr(e.Y)
+
+	// Pointer arithmetic.
+	if xt.isPtr() && yt.isInt() && (e.Op == "+" || e.Op == "-") {
+		idx := y
+		if e.Op == "-" {
+			idx = fc.b.Bin(ir.OpSub, ir.ConstInt(0), y, "neg")
+		}
+		g := fc.b.GEP(x, idx, lw.sizeOf(xt.deref()), 0, "padd")
+		g.Loc = fc.loc(e.Pos)
+		return g, xt
+	}
+
+	// Vector arithmetic.
+	if xt.isVec() && yt.isVec() {
+		var op ir.Opcode
+		switch e.Op {
+		case "+":
+			op = ir.OpFAdd
+		case "-":
+			op = ir.OpFSub
+		case "*":
+			op = ir.OpFMul
+		case "/":
+			op = ir.OpFDiv
+		default:
+			lw.errf(e.Pos, "unsupported vector operator %q", e.Op)
+		}
+		return fc.b.Bin(op, x, y, "vec"), tyVec
+	}
+
+	switch e.Op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		t := fc.unifyArith(e.Pos, &x, xt, &y, yt)
+		pred := map[string]ir.Pred{"==": ir.PredEQ, "!=": ir.PredNE, "<": ir.PredLT, "<=": ir.PredLE, ">": ir.PredGT, ">=": ir.PredGE}[e.Op]
+		var c *ir.Instr
+		if t.isFloat() {
+			c = fc.b.FCmp(pred, x, y, "cmp")
+		} else {
+			c = fc.b.ICmp(pred, x, y, "cmp")
+		}
+		c.Loc = fc.loc(e.Pos)
+		return c, tyBool
+	}
+
+	t := fc.unifyArith(e.Pos, &x, xt, &y, yt)
+	var op ir.Opcode
+	if t.isFloat() {
+		switch e.Op {
+		case "+":
+			op = ir.OpFAdd
+		case "-":
+			op = ir.OpFSub
+		case "*":
+			op = ir.OpFMul
+		case "/":
+			op = ir.OpFDiv
+		default:
+			lw.errf(e.Pos, "operator %q not defined on double", e.Op)
+		}
+	} else if t.isInt() {
+		switch e.Op {
+		case "+":
+			op = ir.OpAdd
+		case "-":
+			op = ir.OpSub
+		case "*":
+			op = ir.OpMul
+		case "/":
+			op = ir.OpSDiv
+		case "%":
+			op = ir.OpSRem
+		case "&":
+			op = ir.OpAnd
+		case "|":
+			op = ir.OpOr
+		case "^":
+			op = ir.OpXor
+		case "<<":
+			op = ir.OpShl
+		case ">>":
+			op = ir.OpAShr
+		default:
+			lw.errf(e.Pos, "operator %q not defined on int", e.Op)
+		}
+	} else {
+		lw.errf(e.Pos, "operator %q not defined on %s", e.Op, t)
+	}
+	r := fc.b.Bin(op, x, y, "")
+	r.Loc = fc.loc(e.Pos)
+	return r, t
+}
+
+func (fc *fnctx) lowerUnary(e *Expr) (ir.Value, semType) {
+	lw := fc.lw
+	switch e.Op {
+	case "-":
+		v, vt := fc.lowerExpr(e.X)
+		if vt.isFloat() {
+			return fc.b.Bin(ir.OpFSub, ir.ConstFloat(0), v, "neg"), vt
+		}
+		if vt.isInt() {
+			return fc.b.Bin(ir.OpSub, ir.ConstInt(0), v, "neg"), vt
+		}
+		if vt.isVec() {
+			z := fc.b.VSplat(ir.V4F64, ir.ConstFloat(0), "vzero")
+			return fc.b.Bin(ir.OpFSub, z, v, "vneg"), vt
+		}
+		lw.errf(e.Pos, "cannot negate %s", vt)
+	case "!":
+		v := fc.lowerCond(e.X)
+		return fc.b.Bin(ir.OpXor, v, ir.ConstBool(true), "not"), tyBool
+	case "~":
+		v, vt := fc.lowerExpr(e.X)
+		if !vt.isInt() {
+			lw.errf(e.Pos, "~ requires int")
+		}
+		return fc.b.Bin(ir.OpXor, v, ir.ConstInt(-1), "bnot"), tyInt
+	case "*":
+		lv := fc.lowerLValue(e)
+		return fc.readLV(lv, e.Pos)
+	case "&":
+		return fc.lowerAddrOf(e.X)
+	}
+	lw.errf(e.Pos, "unhandled unary operator %q", e.Op)
+	return nil, tyVoid
+}
+
+// lowerAddrOf lowers &lvalue to a pointer value.
+func (fc *fnctx) lowerAddrOf(x *Expr) (ir.Value, semType) {
+	lw := fc.lw
+	// &arr and &struct are their decayed pointers already.
+	if x.Kind == EIdent {
+		if vi := fc.lookup(x.Name); vi != nil {
+			switch vi.kind {
+			case vkMemory:
+				if vi.arr {
+					return vi.base, semType{base: vi.ty.base, ptr: vi.ty.ptr + 1}
+				}
+				return vi.base, semType{base: vi.structName, ptr: 1}
+			case vkBoxed:
+				return vi.base, semType{base: vi.ty.base, ptr: vi.ty.ptr + 1}
+			case vkSSA:
+				lw.errf(x.Pos, "cannot take the address of SSA scalar %q (declare it as an array of 1)", x.Name)
+			}
+		}
+		if gi, ok := lw.globals[x.Name]; ok {
+			gi = fc.useGlobal(gi)
+			fc.checkGlobalAccess(x.Pos)
+			return gi.g, semType{base: gi.elem.base, ptr: gi.elem.ptr + 1}
+		}
+		lw.errf(x.Pos, "undefined identifier %q", x.Name)
+	}
+	lv := fc.lowerLValue(x)
+	if lv.isSSA {
+		lw.errf(x.Pos, "cannot take the address of an SSA value")
+	}
+	return lv.addr, semType{base: lv.ty.base, ptr: lv.ty.ptr + 1}
+}

@@ -1,0 +1,494 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex("t.mc", `int x = 42; double y = 1.5e2; // comment
+/* block */ s = "a\n\"b";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	if texts[0] != "int" || texts[1] != "x" || texts[2] != "=" {
+		t.Errorf("tokens: %v", texts[:4])
+	}
+	if toks[3].kind != tokInt || toks[3].i != 42 {
+		t.Error("integer literal")
+	}
+	var sawFloat, sawString bool
+	for _, tk := range toks {
+		if tk.kind == tokFloat && tk.f == 150 {
+			sawFloat = true
+		}
+		if tk.kind == tokString && tk.text == "a\n\"b" {
+			sawString = true
+		}
+	}
+	if !sawFloat || !sawString {
+		t.Error("float/string literal lexing")
+	}
+	_ = kinds
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("t.mc", `"unterminated`); err == nil {
+		t.Error("unterminated string must error")
+	}
+	if _, err := lex("t.mc", "/* unterminated"); err == nil {
+		t.Error("unterminated comment must error")
+	}
+	if _, err := lex("t.mc", "@"); err == nil {
+		t.Error("stray character must error")
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := lex("t.mc", "a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].line != 1 || toks[1].line != 2 || toks[1].col != 3 {
+		t.Errorf("positions: %v %v", toks[0], toks[1])
+	}
+}
+
+func TestParserPrecedence(t *testing.T) {
+	f, err := Parse("t.mc", `int main() { int x = 1 + 2 * 3; return x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := f.Funcs[0].Body.Stmts[0].(*VarDecl)
+	e := decl.Init
+	if e.Kind != EBinary || e.Op != "+" {
+		t.Fatalf("top op = %q", e.Op)
+	}
+	if e.Y.Kind != EBinary || e.Y.Op != "*" {
+		t.Fatalf("rhs op = %q", e.Y.Op)
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return 0 }`,             // missing semicolon
+		`int main() { if x > 0 {} return 0;}`, // missing parens
+		`int main() {`,                        // unterminated block
+		`bogus main() { return 0; }`,          // unknown type
+		`int main() { x = ; }`,                // bad expression
+	}
+	for _, src := range cases {
+		if _, err := Parse("t.mc", src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestParserStructsAndNew(t *testing.T) {
+	src := `
+struct P { double* xs; int n; };
+int main() {
+	P p;
+	p.n = 3;
+	p.xs = new double[4];
+	P* q = &p;
+	q.n = q.n + 1;
+	return q.n;
+}`
+	f, err := Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Structs) != 1 || len(f.Structs[0].Fields) != 2 {
+		t.Error("struct parse")
+	}
+}
+
+func lowerOK(t *testing.T, src string, opts Options) (*ir.Module, *ir.Module) {
+	t.Helper()
+	host, dev, err := Compile("t.mc", src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return host, dev
+}
+
+func TestLowerSemanticErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { return y; }`, "undefined"},
+		{`int main() { int x = 1; int x = 2; return x; }`, "redeclaration"},
+		{`int main() { double d = 1.0; return *d; }`, "dereference"},
+		{`int main() { break; }`, "break outside loop"},
+		{`void f() {} int main() { f(1); return 0; }`, "arguments"},
+		{`int main() { int a[4]; a = 3; return 0; }`, "aggregate"},
+	}
+	for _, c := range cases {
+		_, _, err := Compile("t.mc", c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("source %q: error %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLowerEmitsTBAA(t *testing.T) {
+	src := `
+int main() {
+	double a[2];
+	int b[2];
+	a[0] = 1.0;
+	b[0] = 1;
+	return b[0];
+}`
+	host, _ := lowerOK(t, src, Options{})
+	s := host.String()
+	if !strings.Contains(s, `!tbaa "double"`) || !strings.Contains(s, `!tbaa "long"`) {
+		t.Errorf("TBAA tags missing:\n%s", s)
+	}
+	hostF, _ := lowerOK(t, src, Options{Dialect: DialectFortran})
+	if strings.Contains(hostF.FuncByName("main").String(), "!tbaa") {
+		t.Error("Fortran dialect must not emit TBAA access tags")
+	}
+}
+
+func TestLowerRestrictParams(t *testing.T) {
+	src := `
+void f(double* restrict p, double* q) {
+	p[0] = q[0];
+}
+int main() { return 0; }`
+	host, _ := lowerOK(t, src, Options{})
+	fn := host.FuncByName("f")
+	if !fn.Params[0].NoAlias || fn.Params[1].NoAlias {
+		t.Error("restrict must map to the noalias attribute")
+	}
+}
+
+func TestFortranBoxesPointerParams(t *testing.T) {
+	src := `
+void f(double* p) {
+	p[0] = 1.0;
+}
+int main() { return 0; }`
+	host, _ := lowerOK(t, src, Options{Dialect: DialectFortran})
+	fn := host.FuncByName("f")
+	s := fn.String()
+	if !strings.Contains(s, "p.box") {
+		t.Errorf("Fortran params must be boxed:\n%s", s)
+	}
+}
+
+func TestViewsBoxHeapArrays(t *testing.T) {
+	src := `
+int main() {
+	double* v = new double[8];
+	v[0] = 1.0;
+	return 0;
+}`
+	host, _ := lowerOK(t, src, Options{Views: true})
+	s := host.FuncByName("main").String()
+	if !strings.Contains(s, "v.box") {
+		t.Errorf("views must box heap arrays:\n%s", s)
+	}
+	hostPlain, _ := lowerOK(t, src, Options{})
+	if strings.Contains(hostPlain.FuncByName("main").String(), "v.box") {
+		t.Error("plain C must not box")
+	}
+}
+
+func TestOpenMPOutlining(t *testing.T) {
+	src := `
+int main() {
+	double a[16];
+	double s = 0.0;
+	parallel for (i = 0; i < 16; i++) {
+		a[i] = (double)i + s;
+	}
+	return 0;
+}`
+	host, dev := lowerOK(t, src, Options{Model: ModelOpenMP})
+	if dev != nil {
+		t.Error("OpenMP model must not create a device module")
+	}
+	out := host.FuncByName(".omp_outlined.1")
+	if out == nil {
+		t.Fatal("outlined function missing")
+	}
+	if !out.Attrs.Outlined || len(out.Params) != 3 {
+		t.Error("outlined function shape")
+	}
+	mainS := host.FuncByName("main").String()
+	if !strings.Contains(mainS, "__omp_fork") {
+		t.Error("fork call missing")
+	}
+	if !strings.Contains(out.String(), ".dptr") {
+		t.Errorf("captured pointers must load through the context:\n%s", out.String())
+	}
+}
+
+func TestOffloadCreatesDeviceModule(t *testing.T) {
+	src := `
+int main() {
+	double* a = new double[16];
+	parallel for (i = 0; i < 16; i++) {
+		a[i] = (double)i;
+	}
+	return 0;
+}`
+	host, dev := lowerOK(t, src, Options{Model: ModelOffload})
+	if dev == nil {
+		t.Fatal("offload must create a device module")
+	}
+	if dev.Target != "gpu-sim" {
+		t.Errorf("device target = %q", dev.Target)
+	}
+	k := dev.FuncByName(".omp_offload.1")
+	if k == nil || !k.Attrs.Kernel {
+		t.Fatal("device kernel missing")
+	}
+	if !strings.Contains(host.FuncByName("main").String(), "__gpu_launch") {
+		t.Error("launch call missing")
+	}
+	if err := ir.Verify(dev); err != nil {
+		t.Errorf("device module must verify: %v", err)
+	}
+}
+
+func TestTasksLowering(t *testing.T) {
+	src := `
+int main() {
+	double a[16];
+	parallel for (i = 0; i < 16; i++) {
+		a[i] = 1.0;
+	}
+	return 0;
+}`
+	host, _ := lowerOK(t, src, Options{Model: ModelTasks, TaskChunks: 3})
+	mainS := host.FuncByName("main").String()
+	if c := strings.Count(mainS, "__omp_task("); c != 3 {
+		t.Errorf("expected 3 task spawns, got %d", c)
+	}
+	if !strings.Contains(mainS, "__omp_taskwait") {
+		t.Error("taskwait missing")
+	}
+}
+
+func TestKernelLaunchHostFallback(t *testing.T) {
+	src := `
+kernel void scale(double* a, double f, int n) {
+	int i = tid();
+	if (i < n) {
+		a[i] = a[i] * f;
+	}
+}
+int main() {
+	double* a = new double[8];
+	launch scale(a, 2.0, 8) [8];
+	return 0;
+}`
+	// Non-offload: kernel becomes a host function with hidden tid/ntid.
+	host, dev := lowerOK(t, src, Options{Model: ModelSeq})
+	if dev != nil {
+		t.Error("no device module expected")
+	}
+	hk := host.FuncByName("scale.host")
+	if hk == nil || len(hk.Params) != 5 {
+		t.Fatalf("host kernel variant missing or malformed")
+	}
+	// Offload: kernel compiles to the device with a packed context.
+	_, dev2 := lowerOK(t, src, Options{Model: ModelOffload})
+	if dev2 == nil || dev2.FuncByName("scale") == nil {
+		t.Fatal("device kernel missing")
+	}
+	if !dev2.FuncByName("scale").Attrs.Kernel {
+		t.Error("kernel attribute missing")
+	}
+}
+
+func TestDeviceFunctionCloning(t *testing.T) {
+	src := `
+double helper(double x) {
+	return x * 2.0;
+}
+int main() {
+	double* a = new double[8];
+	parallel for (i = 0; i < 8; i++) {
+		a[i] = helper((double)i);
+	}
+	return 0;
+}`
+	host, dev := lowerOK(t, src, Options{Model: ModelOffload})
+	if host.FuncByName("helper") == nil {
+		t.Error("host copy of helper missing")
+	}
+	if dev.FuncByName("helper") == nil {
+		t.Error("device copy of helper missing")
+	}
+}
+
+func TestGlobalSharingWithDevice(t *testing.T) {
+	src := `
+double table[4] = { 1.0, 2.0, 3.0, 4.0 };
+int main() {
+	double* out = new double[8];
+	parallel for (i = 0; i < 8; i++) {
+		out[i] = table[i % 4];
+	}
+	return 0;
+}`
+	host, dev := lowerOK(t, src, Options{Model: ModelOffload})
+	g := host.GlobalByName("table")
+	if g == nil {
+		t.Fatal("host global missing")
+	}
+	if dev.GlobalByName("table") != g {
+		t.Error("device module must share the host global object")
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 100; i++) {
+		if (i == 5) {
+			break;
+		}
+		if (i % 2 == 1) {
+			continue;
+		}
+		s = s + i;
+	}
+	return s;
+}`
+	host, _ := lowerOK(t, src, Options{})
+	if err := ir.Verify(host); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSAConstructionMergesDiamond(t *testing.T) {
+	src := `
+int main() {
+	int x = 1;
+	int c = 3;
+	if (c > 2) {
+		x = 10;
+	} else {
+		x = 20;
+	}
+	return x;
+}`
+	host, _ := lowerOK(t, src, Options{})
+	s := host.FuncByName("main").String()
+	if !strings.Contains(s, "phi") {
+		t.Errorf("a phi is required at the merge:\n%s", s)
+	}
+}
+
+func TestVectorIntrinsics(t *testing.T) {
+	src := `
+int main() {
+	double a[8];
+	for (int i = 0; i < 8; i++) {
+		a[i] = (double)i;
+	}
+	vec4 v = vload(&a[0]);
+	vec4 w = v * vsplat(2.0);
+	vstore(&a[4], w + vload(&a[4]));
+	double s = vreduce(w);
+	return (int)s;
+}`
+	host, _ := lowerOK(t, src, Options{})
+	s := host.FuncByName("main").String()
+	for _, want := range []string{"<4 x double>", "vsplat", "vreduce"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestParserNeverPanicsOnMutations feeds the parser randomly truncated
+// and mutated sources; it must return errors, never panic.
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	base := `
+struct P { double* xs; int n; };
+double g[4] = { 1.0, 2.0, 3.0, 4.0 };
+int helper(int x) { return x * 2; }
+int main() {
+	P p;
+	p.xs = new double[8];
+	double s = 0.0;
+	parallel for (i = 0; i < 8; i++) {
+		p.xs[i] = (double)i + g[i % 4];
+	}
+	for (int i = 0; i < 8; i++) {
+		s = s + p.xs[i];
+	}
+	print(s, helper(3), "\n");
+	return 0;
+}`
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser/lowerer panicked: %v", r)
+		}
+	}()
+	// Truncations at every byte boundary.
+	for i := 0; i < len(base); i += 7 {
+		_, _, _ = Compile("mut.mc", base[:i], Options{Model: ModelOpenMP})
+	}
+	// Character substitutions at sampled positions.
+	for i := 5; i < len(base); i += 11 {
+		for _, c := range []byte{'}', '(', ';', '*', 'x'} {
+			mutated := base[:i] + string(c) + base[i+1:]
+			_, _, _ = Compile("mut.mc", mutated, Options{})
+		}
+	}
+}
+
+// TestDeterministicLowering: two compilations of the same source must
+// produce byte-identical IR (the probing driver depends on it).
+func TestDeterministicLowering(t *testing.T) {
+	src := `
+int main() {
+	double a[32];
+	double s = 0.0;
+	parallel for (i = 0; i < 32; i++) {
+		a[i] = (double)i * 0.5;
+	}
+	for (int i = 0; i < 32; i++) {
+		s = s + a[i];
+	}
+	print(s, "\n");
+	return 0;
+}`
+	for _, opts := range []Options{
+		{}, {Model: ModelOpenMP}, {Model: ModelTasks}, {Model: ModelOffload},
+		{Dialect: DialectFortran}, {Views: true, Model: ModelOffload},
+	} {
+		h1, d1, err := Compile("d.mc", src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, d2, err := Compile("d.mc", src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1.String() != h2.String() {
+			t.Fatalf("host lowering nondeterministic for %+v", opts)
+		}
+		if (d1 == nil) != (d2 == nil) {
+			t.Fatalf("device module presence nondeterministic")
+		}
+		if d1 != nil && d1.String() != d2.String() {
+			t.Fatalf("device lowering nondeterministic for %+v", opts)
+		}
+	}
+}

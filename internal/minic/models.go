@@ -1,0 +1,481 @@
+package minic
+
+import (
+	"fmt"
+
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// capture describes one variable captured into an outlining context.
+// Every capture occupies one 8-byte context slot:
+//   - scalars (vkSSA) are spilled to a stack slot whose *address* goes
+//     into the context (OpenMP shared-variable style),
+//   - memory objects contribute their base pointer,
+//   - boxed variables contribute their box address (descriptor double
+//     indirection, the Fortran/Kokkos pattern),
+//   - globals (offload only) contribute their address.
+type capture struct {
+	name       string
+	kind       varKind // kind inside the outlined function
+	ty         semType // value type (vkBoxed) or element type (vkMemory)
+	arr        bool
+	structName string
+	reload     *varInfo // caller-side SSA variable to reload after the region
+	slotIdx    int
+}
+
+// collectFreeVars walks the body and returns the referenced outer
+// variable names in order of first appearance.
+func collectFreeVars(body *Block, exclude map[string]bool) []string {
+	var order []string
+	seen := map[string]bool{}
+	declared := []map[string]bool{{}}
+	for e := range exclude {
+		declared[0][e] = true
+	}
+	isDeclared := func(n string) bool {
+		for i := len(declared) - 1; i >= 0; i-- {
+			if declared[i][n] {
+				return true
+			}
+		}
+		return false
+	}
+	var walkExpr func(e *Expr)
+	var walkStmt func(s Stmt)
+	walkExpr = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		if e.Kind == EIdent && !isDeclared(e.Name) && !seen[e.Name] {
+			seen[e.Name] = true
+			order = append(order, e.Name)
+		}
+		walkExpr(e.X)
+		walkExpr(e.Y)
+		walkExpr(e.Z)
+		walkExpr(e.N)
+		for _, a := range e.Args {
+			walkExpr(a)
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			declared = append(declared, map[string]bool{})
+			for _, inner := range st.Stmts {
+				walkStmt(inner)
+			}
+			declared = declared[:len(declared)-1]
+		case *VarDecl:
+			walkExpr(st.Len)
+			walkExpr(st.Init)
+			declared[len(declared)-1][st.Name] = true
+		case *Assign:
+			walkExpr(st.LHS)
+			walkExpr(st.RHS)
+		case *IncDec:
+			walkExpr(st.LHS)
+		case *ExprStmt:
+			walkExpr(st.X)
+		case *If:
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *While:
+			walkExpr(st.Cond)
+			walkStmt(st.Body)
+		case *For:
+			declared = append(declared, map[string]bool{})
+			if st.Init != nil {
+				walkStmt(st.Init)
+			}
+			walkExpr(st.Cond)
+			if st.Step != nil {
+				walkStmt(st.Step)
+			}
+			walkStmt(st.Body)
+			declared = declared[:len(declared)-1]
+		case *ParallelFor:
+			declared = append(declared, map[string]bool{})
+			walkExpr(st.From)
+			walkExpr(st.To)
+			declared[len(declared)-1][st.Var] = true
+			walkStmt(st.Body)
+			declared = declared[:len(declared)-1]
+		case *Task:
+			walkStmt(st.Body)
+		case *Return:
+			walkExpr(st.X)
+		}
+	}
+	walkStmt(body)
+	return order
+}
+
+// seqFor lowers a parallel-for as an ordinary sequential loop.
+func (fc *fnctx) seqFor(s *ParallelFor) {
+	loop := &For{
+		Init: &VarDecl{Name: s.Var, Type: TypeExpr{Base: "int"}, Init: s.From, Pos: s.Pos},
+		Cond: &Expr{Kind: EBinary, Op: "<", X: &Expr{Kind: EIdent, Name: s.Var, Pos: s.Pos}, Y: s.To, Pos: s.Pos},
+		Step: &IncDec{LHS: &Expr{Kind: EIdent, Name: s.Var, Pos: s.Pos}, Pos: s.Pos},
+		Body: s.Body,
+		Pos:  s.Pos,
+	}
+	fc.pushScope()
+	fc.lowerStmt(loop)
+	fc.popScope()
+}
+
+func (fc *fnctx) lowerParallelFor(s *ParallelFor) {
+	switch fc.lw.opts.Model {
+	case ModelSeq, ModelMPI:
+		fc.seqFor(s)
+	case ModelOpenMP:
+		fc.outlineParallelFor(s, false)
+	case ModelTasks:
+		fc.outlineTasks(s)
+	case ModelOffload:
+		fc.outlineParallelFor(s, true)
+	}
+}
+
+// prepareCaptures resolves the body's free variables into capture
+// records and returns them; reserved counts the slots used before the
+// captures (from/lo/hi values).
+func (fc *fnctx) prepareCaptures(s *ParallelFor, offload bool, reserved int) []capture {
+	lw := fc.lw
+	free := collectFreeVars(s.Body, map[string]bool{s.Var: true})
+	var caps []capture
+	for _, name := range free {
+		if vi := fc.lookup(name); vi != nil {
+			c := capture{name: name, slotIdx: reserved + len(caps)}
+			switch vi.kind {
+			case vkSSA:
+				c.kind = vkBoxed
+				c.ty = vi.ty
+			case vkMemory:
+				c.kind = vkMemory
+				c.ty = vi.ty
+				c.arr = vi.arr
+				c.structName = vi.structName
+			case vkBoxed:
+				c.kind = vkBoxed
+				c.ty = vi.ty
+			}
+			caps = append(caps, c)
+			continue
+		}
+		if _, ok := lw.globals[name]; ok {
+			// Globals are referenced directly from outlined code; under
+			// offload they are imported into the device module
+			// (unified-memory semantics).
+			continue
+		}
+		if _, isFn := lw.funcs[name]; isFn {
+			continue
+		}
+		lw.errf(s.Pos, "undefined identifier %q in parallel region", name)
+	}
+	return caps
+}
+
+// spillCaptures materializes the shared-variable pointers for a
+// capture set: SSA scalars spill to stack slots (whose addresses the
+// context will carry — OpenMP shared-variable style), memory objects
+// and boxes contribute their existing addresses. The returned slice is
+// parallel to caps. The same spill slots are shared by every chunk of
+// a region, so writes inside the region are visible after it.
+func (fc *fnctx) spillCaptures(caps []capture) []ir.Value {
+	lw := fc.lw
+	ptrs := make([]ir.Value, len(caps))
+	for i := range caps {
+		c := &caps[i]
+		vi := fc.lookup(c.name)
+		switch {
+		case vi != nil && vi.kind == vkSSA:
+			spill := fc.b.Alloca(8, c.name+".shared")
+			cur := fc.ssa.read(vi.ssa, fc.b.Block())
+			fc.b.Store(cur, spill, lw.tbaaFor(vi.ty))
+			ptrs[i] = spill
+			c.reload = vi
+		case vi != nil && (vi.kind == vkMemory || vi.kind == vkBoxed):
+			ptrs[i] = vi.base
+		default:
+			ptrs[i] = lw.globals[c.name].g
+		}
+	}
+	return ptrs
+}
+
+// packContext allocates one context object and fills its slots from
+// the by-value header vals plus the capture pointers.
+func (fc *fnctx) packContext(s *ParallelFor, caps []capture, ptrs []ir.Value, vals []ir.Value) ir.Value {
+	lw := fc.lw
+	slots := len(vals) + len(caps)
+	if slots == 0 {
+		slots = 1
+	}
+	ctx := fc.b.Alloca(int64(8*slots), "omp.ctx")
+	for i, v := range vals {
+		slot := fc.b.GEP(ctx, nil, 0, int64(8*i), "ctx.slot")
+		fc.b.Store(v, slot, lw.tbaaArgSlot(tyInt))
+	}
+	for i := range caps {
+		slot := fc.b.GEP(ctx, nil, 0, int64(8*caps[i].slotIdx), "ctx.slot")
+		st := fc.b.Store(ptrs[i], slot, lw.tbaaArgSlot(semType{base: "int", ptr: 1}))
+		st.Loc = fc.loc(s.Pos)
+	}
+	return ctx
+}
+
+// reloadCaptures reloads spilled SSA scalars from their shared slots
+// after the parallel region completes.
+func (fc *fnctx) reloadCaptures(caps []capture, ptrs []ir.Value) {
+	lw := fc.lw
+	for i, c := range caps {
+		if c.reload == nil {
+			continue
+		}
+		val := fc.b.Load(lw.irType(c.reload.ty), ptrs[i], lw.tbaaFor(c.reload.ty))
+		fc.ssa.write(c.reload.ssa, fc.b.Block(), val)
+	}
+}
+
+// bindCaptures declares the captured variables inside an outlined
+// function, loading each context slot once in the entry block. This is
+// exactly the indirection pattern whose alias queries the paper's
+// Fig. 3 shows (context loads vs. data pointers).
+func bindCaptures(ofc *fnctx, ctxArg ir.Value, caps []capture, pos Pos) {
+	lw := ofc.lw
+	for _, c := range caps {
+		slot := ofc.b.GEP(ctxArg, nil, 0, int64(8*c.slotIdx), c.name+".slot")
+		dptr := ofc.b.Load(ir.Ptr, slot, lw.tbaaArgSlot(semType{base: "int", ptr: 1}))
+		dptr.Name = c.name + ".dptr"
+		dptr.Loc = ofc.loc(pos)
+		vi := &varInfo{name: c.name, ty: c.ty, arr: c.arr, structName: c.structName, base: dptr}
+		switch c.kind {
+		case vkMemory:
+			vi.kind = vkMemory
+		default:
+			vi.kind = vkBoxed
+		}
+		ofc.declare(pos, vi)
+	}
+}
+
+// outlineParallelFor implements the OpenMP (host) and offload (device)
+// lowering of a parallel loop.
+func (fc *fnctx) outlineParallelFor(s *ParallelFor, offload bool) {
+	lw := fc.lw
+	reserved := 1 // slot 0: `from` by value
+	caps := fc.prepareCaptures(s, offload, reserved)
+
+	from, ft := fc.lowerExpr(s.From)
+	if !ft.isInt() {
+		lw.errf(s.Pos, "parallel for bounds must be int")
+	}
+	to, tt := fc.lowerExpr(s.To)
+	if !tt.isInt() {
+		lw.errf(s.Pos, "parallel for bounds must be int")
+	}
+	n := fc.b.Bin(ir.OpSub, to, from, "omp.n")
+	ptrs := fc.spillCaptures(caps)
+	ctx := fc.packContext(s, caps, ptrs, []ir.Value{from})
+
+	lw.outlineCount++
+	var name string
+	var mod *ir.Module
+	if offload {
+		name = fmt.Sprintf(".omp_offload.%d", lw.outlineCount)
+		mod = lw.deviceModule()
+	} else {
+		name = fmt.Sprintf(".omp_outlined.%d", lw.outlineCount)
+		mod = lw.host
+	}
+	lw.buildOutlined(mod, name, s, caps, offload)
+
+	if offload {
+		fc.b.Call(ir.Void, "__gpu_launch", ir.ConstStr(name), ctx, n)
+	} else {
+		fc.b.Call(ir.Void, "__omp_fork", ir.ConstStr(name), ctx, n)
+	}
+	fc.reloadCaptures(caps, ptrs)
+}
+
+// buildOutlined lowers the loop body into the outlined function.
+func (lw *lowerer) buildOutlined(mod *ir.Module, name string, s *ParallelFor, caps []capture, offload bool) {
+	var fn *ir.Func
+	var b *ir.Builder
+	ctxArg := &ir.Arg{Name: ".ctx", Ty: ir.Ptr}
+	if offload {
+		fn, b = ir.NewFunc(mod, name, ir.Void, ctxArg)
+		fn.Attrs.Kernel = true
+	} else {
+		lo := &ir.Arg{Name: ".lo", Ty: ir.I64}
+		hi := &ir.Arg{Name: ".hi", Ty: ir.I64}
+		fn, b = ir.NewFunc(mod, name, ir.Void, ctxArg, lo, hi)
+		fn.Attrs.Outlined = true
+	}
+	ofc := &fnctx{lw: lw, mod: mod, fn: fn, b: b, ssa: newSSABuilder(fn), retTy: tyVoid, device: offload}
+	ofc.ssa.seal(fn.Entry())
+	ofc.pushScope()
+
+	// Entry: unpack `from` and bind captures.
+	fromSlot := b.GEP(ctxArg, nil, 0, 0, "from.slot")
+	fromVal := b.Load(ir.I64, fromSlot, lw.tbaaArgSlot(tyInt))
+	fromVal.Name = "omp.from"
+	bindCaptures(ofc, ctxArg, caps, s.Pos)
+
+	// Loop variable.
+	iVar := ofc.ssa.newVar(ir.I64)
+	ofc.declare(s.Pos, &varInfo{name: s.Var, ty: tyInt, kind: vkSSA, ssa: iVar})
+
+	if offload {
+		// One iteration per device thread: i = from + tid.
+		tid := b.Call(ir.I64, "__gpu_tid")
+		i := b.Bin(ir.OpAdd, fromVal, tid, s.Var)
+		ofc.ssa.write(iVar, b.Block(), i)
+		ofc.lowerBlock(s.Body)
+		if ofc.b.Block().Term() == nil {
+			ofc.b.Ret(nil)
+		}
+		ofc.finish(nil)
+		return
+	}
+
+	// Host outlined: for (i = from+lo; i < from+hi; i++) { body }. The
+	// user induction variable is the loop induction directly, so the
+	// loop stays in the canonical form the vectorizer recognizes.
+	iStart := b.Bin(ir.OpAdd, fromVal, fn.Params[1], "omp.start")
+	iEnd := b.Bin(ir.OpAdd, fromVal, fn.Params[2], "omp.end")
+	ofc.ssa.write(iVar, b.Block(), iStart)
+	header := b.NewBlock("omp.cond")
+	body := b.NewBlock("omp.body")
+	exit := b.NewBlock("omp.exit")
+	ofc.br(header)
+	b.SetBlock(header)
+	i := ofc.ssa.read(iVar, header)
+	cmp := b.ICmp(ir.PredLT, i, iEnd, "omp.cmp")
+	ofc.condBr(cmp, body, exit)
+	ofc.ssa.seal(body)
+	b.SetBlock(body)
+	ofc.loops = append(ofc.loops, loopCtx{continueTo: header, breakTo: exit})
+	ofc.lowerBlock(s.Body)
+	ofc.loops = ofc.loops[:len(ofc.loops)-1]
+	if ofc.b.Block().Term() == nil {
+		next := ofc.b.Bin(ir.OpAdd, ofc.ssa.read(iVar, ofc.b.Block()), ir.ConstInt(1), "omp.next")
+		ofc.ssa.write(iVar, ofc.b.Block(), next)
+		ofc.br(header)
+	}
+	ofc.ssa.seal(header)
+	ofc.ssa.seal(exit)
+	b.SetBlock(exit)
+	ofc.b.Ret(nil)
+	ofc.finish(nil)
+}
+
+// outlineTasks lowers a parallel-for to TaskChunks explicit tasks plus
+// a taskwait (the miniGMG omptask configuration). Context slots:
+// 0 = from, 1 = lo, 2 = hi, then captures.
+func (fc *fnctx) outlineTasks(s *ParallelFor) {
+	lw := fc.lw
+	reserved := 3
+	caps := fc.prepareCaptures(s, false, reserved)
+
+	from, _ := fc.lowerExpr(s.From)
+	to, _ := fc.lowerExpr(s.To)
+	n := fc.b.Bin(ir.OpSub, to, from, "task.n")
+
+	lw.outlineCount++
+	name := fmt.Sprintf(".omp_task_entry.%d", lw.outlineCount)
+	lw.buildTaskEntry(name, s, caps)
+
+	chunks := int64(lw.opts.TaskChunks)
+	ptrs := fc.spillCaptures(caps)
+	for t := int64(0); t < chunks; t++ {
+		lo := fc.b.Bin(ir.OpSDiv, fc.b.Bin(ir.OpMul, n, ir.ConstInt(t), "task.nt"), ir.ConstInt(chunks), "task.lo")
+		hi := fc.b.Bin(ir.OpSDiv, fc.b.Bin(ir.OpMul, n, ir.ConstInt(t+1), "task.nt1"), ir.ConstInt(chunks), "task.hi")
+		ctx := fc.packContext(s, caps, ptrs, []ir.Value{from, lo, hi})
+		fc.b.Call(ir.Void, "__omp_task", ir.ConstStr(name), ctx)
+	}
+	fc.b.Call(ir.Void, "__omp_taskwait")
+	// All chunks share the spill slots, and tasks execute at the
+	// taskwait, so reloading here observes every chunk's writes.
+	fc.reloadCaptures(caps, ptrs)
+}
+
+// buildTaskEntry lowers the task body function: (ctx, _, _) with lo/hi
+// read from the context.
+func (lw *lowerer) buildTaskEntry(name string, s *ParallelFor, caps []capture) {
+	ctxArg := &ir.Arg{Name: ".ctx", Ty: ir.Ptr}
+	loArg := &ir.Arg{Name: ".unused_lo", Ty: ir.I64}
+	hiArg := &ir.Arg{Name: ".unused_hi", Ty: ir.I64}
+	fn, b := ir.NewFunc(lw.host, name, ir.Void, ctxArg, loArg, hiArg)
+	fn.Attrs.Outlined = true
+	ofc := &fnctx{lw: lw, mod: lw.host, fn: fn, b: b, ssa: newSSABuilder(fn), retTy: tyVoid}
+	ofc.ssa.seal(fn.Entry())
+	ofc.pushScope()
+
+	load := func(slot int, name string) *ir.Instr {
+		g := b.GEP(ctxArg, nil, 0, int64(8*slot), name+".slot")
+		l := b.Load(ir.I64, g, lw.tbaaArgSlot(tyInt))
+		l.Name = name
+		return l
+	}
+	fromVal := load(0, "task.from")
+	loVal := load(1, "task.lo")
+	hiVal := load(2, "task.hi")
+	bindCaptures(ofc, ctxArg, caps, s.Pos)
+
+	iVar := ofc.ssa.newVar(ir.I64)
+	ofc.declare(s.Pos, &varInfo{name: s.Var, ty: tyInt, kind: vkSSA, ssa: iVar})
+	iStart := b.Bin(ir.OpAdd, fromVal, loVal, "task.start")
+	iEnd := b.Bin(ir.OpAdd, fromVal, hiVal, "task.end")
+	ofc.ssa.write(iVar, b.Block(), iStart)
+
+	header := b.NewBlock("task.cond")
+	body := b.NewBlock("task.body")
+	exit := b.NewBlock("task.exit")
+	ofc.br(header)
+	b.SetBlock(header)
+	i := ofc.ssa.read(iVar, header)
+	cmp := b.ICmp(ir.PredLT, i, iEnd, "task.cmp")
+	ofc.condBr(cmp, body, exit)
+	ofc.ssa.seal(body)
+	b.SetBlock(body)
+	ofc.loops = append(ofc.loops, loopCtx{continueTo: header, breakTo: exit})
+	ofc.lowerBlock(s.Body)
+	ofc.loops = ofc.loops[:len(ofc.loops)-1]
+	if ofc.b.Block().Term() == nil {
+		next := ofc.b.Bin(ir.OpAdd, ofc.ssa.read(iVar, ofc.b.Block()), ir.ConstInt(1), "task.next")
+		ofc.ssa.write(iVar, ofc.b.Block(), next)
+		ofc.br(header)
+	}
+	ofc.ssa.seal(header)
+	ofc.ssa.seal(exit)
+	b.SetBlock(exit)
+	ofc.b.Ret(nil)
+	ofc.finish(nil)
+}
+
+// lowerTask lowers a bare task { ... } block: inline under non-task
+// models, spawned under ModelTasks.
+func (fc *fnctx) lowerTask(s *Task) {
+	if fc.lw.opts.Model != ModelTasks {
+		fc.lowerBlock(s.Body)
+		return
+	}
+	lw := fc.lw
+	pf := &ParallelFor{Var: ".task_i", From: &Expr{Kind: EInt, I: 0, Pos: s.Pos}, To: &Expr{Kind: EInt, I: 1, Pos: s.Pos}, Body: s.Body, Pos: s.Pos}
+	reserved := 3
+	caps := fc.prepareCaptures(pf, false, reserved)
+	lw.outlineCount++
+	name := fmt.Sprintf(".omp_task_entry.%d", lw.outlineCount)
+	lw.buildTaskEntry(name, pf, caps)
+	ptrs := fc.spillCaptures(caps)
+	ctx := fc.packContext(pf, caps, ptrs, []ir.Value{ir.ConstInt(0), ir.ConstInt(0), ir.ConstInt(1)})
+	fc.b.Call(ir.Void, "__omp_task", ir.ConstStr(name), ctx)
+}

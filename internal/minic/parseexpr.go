@@ -1,0 +1,216 @@
+package minic
+
+// Binary operator precedence, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (*Expr, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (*Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	yes, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	no, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Kind: ECond, X: cond, Y: yes, Z: no, Pos: cond.Pos}, nil
+}
+
+func (p *parser) parseBinary(level int) (*Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range precLevels[level] {
+			if p.at(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: EBinary, Op: matched, X: lhs, Y: rhs, Pos: lhs.Pos}
+	}
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	t := p.cur()
+	for _, op := range []string{"-", "!", "~", "*", "&"} {
+		if p.at(op) {
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: EUnary, Op: op, X: x, Pos: p.posOf(t)}, nil
+		}
+	}
+	// Cast: '(' typename ... ')'
+	if p.at("(") && p.toks[p.pos+1].kind == tokIdent && p.isTypeName(p.toks[p.pos+1].text) &&
+		(p.toks[p.pos+2].text == ")" || p.toks[p.pos+2].text == "*") {
+		p.pos++ // '('
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ECast, Type: ty, X: x, Pos: p.posOf(t)}, nil
+	}
+	if p.at("new") {
+		p.pos++
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("[") {
+			n, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ENewArr, Type: ty, X: n, Pos: p.posOf(t)}, nil
+		}
+		return &Expr{Kind: ENewObj, Type: ty, Pos: p.posOf(t)}, nil
+	}
+	if p.at("launch") {
+		p.pos++
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, p.errf(name, "expected kernel name after launch")
+		}
+		e := &Expr{Kind: ELaunch, Name: name.text, Pos: p.posOf(t)}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for !p.accept(")") {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			e.Args = append(e.Args, a)
+			if !p.accept(",") && !p.at(")") {
+				return nil, p.errf(p.cur(), "expected ',' or ')' in launch args")
+			}
+		}
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		e.N = n
+		return e, p.expect("]")
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Expr{Kind: EIndex, X: x, Y: idx, Pos: x.Pos}
+		case p.accept(".") || p.accept("->"):
+			f := p.next()
+			if f.kind != tokIdent {
+				return nil, p.errf(f, "expected field name")
+			}
+			x = &Expr{Kind: EField, X: x, Name: f.text, Pos: x.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.pos++
+		return &Expr{Kind: EInt, I: t.i, Pos: p.posOf(t)}, nil
+	case tokFloat:
+		p.pos++
+		return &Expr{Kind: EFloat, F: t.f, Pos: p.posOf(t)}, nil
+	case tokString:
+		p.pos++
+		return &Expr{Kind: EString, S: t.text, Pos: p.posOf(t)}, nil
+	case tokIdent:
+		p.pos++
+		if p.at("(") {
+			p.pos++
+			e := &Expr{Kind: ECall, Name: t.text, Pos: p.posOf(t)}
+			for !p.accept(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				e.Args = append(e.Args, a)
+				if !p.accept(",") && !p.at(")") {
+					return nil, p.errf(p.cur(), "expected ',' or ')' in call args")
+				}
+			}
+			return e, nil
+		}
+		return &Expr{Kind: EIdent, Name: t.text, Pos: p.posOf(t)}, nil
+	}
+	if p.accept("(") {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	}
+	return nil, p.errf(t, "unexpected token %q in expression", t.text)
+}

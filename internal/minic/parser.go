@@ -1,0 +1,541 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	file    string
+	toks    []token
+	pos     int
+	structs map[string]bool
+}
+
+// Parse parses a translation unit.
+func Parse(file, src string) (*File, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks, structs: map[string]bool{}}
+	return p.parseFile()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("%s:%d:%d: %s", p.file, t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) at(text string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokIdent) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf(p.cur(), "expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) posOf(t token) Pos { return Pos{Line: t.line, Col: t.col} }
+
+func (p *parser) isTypeName(s string) bool {
+	switch s {
+	case "int", "double", "void", "vec4":
+		return true
+	}
+	return p.structs[s]
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{Name: p.file}
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.at("struct"):
+			sd, err := p.parseStruct()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, sd)
+		default:
+			if err := p.parseTopDecl(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseStruct() (*StructDecl, error) {
+	start := p.next() // struct
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, p.errf(name, "expected struct name")
+	}
+	p.structs[name.text] = true
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Name: name.text, Pos: p.posOf(start)}
+	for !p.accept("}") {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname := p.next()
+		if fname.kind != tokIdent {
+			return nil, p.errf(fname, "expected field name")
+		}
+		sd.Fields = append(sd.Fields, Field{Name: fname.text, Type: ty})
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+func (p *parser) parseType() (TypeExpr, error) {
+	t := p.cur()
+	if t.kind != tokIdent || !p.isTypeName(t.text) {
+		return TypeExpr{}, p.errf(t, "expected type name, found %q", t.text)
+	}
+	p.pos++
+	ty := TypeExpr{Base: t.text}
+	for {
+		if p.accept("*") {
+			ty.Ptr++
+			continue
+		}
+		if p.at("restrict") {
+			p.pos++
+			ty.Restrict = true
+			continue
+		}
+		break
+	}
+	return ty, nil
+}
+
+// parseTopDecl parses a global variable or function definition.
+func (p *parser) parseTopDecl(f *File) error {
+	kernel := p.accept("kernel")
+	start := p.cur()
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return p.errf(name, "expected declaration name")
+	}
+	if p.at("(") {
+		fd, err := p.parseFuncRest(ty, name, kernel)
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, fd)
+		return nil
+	}
+	if kernel {
+		return p.errf(start, "kernel qualifier only applies to functions")
+	}
+	g := &GlobalDecl{Name: name.text, Type: ty, Pos: p.posOf(name)}
+	if p.accept("[") {
+		n := p.next()
+		if n.kind != tokInt {
+			return p.errf(n, "global array length must be an integer literal")
+		}
+		g.Len = n.i
+		if err := p.expect("]"); err != nil {
+			return err
+		}
+	}
+	if p.accept("=") {
+		g.HasInit = true
+		if p.accept("{") {
+			for !p.accept("}") {
+				t := p.next()
+				neg := false
+				if t.kind == tokPunct && t.text == "-" {
+					neg = true
+					t = p.next()
+				}
+				switch t.kind {
+				case tokInt:
+					v := t.i
+					if neg {
+						v = -v
+					}
+					g.InitI = append(g.InitI, v)
+				case tokFloat:
+					v := t.f
+					if neg {
+						v = -v
+					}
+					g.InitF = append(g.InitF, v)
+				default:
+					return p.errf(t, "expected numeric initializer")
+				}
+				if !p.accept(",") && !p.at("}") {
+					return p.errf(p.cur(), "expected ',' or '}' in initializer")
+				}
+			}
+		} else {
+			t := p.next()
+			neg := false
+			if t.kind == tokPunct && t.text == "-" {
+				neg = true
+				t = p.next()
+			}
+			switch t.kind {
+			case tokInt:
+				v := t.i
+				if neg {
+					v = -v
+				}
+				g.InitI = append(g.InitI, v)
+			case tokFloat:
+				v := t.f
+				if neg {
+					v = -v
+				}
+				g.InitF = append(g.InitF, v)
+			default:
+				return p.errf(t, "expected numeric initializer")
+			}
+		}
+	}
+	f.Globals = append(f.Globals, g)
+	return p.expect(";")
+}
+
+func (p *parser) parseFuncRest(ret TypeExpr, name token, kernel bool) (*FuncDecl, error) {
+	fd := &FuncDecl{Name: name.text, Ret: ret, Kernel: kernel, Pos: p.posOf(name)}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(")") {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn := p.next()
+		if pn.kind != tokIdent {
+			return nil, p.errf(pn, "expected parameter name")
+		}
+		fd.Params = append(fd.Params, Param{Name: pn.text, Type: ty})
+		if !p.accept(",") && !p.at(")") {
+			return nil, p.errf(p.cur(), "expected ',' or ')' in parameter list")
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	start := p.cur()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: p.posOf(start)}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf(start, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at("{"):
+		return p.parseBlock()
+	case p.at("if"):
+		return p.parseIf()
+	case p.at("while"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Pos: p.posOf(t)}, nil
+	case p.at("for"):
+		return p.parseFor()
+	case p.at("parallel"):
+		return p.parseParallelFor()
+	case p.at("task"):
+		p.pos++
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Task{Body: body, Pos: p.posOf(t)}, nil
+	case p.at("taskwait"):
+		p.pos++
+		return &TaskWait{Pos: p.posOf(t)}, p.expect(";")
+	case p.at("return"):
+		p.pos++
+		r := &Return{Pos: p.posOf(t)}
+		if !p.at(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		return r, p.expect(";")
+	case p.at("break"):
+		p.pos++
+		return &Break{Pos: p.posOf(t)}, p.expect(";")
+	case p.at("continue"):
+		p.pos++
+		return &Continue{Pos: p.posOf(t)}, p.expect(";")
+	}
+	// Declaration?
+	if t.kind == tokIdent && p.isTypeName(t.text) && p.toks[p.pos+1].kind == tokIdent ||
+		t.kind == tokIdent && p.isTypeName(t.text) && p.toks[p.pos+1].text == "*" {
+		return p.parseVarDecl()
+	}
+	return p.parseSimpleStmt(true)
+}
+
+func (p *parser) parseVarDecl() (Stmt, error) {
+	start := p.cur()
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, p.errf(name, "expected variable name")
+	}
+	d := &VarDecl{Name: name.text, Type: ty, Pos: p.posOf(start)}
+	if p.accept("[") {
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Len = n
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, p.expect(";")
+}
+
+// parseSimpleStmt parses assignment / inc-dec / call statements; when
+// consumeSemi it eats the trailing semicolon.
+func (p *parser) parseSimpleStmt(consumeSemi bool) (Stmt, error) {
+	start := p.cur()
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var st Stmt
+	switch {
+	case p.at("=") || p.at("+=") || p.at("-=") || p.at("*=") || p.at("/=") || p.at("%="):
+		op := p.next().text
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st = &Assign{LHS: lhs, Op: op, RHS: rhs, Pos: p.posOf(start)}
+	case p.accept("++"):
+		st = &IncDec{LHS: lhs, Pos: p.posOf(start)}
+	case p.accept("--"):
+		st = &IncDec{LHS: lhs, Dec: true, Pos: p.posOf(start)}
+	default:
+		if lhs.Kind != ECall && lhs.Kind != ELaunch {
+			return nil, p.errf(start, "expression statement must be a call")
+		}
+		st = &ExprStmt{X: lhs, Pos: p.posOf(start)}
+	}
+	if consumeSemi {
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	start := p.next() // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Pos: p.posOf(start)}
+	if p.accept("else") {
+		if p.at("if") {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = &Block{Stmts: []Stmt{els}, Pos: els.stmtPos()}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	start := p.next() // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &For{Pos: p.posOf(start)}
+	if !p.at(";") {
+		t := p.cur()
+		if t.kind == tokIdent && p.isTypeName(t.text) {
+			d, err := p.parseVarDecl() // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			f.Init = d
+		} else {
+			s, err := p.parseSimpleStmt(true)
+			if err != nil {
+				return nil, err
+			}
+			f.Init = s
+		}
+	} else {
+		p.pos++ // ';'
+	}
+	if !p.at(";") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.at(")") {
+		s, err := p.parseSimpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		f.Step = s
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// parseParallelFor: parallel for (i = from; i < to; i++) { ... }
+func (p *parser) parseParallelFor() (Stmt, error) {
+	start := p.next() // parallel
+	if err := p.expect("for"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	// Accept an optional 'int' type on the induction variable.
+	if p.at("int") {
+		p.pos++
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, p.errf(name, "expected induction variable")
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	from, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.accept(name.text) {
+		return nil, p.errf(p.cur(), "parallel for condition must test %q", name.text)
+	}
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	to, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.accept(name.text) {
+		return nil, p.errf(p.cur(), "parallel for step must increment %q", name.text)
+	}
+	if err := p.expect("++"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelFor{Var: name.text, From: from, To: to, Body: body, Pos: p.posOf(start)}, nil
+}

@@ -1,0 +1,172 @@
+package minic
+
+import "github.com/oraql/go-oraql/internal/ir"
+
+// ssaBuilder performs on-the-fly SSA construction (Braun et al.,
+// "Simple and Efficient Construction of Static Single Assignment
+// Form"): local value numbering per block, with phis created lazily at
+// joins and loop headers, and trivial phis removed recursively.
+type ssaBuilder struct {
+	fn     *ir.Func
+	preds  map[*ir.Block][]*ir.Block
+	sealed map[*ir.Block]bool
+	// curDef[varID][block] is the reaching definition.
+	curDef map[int]map[*ir.Block]ir.Value
+	// incomplete[block] lists phis awaiting operands until sealing.
+	incomplete map[*ir.Block][]pendingPhi
+	varTypes   map[int]*ir.Type
+	nextVar    int
+}
+
+type pendingPhi struct {
+	phi *ir.Instr
+	v   int
+}
+
+func newSSABuilder(fn *ir.Func) *ssaBuilder {
+	return &ssaBuilder{
+		fn:         fn,
+		preds:      map[*ir.Block][]*ir.Block{},
+		sealed:     map[*ir.Block]bool{},
+		curDef:     map[int]map[*ir.Block]ir.Value{},
+		incomplete: map[*ir.Block][]pendingPhi{},
+		varTypes:   map[int]*ir.Type{},
+	}
+}
+
+// newVar registers an SSA variable of the given type.
+func (s *ssaBuilder) newVar(ty *ir.Type) int {
+	id := s.nextVar
+	s.nextVar++
+	s.curDef[id] = map[*ir.Block]ir.Value{}
+	s.varTypes[id] = ty
+	return id
+}
+
+// addEdge records a CFG edge for phi construction; call it for every
+// branch created.
+func (s *ssaBuilder) addEdge(from, to *ir.Block) {
+	s.preds[to] = append(s.preds[to], from)
+}
+
+// seal marks a block's predecessor list complete and fills pending phis.
+func (s *ssaBuilder) seal(b *ir.Block) {
+	if s.sealed[b] {
+		return
+	}
+	s.sealed[b] = true
+	for _, pp := range s.incomplete[b] {
+		s.addPhiOperands(pp.v, pp.phi)
+	}
+	delete(s.incomplete, b)
+}
+
+// write sets the current definition of v in block b.
+func (s *ssaBuilder) write(v int, b *ir.Block, val ir.Value) {
+	s.curDef[v][b] = val
+}
+
+// read returns the reaching definition of v at the end of block b.
+func (s *ssaBuilder) read(v int, b *ir.Block) ir.Value {
+	if val, ok := s.curDef[v][b]; ok {
+		return val
+	}
+	return s.readRecursive(v, b)
+}
+
+func (s *ssaBuilder) readRecursive(v int, b *ir.Block) ir.Value {
+	var val ir.Value
+	switch {
+	case !s.sealed[b]:
+		phi := s.newPhi(b, s.varTypes[v])
+		s.incomplete[b] = append(s.incomplete[b], pendingPhi{phi, v})
+		val = phi
+	case len(s.preds[b]) == 1:
+		val = s.read(v, s.preds[b][0])
+	case len(s.preds[b]) == 0:
+		// Unreachable block (e.g. after return): any value will do.
+		val = s.undef(s.varTypes[v])
+	default:
+		phi := s.newPhi(b, s.varTypes[v])
+		s.write(v, b, phi) // break cycles
+		val = s.addPhiOperands(v, phi)
+	}
+	s.write(v, b, val)
+	return val
+}
+
+func (s *ssaBuilder) undef(ty *ir.Type) ir.Value {
+	if ty == ir.F64 {
+		return ir.ConstFloat(0)
+	}
+	return ir.ConstInt(0)
+}
+
+// newPhi creates an empty phi at the head of b.
+func (s *ssaBuilder) newPhi(b *ir.Block, ty *ir.Type) *ir.Instr {
+	phi := &ir.Instr{Op: ir.OpPhi, Ty: ty, Parent: b}
+	phi.ID = s.fn.AllocID()
+	// Insert after existing phis at the block head.
+	at := 0
+	for at < len(b.Instrs) && b.Instrs[at].Op == ir.OpPhi {
+		at++
+	}
+	b.Instrs = append(b.Instrs[:at], append([]*ir.Instr{phi}, b.Instrs[at:]...)...)
+	return phi
+}
+
+func (s *ssaBuilder) addPhiOperands(v int, phi *ir.Instr) ir.Value {
+	for _, p := range s.preds[phi.Parent] {
+		ir.AddIncoming(phi, s.read(v, p), p)
+	}
+	return s.tryRemoveTrivial(phi)
+}
+
+// tryRemoveTrivial replaces a phi that merges a single value (plus
+// possibly itself) with that value, recursing into phi users.
+func (s *ssaBuilder) tryRemoveTrivial(phi *ir.Instr) ir.Value {
+	var same ir.Value
+	for _, op := range phi.Operands {
+		if op == ir.Value(phi) || op == same {
+			continue
+		}
+		if same != nil {
+			return phi // merges at least two values
+		}
+		same = op
+	}
+	if same == nil {
+		same = s.undef(phi.Ty) // unreachable or self-referential only
+	}
+	// Collect phi users before rewriting.
+	var users []*ir.Instr
+	for _, b := range s.fn.Blocks {
+		for _, in := range b.Instrs {
+			if in == phi || in.Dead() || in.Op != ir.OpPhi {
+				continue
+			}
+			for _, op := range in.Operands {
+				if op == ir.Value(phi) {
+					users = append(users, in)
+					break
+				}
+			}
+		}
+	}
+	s.fn.ReplaceAllUses(phi, same)
+	phi.MarkDead()
+	// Fix definition tables that still point at the phi.
+	for _, defs := range s.curDef {
+		for b, val := range defs {
+			if val == ir.Value(phi) {
+				defs[b] = same
+			}
+		}
+	}
+	for _, u := range users {
+		if !u.Dead() {
+			s.tryRemoveTrivial(u)
+		}
+	}
+	return same
+}

@@ -1,0 +1,204 @@
+package mssa
+
+import (
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/cfg"
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+func mkWalker(fn *ir.Func) *Walker {
+	m := fn.Parent
+	mgr := aa.NewManager(m, aa.DefaultChain(m)...)
+	return New(fn, cfg.New(fn), mgr)
+}
+
+func TestClobberingDefStraightLine(t *testing.T) {
+	m := ir.NewModule("t")
+	_, b := ir.NewFunc(m, "f", ir.Void)
+	a1 := b.Alloca(8, "a1")
+	a2 := b.Alloca(8, "a2")
+	st1 := b.Store(ir.ConstInt(1), a1, "")
+	b.Store(ir.ConstInt(2), a2, "") // unrelated
+	ld := b.Load(ir.I64, a1, "")
+	b.Ret(nil)
+	w := mkWalker(b.Func())
+	def, unique := w.ClobberingDef(ld, aa.LocOfLoad(ld))
+	if !unique || def != st1 {
+		t.Fatalf("clobbering def = %v (unique %v), want st1", def, unique)
+	}
+}
+
+func TestClobberingDefLiveOnEntry(t *testing.T) {
+	m := ir.NewModule("t")
+	p := &ir.Arg{Name: "p", Ty: ir.Ptr}
+	_, b := ir.NewFunc(m, "f", ir.Void, p)
+	a := b.Alloca(8, "a")
+	b.Store(ir.ConstInt(1), a, "") // cannot clobber *p (non-captured alloca)
+	ld := b.Load(ir.I64, p, "")
+	b.Ret(nil)
+	w := mkWalker(b.Func())
+	def, unique := w.ClobberingDef(ld, aa.LocOfLoad(ld))
+	if !unique || def != nil {
+		t.Fatalf("want live-on-entry, got %v (unique %v)", def, unique)
+	}
+}
+
+func TestClobberingDefDiamondAgreeing(t *testing.T) {
+	m := ir.NewModule("t")
+	c := &ir.Arg{Name: "c", Ty: ir.I1}
+	_, b := ir.NewFunc(m, "f", ir.Void, c)
+	a := b.Alloca(8, "a")
+	st := b.Store(ir.ConstInt(1), a, "")
+	then := b.NewBlock("then")
+	els := b.NewBlock("els")
+	join := b.NewBlock("join")
+	b.CondBr(c, then, els)
+	b.SetBlock(then)
+	b.Br(join)
+	b.SetBlock(els)
+	b.Br(join)
+	b.SetBlock(join)
+	ld := b.Load(ir.I64, a, "")
+	b.Ret(nil)
+	w := mkWalker(b.Func())
+	def, unique := w.ClobberingDef(ld, aa.LocOfLoad(ld))
+	if !unique || def != st {
+		t.Fatalf("diamond with single def: got %v (unique %v)", def, unique)
+	}
+}
+
+func TestClobberingDefDiamondDisagreeing(t *testing.T) {
+	m := ir.NewModule("t")
+	c := &ir.Arg{Name: "c", Ty: ir.I1}
+	_, b := ir.NewFunc(m, "f", ir.Void, c)
+	a := b.Alloca(8, "a")
+	then := b.NewBlock("then")
+	els := b.NewBlock("els")
+	join := b.NewBlock("join")
+	b.CondBr(c, then, els)
+	b.SetBlock(then)
+	b.Store(ir.ConstInt(1), a, "")
+	b.Br(join)
+	b.SetBlock(els)
+	b.Store(ir.ConstInt(2), a, "")
+	b.Br(join)
+	b.SetBlock(join)
+	ld := b.Load(ir.I64, a, "")
+	b.Ret(nil)
+	w := mkWalker(b.Func())
+	if _, unique := w.ClobberingDef(ld, aa.LocOfLoad(ld)); unique {
+		t.Fatal("two different path clobbers must not be unique")
+	}
+}
+
+// loadInLoopWithLaterStore: the wrap-around hazard — a store AFTER the
+// load in the same loop body clobbers the next iteration's load; the
+// walker must not claim a unique def.
+func TestClobberingDefLoopWrapAround(t *testing.T) {
+	m := ir.NewModule("t")
+	n := &ir.Arg{Name: "n", Ty: ir.I64}
+	_, b := ir.NewFunc(m, "f", ir.Void, n)
+	entry := b.Block()
+	a := b.Alloca(8, "a")
+	st0 := b.Store(ir.ConstInt(0), a, "")
+	_ = st0
+	header := b.NewBlock("header")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(header)
+	b.SetBlock(header)
+	iPhi := b.Phi(ir.I64, "i")
+	cmp := b.ICmp(ir.PredLT, iPhi, n, "cmp")
+	b.CondBr(cmp, body, exit)
+	b.SetBlock(body)
+	ld := b.Load(ir.I64, a, "")
+	sum := b.Bin(ir.OpAdd, ld, ir.ConstInt(1), "sum")
+	b.Store(sum, a, "") // clobbers next iteration's load
+	i2 := b.Bin(ir.OpAdd, iPhi, ir.ConstInt(1), "i2")
+	b.Br(header)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	ir.AddIncoming(iPhi, ir.ConstInt(0), entry)
+	ir.AddIncoming(iPhi, i2, body)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	w := mkWalker(b.Func())
+	if _, unique := w.ClobberingDef(ld, aa.LocOfLoad(ld)); unique {
+		t.Fatal("loop wrap-around store must prevent a unique def")
+	}
+}
+
+func TestNoClobberBetweenStraightLine(t *testing.T) {
+	m := ir.NewModule("t")
+	_, b := ir.NewFunc(m, "f", ir.Void)
+	a1 := b.Alloca(8, "a1")
+	a2 := b.Alloca(8, "a2")
+	st := b.Store(ir.ConstInt(1), a1, "")
+	mid := b.Store(ir.ConstInt(2), a2, "")
+	ld := b.Load(ir.I64, a1, "")
+	b.Ret(nil)
+	w := mkWalker(b.Func())
+	if !w.NoClobberBetween(st, ld, aa.LocOfLoad(ld)) {
+		t.Error("unrelated store must not count as clobber")
+	}
+	// Now make the middle store hit a1.
+	mid.Operands[1] = a1
+	if w.NoClobberBetween(st, ld, aa.LocOfLoad(ld)) {
+		t.Error("intervening store to the same location must be seen")
+	}
+}
+
+func TestNoClobberBetweenLoopWrap(t *testing.T) {
+	// def in preheader, use in loop body, store after use in the same
+	// body: a wrapped path def -> use(iter1) passes the store, so the
+	// check must fail.
+	m := ir.NewModule("t")
+	n := &ir.Arg{Name: "n", Ty: ir.I64}
+	_, b := ir.NewFunc(m, "f", ir.Void, n)
+	entry := b.Block()
+	a := b.Alloca(8, "a")
+	def := b.Store(ir.ConstInt(7), a, "")
+	header := b.NewBlock("header")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(header)
+	b.SetBlock(header)
+	iPhi := b.Phi(ir.I64, "i")
+	cmp := b.ICmp(ir.PredLT, iPhi, n, "cmp")
+	b.CondBr(cmp, body, exit)
+	b.SetBlock(body)
+	use := b.Load(ir.I64, a, "")
+	b.Store(ir.ConstInt(9), a, "") // after the use, wraps around
+	i2 := b.Bin(ir.OpAdd, iPhi, ir.ConstInt(1), "i2")
+	b.Br(header)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	ir.AddIncoming(iPhi, ir.ConstInt(0), entry)
+	ir.AddIncoming(iPhi, i2, body)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	w := mkWalker(b.Func())
+	if w.NoClobberBetween(def, use, aa.LocOfLoad(use)) {
+		t.Fatal("wrap-around clobber after the use must be detected")
+	}
+}
+
+func TestWalkerAttributesQueriesToMemorySSA(t *testing.T) {
+	m := ir.NewModule("t")
+	_, b := ir.NewFunc(m, "f", ir.Void)
+	a1 := b.Alloca(8, "a1")
+	a2 := b.Alloca(8, "a2")
+	b.Store(ir.ConstInt(1), a2, "")
+	ld := b.Load(ir.I64, a1, "")
+	b.Ret(nil)
+	mgr := aa.NewManager(m, aa.DefaultChain(m)...)
+	w := New(b.Func(), cfg.New(b.Func()), mgr)
+	w.ClobberingDef(ld, aa.LocOfLoad(ld))
+	if mgr.Stats().QueriesByPass[PassName] == 0 {
+		t.Error("walker queries must be attributed to memory-ssa")
+	}
+}

@@ -1,0 +1,116 @@
+package passes
+
+import (
+	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// DSE is dead-store elimination: a store is removed when a later store
+// must overwrite the same bytes before any instruction may read them,
+// or when it targets a non-captured local object that is never read at
+// all. Alias queries decide both "may read" and "must overwrite".
+type DSE struct{}
+
+// Name implements Pass.
+func (*DSE) Name() string { return "Dead Store Elimination" }
+
+// Run implements Pass.
+func (p *DSE) Run(fn *ir.Func, ctx *Context) bool {
+	changed := false
+	q := ctx.Query(fn)
+
+	// Same-block overwrites.
+	for _, b := range fn.Blocks {
+		for i, s := range b.Instrs {
+			if s.Dead() || s.Op != ir.OpStore {
+				continue
+			}
+			loc := aa.LocOfStore(s)
+		scan:
+			for j := i + 1; j < len(b.Instrs); j++ {
+				in := b.Instrs[j]
+				if in.Dead() {
+					continue
+				}
+				if in.Op == ir.OpStore {
+					oLoc := aa.LocOfStore(in)
+					if oLoc.Size.Known && loc.Size.Known && oLoc.Size.Bytes >= loc.Size.Bytes &&
+						ctx.AA.Alias(oLoc, loc, q) == aa.MustAlias {
+						s.MarkDead()
+						changed = true
+						ctx.Stats.Add(p.Name(), "# stores deleted", 1)
+						break scan
+					}
+				}
+				if ctx.AA.InstrMayReadLoc(in, loc, q) {
+					break scan
+				}
+			}
+		}
+	}
+
+	// Stores into never-read, non-captured local objects. Readness is
+	// a structural property (use-list walk), not an alias query: a
+	// non-captured object is only readable through pointers derived
+	// from it, exactly as LLVM's DSE reasons about dead objects.
+	for _, b := range fn.Blocks {
+		for _, obj := range b.Instrs {
+			if obj.Dead() || obj.Op != ir.OpAlloca {
+				continue
+			}
+			if !aa.IsNonCaptured(obj) || objectIsRead(fn, obj) {
+				continue
+			}
+			for _, bb := range fn.Blocks {
+				for _, in := range bb.Instrs {
+					if in.Dead() || (in.Op != ir.OpStore && in.Op != ir.OpMemSet) {
+						continue
+					}
+					dst := in.Operands[1]
+					if in.Op == ir.OpMemSet {
+						dst = in.Operands[0]
+					}
+					if aa.UnderlyingObject(dst) == ir.Value(obj) {
+						in.MarkDead()
+						changed = true
+						ctx.Stats.Add(p.Name(), "# stores deleted", 1)
+					}
+				}
+			}
+		}
+	}
+
+	if changed {
+		fn.Compact()
+		removeDeadCode(fn)
+	}
+	return changed
+}
+
+// objectIsRead reports whether any instruction reads through a pointer
+// derived from the non-captured object obj.
+func objectIsRead(fn *ir.Func, obj *ir.Instr) bool {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dead() || !in.ReadsMemory() {
+				continue
+			}
+			reads, _ := aa.AccessLocs(in)
+			for _, r := range reads {
+				u := aa.UnderlyingObject(r.Ptr)
+				if u == ir.Value(obj) || u == nil {
+					// Derived from obj, or unknown provenance (stay
+					// conservative even though non-capture implies it
+					// cannot be obj).
+					if u == ir.Value(obj) {
+						return true
+					}
+				}
+			}
+			if in.Op == ir.OpCall && !ir.CalleeEffects(in.Callee).ArgMemOnly && len(reads) == 0 {
+				return true // reads arbitrary memory
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package passes
+
+import (
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// vectorizeLoop rewrites the analyzed loop into
+//
+//	preheader -> vec.ph -> vec.header <-> vec.body
+//	                          |
+//	                          v
+//	                      scalar.ph -> header (original loop, remainder)
+//
+// The vector loop runs while iv < nvec where nvec = bound - ((bound -
+// init) mod 4); the original loop handles the remainder, its phis
+// re-seeded from the vector loop's final state.
+func vectorizeLoop(fn *ir.Func, plan *vecPlan) {
+	vecPH := fn.NewBlock("vec.ph")
+	vecHeader := fn.NewBlock("vec.header")
+	vecBody := fn.NewBlock("vec.body")
+	scalarPH := fn.NewBlock("scalar.ph")
+
+	// Redirect the preheader into the vector pre-header.
+	phTerm := plan.preheader.Term()
+	for i, s := range phTerm.Succs {
+		if s == plan.header {
+			phTerm.Succs[i] = vecPH
+		}
+	}
+
+	// vec.ph: nvec = bound - ((bound - init) mod 4), reduction seeds.
+	b := ir.NewBuilder(vecPH)
+	rangeV := b.Bin(ir.OpSub, plan.bound, plan.indInit, "vec.range")
+	rem := b.Bin(ir.OpSRem, rangeV, ir.ConstInt(vecWidth), "vec.rem")
+	nvec := b.Bin(ir.OpSub, plan.bound, rem, "vec.n")
+	vinits := make([]ir.Value, len(plan.reductions))
+	for i, r := range plan.reductions {
+		z := b.VSplat(ir.V4I64, ir.ConstInt(0), "vred.zero")
+		ins := &ir.Instr{Op: ir.OpVInsert, Ty: ir.V4I64,
+			Operands: []ir.Value{z, r.init, ir.ConstInt(0)}, Name: "vred.init"}
+		emitRaw(vecPH, fn, ins)
+		vinits[i] = ins
+	}
+	b.Br(vecHeader)
+
+	// vec.header: iv phi, vector reduction phis, bound check.
+	b = ir.NewBuilder(vecHeader)
+	ivPhi := b.Phi(ir.I64, "vec.iv")
+	ir.AddIncoming(ivPhi, plan.indInit, vecPH)
+	vaccPhis := make([]*ir.Instr, len(plan.reductions))
+	for i := range plan.reductions {
+		vaccPhis[i] = b.Phi(ir.V4I64, "vec.acc")
+		ir.AddIncoming(vaccPhis[i], vinits[i], vecPH)
+	}
+	vcond := b.ICmp(ir.PredLT, ivPhi, nvec, "vec.cond")
+	b.CondBr(vcond, vecBody, scalarPH)
+
+	// vec.body: translate the scalar body instruction by instruction.
+	b = ir.NewBuilder(vecBody)
+	vmap := map[ir.Value]ir.Value{}      // scalar value -> vector value
+	scalarMap := map[ir.Value]ir.Value{} // scalar value -> scalar clone in vec.body
+	splats := map[ir.Value]ir.Value{}
+	var getVec func(v ir.Value, elem *ir.Type) ir.Value
+	getVec = func(v ir.Value, elem *ir.Type) ir.Value {
+		if mv, ok := vmap[v]; ok {
+			return mv
+		}
+		if v == ir.Value(plan.indStep) {
+			// The step value i+1 used as data: lane vector of the
+			// induction plus one.
+			base := getVec(ir.Value(plan.indPhi), ir.I64)
+			one := b.VSplat(ir.V4I64, ir.ConstInt(1), "vec.one")
+			r := b.Bin(ir.OpAdd, base, one, "vec.iv.plus1")
+			vmap[v] = r
+			return r
+		}
+		if v == ir.Value(plan.indPhi) {
+			// The induction variable used as a value: build the lane
+			// vector <iv, iv+1, iv+2, iv+3> once.
+			lanes := b.VSplat(ir.V4I64, ivPhi, "vec.iv.lanes")
+			var cur ir.Value = lanes
+			for l := int64(1); l < vecWidth; l++ {
+				step := b.Bin(ir.OpAdd, ivPhi, ir.ConstInt(l), "vec.iv.step")
+				ins := &ir.Instr{Op: ir.OpVInsert, Ty: ir.V4I64,
+					Operands: []ir.Value{cur, step, ir.ConstInt(l)}, Name: "vec.iv.lane"}
+				emitRaw(vecBody, fn, ins)
+				cur = ins
+			}
+			vmap[v] = cur
+			return cur
+		}
+		src := v
+		if sc, ok := scalarMap[v]; ok {
+			src = sc
+		}
+		if sv, ok := splats[src]; ok {
+			return sv
+		}
+		sv := b.VSplat(ir.VecType(elem, vecWidth), src, "vec.splat")
+		splats[src] = sv
+		return sv
+	}
+	mapAddr := func(addr ir.Value) ir.Value {
+		if mv, ok := vmap[addr]; ok {
+			return mv
+		}
+		if sc, ok := scalarMap[addr]; ok {
+			return sc
+		}
+		return addr
+	}
+	reductionByAdd := map[*ir.Instr]int{}
+	for i, r := range plan.reductions {
+		reductionByAdd[r.add] = i
+	}
+	vaccNexts := make([]ir.Value, len(plan.reductions))
+	for _, in := range plan.body.Instrs {
+		if in.Dead() || in == plan.indStep || in.Op == ir.OpBr {
+			continue
+		}
+		switch in.Op {
+		case ir.OpGEP:
+			ac := plan.addr[in]
+			var g *ir.Instr
+			if ac.kind == addrConsecutive {
+				g = b.GEP(ac.base, ivPhi, in.Scale, in.Off, "vec.gep")
+			} else {
+				var idx ir.Value
+				if len(in.Operands) > 1 {
+					idx = in.Operands[1]
+				}
+				g = b.GEP(in.Operands[0], idx, in.Scale, in.Off, "vec.gep")
+			}
+			g.Loc = in.Loc
+			scalarMap[in] = g // addresses stay scalar
+		case ir.OpLoad:
+			ac, _ := lookupAddr(in.Operands[0], plan, func(ir.Value) bool { return true })
+			addr := mapAddr(in.Operands[0])
+			if ac.kind == addrConsecutive {
+				ld := b.Load(ir.VecType(in.Ty, vecWidth), addr, in.TBAA)
+				ld.Loc, ld.Scopes, ld.NoAliasScope = in.Loc, in.Scopes, in.NoAliasScope
+				vmap[in] = ld
+			} else {
+				ld := b.Load(in.Ty, addr, in.TBAA)
+				ld.Loc, ld.Scopes, ld.NoAliasScope = in.Loc, in.Scopes, in.NoAliasScope
+				scalarMap[in] = ld
+			}
+		case ir.OpStore:
+			val := in.Operands[0]
+			vv := getVec(val, val.Type())
+			st := b.Store(vv, mapAddr(in.Operands[1]), in.TBAA)
+			st.Loc, st.Scopes, st.NoAliasScope = in.Loc, in.Scopes, in.NoAliasScope
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+			ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+			if ri, isRed := reductionByAdd[in]; isRed {
+				r := plan.reductions[ri]
+				x := in.Operands[0]
+				if x == ir.Value(r.phi) {
+					x = in.Operands[1]
+				}
+				vaccNexts[ri] = b.Bin(ir.OpAdd, vaccPhis[ri], getVec(x, ir.I64), "vec.acc.next")
+				continue
+			}
+			elem := in.Ty
+			nv := b.Bin(in.Op, getVec(in.Operands[0], elem), getVec(in.Operands[1], elem), "vec.op")
+			nv.Ty = ir.VecType(elem, vecWidth)
+			nv.Loc = in.Loc
+			vmap[in] = nv
+		case ir.OpSIToFP:
+			nv := &ir.Instr{Op: ir.OpSIToFP, Ty: ir.V4F64,
+				Operands: []ir.Value{getVec(in.Operands[0], ir.I64)}, Name: "vec.sitofp", Loc: in.Loc}
+			emitRaw(vecBody, fn, nv)
+			vmap[in] = nv
+		case ir.OpFPToSI:
+			nv := &ir.Instr{Op: ir.OpFPToSI, Ty: ir.V4I64,
+				Operands: []ir.Value{getVec(in.Operands[0], ir.F64)}, Name: "vec.fptosi", Loc: in.Loc}
+			emitRaw(vecBody, fn, nv)
+			vmap[in] = nv
+		}
+	}
+	ivNext := b.Bin(ir.OpAdd, ivPhi, ir.ConstInt(vecWidth), "vec.iv.next")
+	ir.AddIncoming(ivPhi, ivNext, vecBody)
+	for i := range plan.reductions {
+		next := vaccNexts[i]
+		if next == nil {
+			next = vaccPhis[i]
+		}
+		ir.AddIncoming(vaccPhis[i], next, vecBody)
+	}
+	b.Br(vecHeader)
+
+	// Count vector instructions for the statistics.
+	for _, in := range vecBody.Instrs {
+		if in.Ty.Kind == ir.KVec {
+			plan.vectorInstrs++
+		} else if in.Op == ir.OpStore && in.Operands[0].Type().Kind == ir.KVec {
+			plan.vectorInstrs++
+		}
+	}
+
+	// scalar.ph: reduce vector accumulators, enter the remainder loop.
+	b = ir.NewBuilder(scalarPH)
+	reds := make([]ir.Value, len(plan.reductions))
+	for i := range plan.reductions {
+		reds[i] = b.VReduce(vaccPhis[i], "vec.red")
+	}
+	b.Br(plan.header)
+
+	// Re-seed the original loop phis from the vector loop's exit state.
+	for _, in := range plan.header.Instrs {
+		if in.Dead() || in.Op != ir.OpPhi {
+			continue
+		}
+		for i, from := range in.Incoming {
+			if from != plan.preheader {
+				continue
+			}
+			in.Incoming[i] = scalarPH
+			if in == plan.indPhi {
+				in.Operands[i] = ivPhi
+			}
+			for ri, r := range plan.reductions {
+				if in == r.phi {
+					in.Operands[i] = reds[ri]
+				}
+			}
+		}
+	}
+}
+
+func emitRaw(bb *ir.Block, fn *ir.Func, in *ir.Instr) {
+	in.ID = fn.AllocID()
+	in.Parent = bb
+	bb.Instrs = append(bb.Instrs, in)
+}

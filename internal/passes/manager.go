@@ -1,0 +1,187 @@
+// Package passes implements the optimization pipeline: a pass manager
+// with LLVM-style statistics (-stats) and pass-execution tracing
+// (-debug-pass=Executions), and the AA-consuming transformation passes
+// whose statistics the paper reports in Fig. 6 — EarlyCSE, GVN,
+// MemCpyOpt, DSE, LICM, loop load elimination, loop deletion, the loop
+// and SLP vectorizers, and sinking — plus the AA-free cleanups
+// (InstSimplify, SimplifyCFG, ADCE) that keep the IR canonical.
+package passes
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// StatsRegistry accumulates named counters per pass, mirroring LLVM's
+// STATISTIC mechanism surfaced through -mllvm -stats.
+type StatsRegistry struct {
+	counters map[statKey]int64
+	order    []statKey
+}
+
+type statKey struct{ Pass, Stat string }
+
+// NewStats returns an empty registry.
+func NewStats() *StatsRegistry {
+	return &StatsRegistry{counters: map[statKey]int64{}}
+}
+
+// Add increments a counter.
+func (s *StatsRegistry) Add(pass, stat string, n int64) {
+	k := statKey{pass, stat}
+	if _, ok := s.counters[k]; !ok {
+		s.order = append(s.order, k)
+	}
+	s.counters[k] += n
+}
+
+// Get returns a counter value (0 if never incremented).
+func (s *StatsRegistry) Get(pass, stat string) int64 {
+	return s.counters[statKey{pass, stat}]
+}
+
+// Entry is one (pass, statistic, value) line of the -stats report.
+type Entry struct {
+	Pass  string
+	Stat  string
+	Value int64
+}
+
+// Entries returns all counters sorted by pass then statistic name.
+func (s *StatsRegistry) Entries() []Entry {
+	keys := append([]statKey(nil), s.order...)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pass != keys[j].Pass {
+			return keys[i].Pass < keys[j].Pass
+		}
+		return keys[i].Stat < keys[j].Stat
+	})
+	out := make([]Entry, len(keys))
+	for i, k := range keys {
+		out[i] = Entry{k.Pass, k.Stat, s.counters[k]}
+	}
+	return out
+}
+
+// Print renders the registry in the style of LLVM's -stats output.
+func (s *StatsRegistry) Print(w io.Writer) {
+	fmt.Fprintln(w, "===-------------------------------------------------------------------------===")
+	fmt.Fprintln(w, "                          ... Statistics Collected ...")
+	fmt.Fprintln(w, "===-------------------------------------------------------------------------===")
+	for _, e := range s.Entries() {
+		fmt.Fprintf(w, "%8d %s - %s\n", e.Value, e.Pass, e.Stat)
+	}
+}
+
+// Context carries everything a pass needs: the module, the AA manager
+// (with ORAQL possibly at the end of its chain), the statistics
+// registry, and debug options.
+type Context struct {
+	Module *ir.Module
+	AA     *aa.Manager
+	Stats  *StatsRegistry
+
+	// DebugPassExec prints "Executing Pass '<name>' on Function '<fn>'"
+	// lines to Out, the analogue of -debug-pass=Executions that the
+	// paper uses to attribute queries to passes (Fig. 3).
+	DebugPassExec bool
+	Out           io.Writer
+
+	// curPass is the pass currently executing; queries carry it.
+	curPass string
+}
+
+// Query returns the AA query context for the currently running pass.
+func (c *Context) Query(fn *ir.Func) *aa.QueryCtx {
+	return &aa.QueryCtx{Pass: c.curPass, Func: fn}
+}
+
+// QueryAs returns an AA query context attributed to a named analysis
+// (e.g. "Memory SSA") rather than the running transformation pass.
+func (c *Context) QueryAs(name string, fn *ir.Func) *aa.QueryCtx {
+	return &aa.QueryCtx{Pass: name, Func: fn}
+}
+
+// Pass is a function transformation pass.
+type Pass interface {
+	// Name is the human-readable pass name used in statistics and
+	// query attribution (matching the paper's pass names).
+	Name() string
+	// Run transforms fn, returning whether anything changed.
+	Run(fn *ir.Func, ctx *Context) bool
+}
+
+// Pipeline is an ordered list of passes run over every function.
+type Pipeline struct {
+	Passes []Pass
+}
+
+// O3Pipeline mirrors the structure of the default -O3 pipeline: local
+// cleanups, then the AA-driven scalar optimizations, then loop
+// optimizations and vectorization, then final cleanups. Two rounds of
+// the scalar passes approximate LLVM's iteration.
+func O3Pipeline() *Pipeline {
+	return &Pipeline{Passes: []Pass{
+		&InstSimplify{},
+		&SimplifyCFG{},
+		&EarlyCSE{},
+		&GVN{},
+		&MemCpyOpt{},
+		&DSE{},
+		&LICM{},
+		&LoopLoadElim{},
+		// Vectorization runs on the canonical top-tested form...
+		&LoopVectorize{},
+		&SLPVectorize{},
+		// ...then rotation exposes guaranteed-to-execute bodies to the
+		// second, stronger scalar round (LLVM's loop-rotate-before-LICM
+		// ordering).
+		&LoopRotate{},
+		&LICM{},
+		&GVN{},
+		&DSE{},
+		&LoopDeletion{},
+		&SimplifyCFG{},
+		&EarlyCSE{},
+		&Sink{},
+		&ADCE{},
+		&SimplifyCFG{},
+	}}
+}
+
+// O1Pipeline is a reduced pipeline without vectorization or loop
+// deletion, used by the pipeline-comparison experiments.
+func O1Pipeline() *Pipeline {
+	return &Pipeline{Passes: []Pass{
+		&InstSimplify{},
+		&SimplifyCFG{},
+		&EarlyCSE{},
+		&GVN{},
+		&DSE{},
+		&LICM{},
+		&ADCE{},
+		&SimplifyCFG{},
+	}}
+}
+
+// Run executes the pipeline over every function in ctx.Module.
+func (p *Pipeline) Run(ctx *Context) {
+	for _, pass := range p.Passes {
+		for _, fn := range ctx.Module.Funcs {
+			if len(fn.Blocks) == 0 {
+				continue
+			}
+			ctx.curPass = pass.Name()
+			if ctx.DebugPassExec && ctx.Out != nil {
+				fmt.Fprintf(ctx.Out, "Executing Pass '%s' on Function '%s'...\n", pass.Name(), fn.Name)
+			}
+			pass.Run(fn, ctx)
+			fn.Compact()
+		}
+	}
+	ctx.curPass = ""
+}

@@ -1,0 +1,158 @@
+package passes
+
+import (
+	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/cfg"
+	"github.com/oraql/go-oraql/internal/ir"
+	"github.com/oraql/go-oraql/internal/mssa"
+)
+
+// Sink moves instructions into the successor block that uses them when
+// the value is used in only one successor subtree, shortening live
+// ranges on paths that never need the value (the machine-code-sinking
+// analogue; GridMini's device compilation reports it as a query
+// source). Loads sink only when no clobber can occur between the old
+// and new position, which is an alias query.
+type Sink struct{}
+
+// Name implements Pass.
+func (*Sink) Name() string { return "Machine Code Sinking" }
+
+// Run implements Pass.
+func (p *Sink) Run(fn *ir.Func, ctx *Context) bool {
+	info := cfg.New(fn)
+	walker := mssa.New(fn, info, ctx.AA)
+	changed := false
+	for _, b := range info.RPO {
+		succs := b.Succs()
+		if len(succs) != 2 {
+			continue
+		}
+		// Candidates scanned bottom-up so chains sink together.
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Dead() || in.IsTerminator() {
+				continue
+			}
+			if !isPureOp(in) && in.Op != ir.OpLoad {
+				continue
+			}
+			target := soleUserBlock(fn, info, in, succs)
+			if target == nil || len(info.Preds[target]) != 1 {
+				continue
+			}
+			if hasPhiUse(fn, in) {
+				continue
+			}
+			if in.Op == ir.OpLoad {
+				// The load moves past the branch into target: nothing
+				// between (trivially) but target's preceding
+				// instructions are none — the move is safe only if no
+				// clobber sits between old and new position; the new
+				// position is target's head, so check the tail of b.
+				if !tailClobberFree(walker, b, i, aa.LocOfLoad(in)) {
+					continue
+				}
+			}
+			moveToBlockHead(in, target)
+			changed = true
+			ctx.Stats.Add(p.Name(), "# instructions sunk", 1)
+		}
+	}
+	return changed
+}
+
+// soleUserBlock returns the single successor (from succs) that
+// dominates every use of in, or nil.
+func soleUserBlock(fn *ir.Func, info *cfg.Info, def *ir.Instr, succs []*ir.Block) *ir.Block {
+	var target *ir.Block
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dead() {
+				continue
+			}
+			for _, op := range in.Operands {
+				if op != ir.Value(def) {
+					continue
+				}
+				var cand *ir.Block
+				for _, s := range succs {
+					if info.Reachable(s) && info.Dominates(s, in.Parent) {
+						cand = s
+						break
+					}
+				}
+				if cand == nil {
+					return nil // used outside both subtrees (or in b itself)
+				}
+				if target == nil {
+					target = cand
+				} else if target != cand {
+					return nil
+				}
+			}
+		}
+	}
+	return target
+}
+
+func hasPhiUse(fn *ir.Func, def *ir.Instr) bool {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dead() || in.Op != ir.OpPhi {
+				continue
+			}
+			for _, op := range in.Operands {
+				if op == ir.Value(def) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func tailClobberFree(walker *mssa.Walker, b *ir.Block, fromIdx int, loc aa.MemLoc) bool {
+	for i := fromIdx + 1; i < len(b.Instrs); i++ {
+		in := b.Instrs[i]
+		if !in.Dead() && walker.AA.InstrMayClobberLoc(in, loc, &aa.QueryCtx{Pass: "Machine Code Sinking", Func: b.Parent}) {
+			return false
+		}
+	}
+	return true
+}
+
+func moveToBlockHead(in *ir.Instr, target *ir.Block) {
+	b := in.Parent
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			break
+		}
+	}
+	// Insert after any leading phis.
+	at := 0
+	for at < len(target.Instrs) && target.Instrs[at].Op == ir.OpPhi {
+		at++
+	}
+	target.Instrs = append(target.Instrs[:at], append([]*ir.Instr{in}, target.Instrs[at:]...)...)
+	in.Parent = target
+}
+
+// ADCE removes side-effect-free instructions whose values are unused,
+// iterating to a fixed point (aggressive dead-code elimination).
+type ADCE struct{}
+
+// Name implements Pass.
+func (*ADCE) Name() string { return "ADCE" }
+
+// Run implements Pass.
+func (p *ADCE) Run(fn *ir.Func, ctx *Context) bool {
+	n := removeDeadCode(fn)
+	if n > 0 {
+		ctx.Stats.Add(p.Name(), "# instructions removed", int64(n))
+		fn.Compact()
+		return true
+	}
+	return false
+}

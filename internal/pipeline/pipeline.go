@@ -1,0 +1,189 @@
+// Package pipeline is the compiler driver (the "clang" of the
+// reproduction): it runs the minic frontend, assembles the alias
+// analysis chain — with the ORAQL pass appended last when probing —
+// runs the -O3 pass pipeline, and lowers to machine code for the
+// executable hash and the machine statistics. Offload programs compile
+// host and device modules as separate compilations that share one
+// ORAQL option set, reproducing the paper's multi-target behaviour
+// (Section IV-E): the sequence is reused for all targets.
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/codegen"
+	"github.com/oraql/go-oraql/internal/ir"
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/minic"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/passes"
+)
+
+// Config describes one compilation of one benchmark source.
+type Config struct {
+	// Name identifies the compilation in diagnostics.
+	Name string
+	// Source is the minic source text; SourceFile its reported name.
+	Source     string
+	SourceFile string
+	// Module, when non-nil, bypasses the frontend and optimizes this
+	// pre-built host module (e.g. parsed from textual IR).
+	Module *ir.Module
+	// Frontend options (dialect, model, views).
+	Frontend minic.Options
+	// OptLevel: 0 (frontend output only), 1, or 3 (default 3).
+	OptLevel int
+	// FullAAChain additionally enables the CFL points-to analyses.
+	FullAAChain bool
+	// ORAQL, when non-nil, appends the ORAQL pass to the AA chain.
+	ORAQL *oraql.Options
+	// DebugPassExec and DumpOut mirror -debug-pass=Executions.
+	DebugPassExec bool
+	DumpOut       *bytes.Buffer
+}
+
+// TargetStats bundles per-module compilation outputs.
+type TargetStats struct {
+	Module *ir.Module
+	AA     *aa.Stats
+	Pass   *passes.StatsRegistry
+	ORAQL  *oraql.Pass // nil when ORAQL disabled
+	Code   *codegen.Result
+}
+
+// CompileResult is the outcome of compiling a benchmark configuration.
+type CompileResult struct {
+	Program *irinterp.Program
+	Host    *TargetStats
+	Device  *TargetStats // nil for host-only programs
+}
+
+// ExeHash combines the target hashes into the executable-cache key.
+func (r *CompileResult) ExeHash() string {
+	h := r.Host.Code.HashString()
+	if r.Device != nil {
+		h += ":" + r.Device.Code.HashString()
+	}
+	return h
+}
+
+// ORAQLStats sums the ORAQL counters over all targets.
+func (r *CompileResult) ORAQLStats() oraql.Stats {
+	var s oraql.Stats
+	for _, t := range []*TargetStats{r.Host, r.Device} {
+		if t == nil || t.ORAQL == nil {
+			continue
+		}
+		st := t.ORAQL.Stats()
+		s.UniqueOptimistic += st.UniqueOptimistic
+		s.CachedOptimistic += st.CachedOptimistic
+		s.UniquePessimistic += st.UniquePessimistic
+		s.CachedPessimistic += st.CachedPessimistic
+	}
+	return s
+}
+
+// NoAliasTotal sums no-alias responses across all AA passes and targets
+// (the Fig. 4 rightmost columns).
+func (r *CompileResult) NoAliasTotal() int64 {
+	n := r.Host.AA.NoAlias
+	if r.Device != nil {
+		n += r.Device.AA.NoAlias
+	}
+	return n
+}
+
+// Records returns the ORAQL query records of all targets in
+// compilation order.
+func (r *CompileResult) Records() []*oraql.QueryRecord {
+	var out []*oraql.QueryRecord
+	for _, t := range []*TargetStats{r.Host, r.Device} {
+		if t != nil && t.ORAQL != nil {
+			out = append(out, t.ORAQL.Records()...)
+		}
+	}
+	return out
+}
+
+// Compile runs the full compilation of a configuration.
+func Compile(cfg Config) (*CompileResult, error) {
+	srcName := cfg.SourceFile
+	if srcName == "" {
+		srcName = cfg.Name + ".mc"
+	}
+	var host, device *ir.Module
+	if cfg.Module != nil {
+		host = cfg.Module
+	} else {
+		var err error
+		host, device, err = minic.Compile(srcName, cfg.Source, cfg.Frontend)
+		if err != nil {
+			return nil, fmt.Errorf("%s: frontend: %w", cfg.Name, err)
+		}
+	}
+	res := &CompileResult{Program: &irinterp.Program{Host: host, Device: device}}
+
+	// The paper's multi-target behaviour: one ORAQL option set is
+	// shared by the per-target compilations, in a fixed order (host
+	// first, then device), each with its own pass instance but the
+	// same sequence.
+	var err error
+	res.Host, err = compileModule(cfg, host)
+	if err != nil {
+		return nil, err
+	}
+	if device != nil {
+		res.Device, err = compileModule(cfg, device)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func compileModule(cfg Config, m *ir.Module) (*TargetStats, error) {
+	var chain []aa.Analysis
+	if cfg.FullAAChain {
+		chain = aa.FullChain(m)
+	} else {
+		chain = aa.DefaultChain(m)
+	}
+	mgr := aa.NewManager(m, chain...)
+	var op *oraql.Pass
+	if cfg.ORAQL != nil {
+		opts := *cfg.ORAQL
+		if opts.Out == nil && cfg.DumpOut != nil {
+			opts.Out = cfg.DumpOut
+		}
+		op = oraql.New(m, opts)
+		if opts.Mode == oraql.ModeBlocking {
+			// Section VIII design: consulted before the chain, forcing
+			// may-alias for blocked queries.
+			mgr.Blocker = op
+		} else {
+			mgr.Append(op)
+		}
+	}
+	stats := passes.NewStats()
+	ctx := &passes.Context{Module: m, AA: mgr, Stats: stats, DebugPassExec: cfg.DebugPassExec}
+	if cfg.DumpOut != nil {
+		ctx.Out = cfg.DumpOut
+	}
+	pipe := passes.O3Pipeline()
+	switch cfg.OptLevel {
+	case 1:
+		pipe = passes.O1Pipeline()
+	case -1:
+		pipe = &passes.Pipeline{} // -O0: frontend output only
+	}
+	pipe.Run(ctx)
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("%s: post-optimization verification of %s: %w", cfg.Name, m.Name, err)
+	}
+	code := codegen.Compile(m)
+	stats.Add("asm printer", "# machine instructions generated", int64(code.MachineInstrs))
+	stats.Add("register allocation", "# register spills inserted", int64(code.Spills))
+	return &TargetStats{Module: m, AA: mgr.Stats(), Pass: stats, ORAQL: op, Code: code}, nil
+}

@@ -1,0 +1,33 @@
+package report
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFullEvaluation runs the entire evaluation and renders every
+// table; -v shows the measured tables for eyeballing against the
+// paper.
+func TestFullEvaluation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation in short mode")
+	}
+	exps, err := RunAll(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortByFig4Order(exps)
+	fmt.Println(Fig4(exps, true))
+	fmt.Println(Fig5())
+	fmt.Println(Fig6(exps))
+	for _, e := range exps {
+		if e.Config.ID == "testsnap-kokkos-cuda" {
+			fmt.Println(Fig7(e))
+		}
+		if e.Config.ID == "testsnap-openmp" {
+			fmt.Println(Fig3(e))
+		}
+	}
+	fmt.Println(Runtime(exps))
+	fmt.Println(ProbingEffort(exps))
+}

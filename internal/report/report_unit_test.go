@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPct(t *testing.T) {
+	if got := pct(150, 100); got != "+50.0%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(50, 100); got != "-50.0%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(5, 0); got != "n/a" {
+		t.Errorf("pct(x, 0) = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := &table{header: []string{"A", "LongHeader"}}
+	tab.add("wide-cell", "x")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("header and separator must align")
+	}
+	if !strings.Contains(lines[2], "wide-cell") {
+		t.Error("row content missing")
+	}
+}
+
+func TestKernelTimeOccupancyModel(t *testing.T) {
+	// Under the budget: time == cycles.
+	if got := KernelTime(1000, int(OccupancyRegBudget)); got != 1000 {
+		t.Errorf("at-budget kernel time = %v", got)
+	}
+	// Over the budget: time scales by regs/budget.
+	over := KernelTime(1000, int(OccupancyRegBudget*2))
+	if over != 2000 {
+		t.Errorf("double-pressure kernel time = %v, want 2000", over)
+	}
+	if KernelTime(1000, 1) != 1000 {
+		t.Error("tiny kernels must not be rewarded beyond full occupancy")
+	}
+}
+
+func TestFig5Static(t *testing.T) {
+	out := Fig5()
+	for _, want := range []string{"go-oraql substrate", Version, "x86_64", "gpu-sim"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig5 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package verify implements the ORAQL verification script (paper
+// Section IV-C): it compares a run's stdout against one or more
+// reference outputs, with regular expressions masking volatile parts
+// (timings, machine-dependent noise) before comparison.
+package verify
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Spec configures verification for one benchmark.
+type Spec struct {
+	// References are the acceptable outputs (at least one must match
+	// after masking). The paper uses several references when output
+	// legitimately varies between configurations.
+	References []string
+	// MaskPatterns are regular expressions replaced by a fixed token in
+	// both the reference and the candidate before comparison; use them
+	// for timings and other volatile fields.
+	MaskPatterns []string
+
+	masks []*regexp.Regexp
+}
+
+// Compile pre-compiles the mask patterns; call once before Check.
+func (s *Spec) Compile() error {
+	s.masks = s.masks[:0]
+	for _, p := range s.MaskPatterns {
+		re, err := regexp.Compile(p)
+		if err != nil {
+			return err
+		}
+		s.masks = append(s.masks, re)
+	}
+	return nil
+}
+
+// Mask applies the volatile-field masking to an output.
+func (s *Spec) Mask(out string) string {
+	for _, re := range s.masks {
+		out = re.ReplaceAllString(out, "<masked>")
+	}
+	return out
+}
+
+// Result reports a verification outcome.
+type Result struct {
+	OK bool
+	// Diff is a short human-readable mismatch description when !OK.
+	Diff string
+}
+
+// Check verifies a run's stdout (runErr non-nil means the run crashed
+// or tripped the simulator, which always fails verification).
+func (s *Spec) Check(stdout string, runErr error) Result {
+	if runErr != nil {
+		return Result{OK: false, Diff: "run failed: " + runErr.Error()}
+	}
+	got := s.Mask(stdout)
+	var firstDiff string
+	for _, ref := range s.References {
+		want := s.Mask(ref)
+		if got == want {
+			return Result{OK: true}
+		}
+		if firstDiff == "" {
+			firstDiff = diffLine(want, got)
+		}
+	}
+	if firstDiff == "" {
+		firstDiff = "no references configured"
+	}
+	return Result{OK: false, Diff: firstDiff}
+}
+
+// diffLine locates the first differing line for diagnostics.
+func diffLine(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return "line " + itoa(i+1) + ": want " + quote(wl[i]) + ", got " + quote(gl[i])
+		}
+	}
+	if len(wl) != len(gl) {
+		return "output has " + itoa(len(gl)) + " lines, reference has " + itoa(len(wl))
+	}
+	return "outputs differ"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func quote(s string) string {
+	if len(s) > 120 {
+		s = s[:120] + "..."
+	}
+	return "\"" + s + "\""
+}

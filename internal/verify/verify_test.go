@@ -1,0 +1,90 @@
+package verify
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestExactMatch(t *testing.T) {
+	s := &Spec{References: []string{"a\nb\n"}}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("a\nb\n", nil); !r.OK {
+		t.Errorf("exact match must pass: %s", r.Diff)
+	}
+	if r := s.Check("a\nc\n", nil); r.OK {
+		t.Error("mismatch must fail")
+	} else if !strings.Contains(r.Diff, "line 2") {
+		t.Errorf("diff should name line 2: %q", r.Diff)
+	}
+}
+
+func TestRunErrorFails(t *testing.T) {
+	s := &Spec{References: []string{"x"}}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Check("x", errors.New("simulated trap: boom"))
+	if r.OK || !strings.Contains(r.Diff, "boom") {
+		t.Errorf("crashed runs must fail verification: %+v", r)
+	}
+}
+
+func TestMaskingVolatileFields(t *testing.T) {
+	s := &Spec{
+		References:   []string{"fom 3.5\ntime 123 ms\n"},
+		MaskPatterns: []string{`time [0-9]+ ms`},
+	}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("fom 3.5\ntime 9999 ms\n", nil); !r.OK {
+		t.Errorf("masked timing must pass: %s", r.Diff)
+	}
+	if r := s.Check("fom 3.6\ntime 123 ms\n", nil); r.OK {
+		t.Error("figure-of-merit change must still fail")
+	}
+}
+
+func TestMultipleReferences(t *testing.T) {
+	s := &Spec{References: []string{"variant A\n", "variant B\n"}}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("variant B\n", nil); !r.OK {
+		t.Error("any matching reference must pass")
+	}
+	if r := s.Check("variant C\n", nil); r.OK {
+		t.Error("non-matching output must fail")
+	}
+}
+
+func TestBadRegexRejected(t *testing.T) {
+	s := &Spec{References: []string{"x"}, MaskPatterns: []string{"("}}
+	if err := s.Compile(); err == nil {
+		t.Error("invalid regex must be rejected at Compile")
+	}
+}
+
+func TestNoReferences(t *testing.T) {
+	s := &Spec{}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("anything", nil); r.OK {
+		t.Error("no references must fail")
+	}
+}
+
+func TestLineCountDiff(t *testing.T) {
+	s := &Spec{References: []string{"a\nb\n"}}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Check("a\nb\nc\n", nil)
+	if r.OK || r.Diff == "" {
+		t.Errorf("line-count mismatch diff: %+v", r)
+	}
+}
