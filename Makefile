@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: tier1 vet build test race bench check
+
+# tier1 is the gate the roadmap pins: it must stay green.
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench smoke-runs the probing benchmarks (1 iteration each); use
+# scripts/bench_probe.sh to record a BENCH_probe.json baseline.
+bench:
+	$(GO) test -run '^$$' -bench 'Probe_(Sequential|Parallel)' -benchtime=1x .
+
+check: vet tier1 race bench

@@ -15,6 +15,7 @@ package goraql
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"github.com/oraql/go-oraql/internal/apps"
@@ -48,6 +49,7 @@ func reportFig4Metrics(b *testing.B, e *report.Experiment) {
 	if orig > 0 {
 		b.ReportMetric(100*float64(fin-orig)/float64(orig), "noalias-growth-%")
 	}
+	b.ReportMetric(100*e.Probe.Final.Compile.AAStats().CacheHitRate(), "aa-cache-hit-%")
 }
 
 // BenchmarkFig4_QueryStats regenerates the Fig. 4 table: one sub-bench
@@ -222,6 +224,54 @@ func BenchmarkProbing_Strategies(b *testing.B) {
 			}
 		})
 	}
+}
+
+// probeWorkers runs the full probing workflow over a suite of
+// configurations with a fixed worker-pool size, reporting aggregate
+// effort metrics. BenchmarkProbe_Sequential vs BenchmarkProbe_Parallel
+// is the wall-clock comparison of the speculative parallel driver;
+// scripts/bench_probe.sh records both into BENCH_probe.json.
+func probeWorkers(b *testing.B, workers int) {
+	ids := []string{"lulesh-seq", "testsnap-openmp", "minigmg-sse", "quicksilver-openmp"}
+	for i := 0; i < b.N; i++ {
+		var compiles, spec, wasted, hits, misses int64
+		for _, id := range ids {
+			cfg := apps.ByID(id)
+			s := cfg.Spec()
+			s.Workers = workers
+			res, err := driver.Probe(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			compiles += int64(res.Compiles)
+			spec += int64(res.TestsSpeculated)
+			wasted += int64(res.TestsWasted)
+			aas := res.Final.Compile.AAStats()
+			hits += aas.CacheHits
+			misses += aas.CacheMisses
+		}
+		b.ReportMetric(float64(compiles), "compiles")
+		b.ReportMetric(float64(spec), "tests-speculated")
+		b.ReportMetric(float64(wasted), "tests-wasted")
+		if hits+misses > 0 {
+			b.ReportMetric(100*float64(hits)/float64(hits+misses), "aa-cache-hit-%")
+		}
+	}
+}
+
+// BenchmarkProbe_Sequential probes with a single worker — the paper's
+// strictly sequential driver.
+func BenchmarkProbe_Sequential(b *testing.B) { probeWorkers(b, 1) }
+
+// BenchmarkProbe_Parallel probes with a worker pool (at least 4; more
+// when the machine has the cores), speculating on likely candidates.
+// The discovered sequences are bit-identical to the sequential run.
+func BenchmarkProbe_Parallel(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	probeWorkers(b, workers)
 }
 
 // BenchmarkAblation_ChainPosition measures how many queries reach

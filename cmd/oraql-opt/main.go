@@ -115,6 +115,10 @@ func main() {
 			fmt.Printf("%8d oraql - Number of unique pessimistic responses\n", s.UniquePessimistic)
 			fmt.Printf("%8d oraql - Number of cached pessimistic responses\n", s.CachedPessimistic)
 		}
+		aas := cr.AAStats()
+		fmt.Printf("%8d aa - Number of memoized query cache hits\n", aas.CacheHits)
+		fmt.Printf("%8d aa - Number of memoized query cache misses\n", aas.CacheMisses)
+		fmt.Printf("%8d aa - Number of query cache invalidations\n", aas.CacheFlushes)
 	}
 	fmt.Fprintf(os.Stderr, "exe hash: %s\n", cr.ExeHash())
 	if *run {

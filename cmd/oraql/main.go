@@ -6,7 +6,7 @@
 // Usage:
 //
 //	oraql list
-//	oraql probe <config-id> [-strategy chunked|freq] [-v]
+//	oraql probe <config-id> [-strategy chunked|freq] [-j N] [-v]
 //	oraql probe -file prog.mc [-model seq|openmp|tasks|mpi|offload] [-fortran] [-views]
 //	oraql report <config-id>        # Fig. 3-style pessimistic dump
 //	oraql run <config-id>           # baseline compile+run only
@@ -56,7 +56,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   oraql list
-  oraql probe <config-id> [-strategy chunked|freq] [-no-exe-cache] [-v]
+  oraql probe <config-id> [-strategy chunked|freq] [-j N] [-no-exe-cache] [-v]
   oraql probe -file prog.mc [-model seq|openmp|tasks|mpi|offload] [-fortran] [-views] [-target sub]
   oraql report <config-id>
   oraql run <config-id>`)
@@ -78,6 +78,7 @@ func buildSpec(args []string) (*driver.BenchSpec, error) {
 	views := fs.Bool("views", false, "Kokkos/Thrust-style boxed heap arrays for -file")
 	target := fs.String("target", "", "-opt-aa-target substring (restrict ORAQL to a target)")
 	strategy := fs.String("strategy", "chunked", "bisection strategy (chunked|freq)")
+	workers := fs.Int("j", 0, "probing worker pool size (0 = NumCPU, 1 = sequential)")
 	noCache := fs.Bool("no-exe-cache", false, "disable the executable-hash test cache")
 	ranks := fs.Int("ranks", 1, "simulated MPI ranks")
 	verbose := fs.Bool("v", false, "verbose driver log")
@@ -128,6 +129,7 @@ func buildSpec(args []string) (*driver.BenchSpec, error) {
 	if *strategy == "freq" {
 		spec.Strategy = driver.FreqSpace
 	}
+	spec.Workers = *workers
 	spec.DisableExeCache = *noCache
 	var logW io.Writer = io.Discard
 	if *verbose {
@@ -156,6 +158,13 @@ func cmdProbe(args []string) error {
 		res.Baseline.Compile.NoAliasTotal(), res.Final.Compile.NoAliasTotal())
 	fmt.Printf("probing effort:       %d compiles, %d tests (+%d from exe cache)\n",
 		res.Compiles, res.TestsRun, res.TestsCached)
+	if res.TestsSpeculated > 0 {
+		fmt.Printf("speculation:          %d tests prefetched, %d wasted\n",
+			res.TestsSpeculated, res.TestsWasted)
+	}
+	aas := res.Final.Compile.AAStats()
+	fmt.Printf("aa query cache:       %d hits, %d misses (%.1f%% hit rate), %d flushes\n",
+		aas.CacheHits, aas.CacheMisses, 100*aas.CacheHitRate(), aas.CacheFlushes)
 	fmt.Printf("instructions:         %d original -> %d ORAQL\n",
 		res.Baseline.Run.Instrs, res.Final.Run.Instrs)
 	if len(res.FinalSeq) > 0 {

@@ -143,6 +143,9 @@ type (
 	MemLoc = aa.MemLoc
 	// QueryCtx carries the requesting pass and function.
 	QueryCtx = aa.QueryCtx
+	// AAStats are the manager's query statistics, including the
+	// memoized query-cache hit/miss/flush counters.
+	AAStats = aa.Stats
 )
 
 // Alias results.

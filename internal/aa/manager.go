@@ -2,6 +2,8 @@ package aa
 
 import (
 	"sort"
+	"strings"
+	"sync"
 
 	"github.com/oraql/go-oraql/internal/ir"
 )
@@ -9,12 +11,27 @@ import (
 // Stats aggregates query outcomes over one compilation, broken down by
 // analysis and by requesting pass. The totals feed the Fig. 4 columns
 // ("# No-Alias Results", original vs ORAQL).
+//
+// A Stats value is an immutable snapshot: Manager.Stats returns a deep
+// copy of the accumulator it guards internally, so snapshots taken from
+// concurrent compilations can be read and Merge'd freely without
+// additional locking.
 type Stats struct {
 	Queries      int64
 	NoAlias      int64
 	MustAlias    int64
 	PartialAlias int64
 	MayAlias     int64
+
+	// CacheHits / CacheMisses count lookups in the manager's memoized
+	// query cache (the AAQueryInfo analogue). Blocked queries bypass the
+	// cache and count in neither.
+	CacheHits   int64
+	CacheMisses int64
+	// CacheFlushes counts invalidations that actually dropped entries
+	// (one per module-mutating pass execution, wired through the pass
+	// manager).
+	CacheFlushes int64
 
 	// NoAliasByAnalysis counts definitive no-alias answers per analysis
 	// in the chain (including "oraql" when present).
@@ -24,8 +41,48 @@ type Stats struct {
 	QueriesByPass map[string]int64
 }
 
-func newStats() *Stats {
+// NewStats returns an empty statistics accumulator.
+func NewStats() *Stats {
 	return &Stats{NoAliasByAnalysis: map[string]int64{}, QueriesByPass: map[string]int64{}}
+}
+
+// Clone returns a deep copy of the statistics.
+func (s *Stats) Clone() *Stats {
+	out := NewStats()
+	out.Merge(s)
+	return out
+}
+
+// Merge adds other's counters into s, so per-compilation snapshots from
+// concurrent compiles can be aggregated into suite-wide totals.
+func (s *Stats) Merge(other *Stats) {
+	if other == nil {
+		return
+	}
+	s.Queries += other.Queries
+	s.NoAlias += other.NoAlias
+	s.MustAlias += other.MustAlias
+	s.PartialAlias += other.PartialAlias
+	s.MayAlias += other.MayAlias
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.CacheFlushes += other.CacheFlushes
+	for k, v := range other.NoAliasByAnalysis {
+		s.NoAliasByAnalysis[k] += v
+	}
+	for k, v := range other.QueriesByPass {
+		s.QueriesByPass[k] += v
+	}
+}
+
+// CacheHitRate returns the fraction of cache lookups served from the
+// memoized query cache, in [0, 1].
+func (s *Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // Analyses returns the analysis names with no-alias counts, sorted.
@@ -48,23 +105,122 @@ type Blocker interface {
 	Block(a, b MemLoc, q *QueryCtx) bool
 }
 
+// Uncacheable is implemented by analyses whose answers must not be
+// memoized by the manager's query cache. The ORAQL responder is the
+// canonical case: its replies consume the response sequence and are
+// counted by its own pair cache, so the manager must forward every
+// repeated query to it. Analyses that do not implement the interface
+// (or return false) are treated as pure functions of the IR and are
+// safe to memoize.
+type Uncacheable interface {
+	UncacheableAlias() bool
+}
+
+// sideKey is the comparable identity of one MemLoc for cache keying:
+// the pointer's stable VID plus the location description and access
+// metadata that the analyses consume.
+type sideKey struct {
+	vid          int64
+	size         LocationSize
+	tbaa         string
+	scopes       string
+	noAliasScope string
+}
+
+func sideKeyOf(l MemLoc) sideKey {
+	return sideKey{
+		vid:          l.Ptr.VID(),
+		size:         l.Size,
+		tbaa:         l.TBAA,
+		scopes:       strings.Join(l.Scopes, "\x1f"),
+		noAliasScope: strings.Join(l.NoAliasScope, "\x1f"),
+	}
+}
+
+// less orders side keys canonically so that symmetric queries share one
+// cache entry.
+func (k sideKey) less(o sideKey) bool {
+	if k.vid != o.vid {
+		return k.vid < o.vid
+	}
+	if k.size != o.size {
+		if k.size.Known != o.size.Known {
+			return !k.size.Known
+		}
+		return k.size.Bytes < o.size.Bytes
+	}
+	if k.tbaa != o.tbaa {
+		return k.tbaa < o.tbaa
+	}
+	if k.scopes != o.scopes {
+		return k.scopes < o.scopes
+	}
+	return k.noAliasScope < o.noAliasScope
+}
+
+// queryKey is the symmetric-normalized (MemLoc, MemLoc) cache key:
+// alias relations are symmetric, so Alias(a, b) and Alias(b, a) hit the
+// same entry.
+type queryKey struct{ a, b sideKey }
+
+func queryKeyOf(a, b MemLoc) queryKey {
+	ka, kb := sideKeyOf(a), sideKeyOf(b)
+	if kb.less(ka) {
+		ka, kb = kb, ka
+	}
+	return queryKey{ka, kb}
+}
+
+// cacheEntry is a memoized chain verdict: the first definitive answer
+// produced by the cacheable chain prefix and the analysis that gave it,
+// or MayAlias with an empty name when the whole prefix was exhausted.
+type cacheEntry struct {
+	result   Result
+	analysis string
+}
+
 // Manager is the alias-analysis chain. Queries walk the chain in order
 // and stop at the first definitive answer; if every analysis says
 // may-alias, the manager returns may-alias — exactly the LLVM
 // AAResults aggregation the paper describes in Section III.
+//
+// The manager memoizes chain verdicts in an AAQueryInfo-style query
+// cache keyed on the symmetric-normalized location pair: passes like
+// GVN, DSE and LICM issue the same query hundreds of times per
+// function, and a hit skips the whole cacheable chain prefix. Analyses
+// implementing Uncacheable (the ORAQL responder) are consulted on
+// every query regardless, so their counters and sequence consumption
+// are unaffected by memoization. The pass manager calls Invalidate
+// between pass executions once a pass mutates the module; within one
+// pass execution the cache keeps LLVM's batch semantics (stale entries
+// can only be conservative, since transformations never make disjoint
+// live pointers overlap).
+//
+// Manager is safe for concurrent queries; note however that the ORAQL
+// pass appended during probing keeps its own unsynchronized state, so
+// probing compilations use one manager per compilation.
 type Manager struct {
 	Module *ir.Module
 	chain  []Analysis
-	stats  *Stats
 
 	// Blocker, when non-nil, is consulted before the chain.
 	Blocker Blocker
+
+	mu      sync.Mutex
+	stats   *Stats
+	cache   map[queryKey]cacheEntry
+	memoOff bool
 }
 
 // NewManager returns a manager over m with the given chain, queried in
 // order.
 func NewManager(m *ir.Module, chain ...Analysis) *Manager {
-	return &Manager{Module: m, chain: chain, stats: newStats()}
+	return &Manager{
+		Module: m,
+		chain:  chain,
+		stats:  NewStats(),
+		cache:  map[queryKey]cacheEntry{},
+	}
 }
 
 // DefaultChain builds the analyses enabled in the default -O3 pipeline,
@@ -96,37 +252,140 @@ func (mgr *Manager) Append(a Analysis) { mgr.chain = append(mgr.chain, a) }
 // Chain returns the analyses in query order.
 func (mgr *Manager) Chain() []Analysis { return mgr.chain }
 
-// Stats returns the accumulated query statistics.
-func (mgr *Manager) Stats() *Stats { return mgr.stats }
+// Stats returns a snapshot of the accumulated query statistics.
+func (mgr *Manager) Stats() *Stats {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.stats.Clone()
+}
 
-// Alias answers an alias query by walking the chain.
-func (mgr *Manager) Alias(a, b MemLoc, q *QueryCtx) Result {
+// SetQueryCache enables or disables the memoized query cache (enabled
+// by default); disabling flushes it. Used by the cache-ablation
+// benchmarks.
+func (mgr *Manager) SetQueryCache(enabled bool) {
+	mgr.mu.Lock()
+	mgr.memoOff = !enabled
+	if !enabled {
+		mgr.cache = map[queryKey]cacheEntry{}
+	}
+	mgr.mu.Unlock()
+}
+
+// Invalidate flushes the memoized query cache. The pass manager calls
+// this between pass executions whenever a pass reports that it changed
+// the function — the analogue of LLVM dropping AAQueryInfo between
+// query batches.
+func (mgr *Manager) Invalidate() {
+	mgr.mu.Lock()
+	if len(mgr.cache) > 0 {
+		mgr.cache = make(map[queryKey]cacheEntry, len(mgr.cache))
+		mgr.stats.CacheFlushes++
+	}
+	mgr.mu.Unlock()
+}
+
+// cachePrefixLen returns the length of the chain prefix whose answers
+// may be memoized: everything before the first Uncacheable analysis.
+func (mgr *Manager) cachePrefixLen() int {
+	for i, an := range mgr.chain {
+		if u, ok := an.(Uncacheable); ok && u.UncacheableAlias() {
+			return i
+		}
+	}
+	return len(mgr.chain)
+}
+
+// countQuery books the per-pass attribution of a new query.
+func (mgr *Manager) countQuery(q *QueryCtx) {
+	mgr.mu.Lock()
 	mgr.stats.Queries++
 	if q != nil && q.Pass != "" {
 		mgr.stats.QueriesByPass[q.Pass]++
 	}
-	if mgr.Blocker != nil && mgr.Blocker.Block(a, b, q) {
+	mgr.mu.Unlock()
+}
+
+// countResult books a query outcome, attributing no-alias answers to
+// the producing analysis (empty name: chain exhausted or blocked).
+func (mgr *Manager) countResult(r Result, analysis string) {
+	mgr.mu.Lock()
+	switch r {
+	case NoAlias:
+		mgr.stats.NoAlias++
+		mgr.stats.NoAliasByAnalysis[analysis]++
+	case MustAlias:
+		mgr.stats.MustAlias++
+	case PartialAlias:
+		mgr.stats.PartialAlias++
+	default:
 		mgr.stats.MayAlias++
+	}
+	mgr.mu.Unlock()
+}
+
+// walk consults chain[from:to] in order and returns the first
+// definitive answer with the producing analysis, or (MayAlias, "").
+func (mgr *Manager) walk(from, to int, a, b MemLoc, q *QueryCtx) (Result, string) {
+	for _, an := range mgr.chain[from:to] {
+		if r := an.Alias(a, b, q); r.Definitive() {
+			return r, an.Name()
+		}
+	}
+	return MayAlias, ""
+}
+
+// Alias answers an alias query by walking the chain, serving the
+// cacheable prefix from the memoized query cache when possible.
+func (mgr *Manager) Alias(a, b MemLoc, q *QueryCtx) Result {
+	mgr.countQuery(q)
+	if mgr.Blocker != nil && mgr.Blocker.Block(a, b, q) {
+		mgr.countResult(MayAlias, "")
 		return MayAlias
 	}
-	for _, an := range mgr.chain {
-		r := an.Alias(a, b, q)
-		if !r.Definitive() {
-			continue
-		}
-		switch r {
-		case NoAlias:
-			mgr.stats.NoAlias++
-			mgr.stats.NoAliasByAnalysis[an.Name()]++
-		case MustAlias:
-			mgr.stats.MustAlias++
-		case PartialAlias:
-			mgr.stats.PartialAlias++
-		}
+	prefix := mgr.cachePrefixLen()
+
+	mgr.mu.Lock()
+	memoOff := mgr.memoOff
+	mgr.mu.Unlock()
+	if memoOff || prefix == 0 {
+		r, name := mgr.walk(0, len(mgr.chain), a, b, q)
+		mgr.countResult(r, name)
 		return r
 	}
-	mgr.stats.MayAlias++
-	return MayAlias
+
+	key := queryKeyOf(a, b)
+	mgr.mu.Lock()
+	ent, hit := mgr.cache[key]
+	if hit {
+		mgr.stats.CacheHits++
+	} else {
+		mgr.stats.CacheMisses++
+	}
+	mgr.mu.Unlock()
+
+	if hit {
+		if ent.result.Definitive() {
+			mgr.countResult(ent.result, ent.analysis)
+			return ent.result
+		}
+		// The cacheable prefix is known to be inconclusive: consult
+		// only the uncacheable tail (e.g. the ORAQL responder).
+		r, name := mgr.walk(prefix, len(mgr.chain), a, b, q)
+		mgr.countResult(r, name)
+		return r
+	}
+
+	r, name := mgr.walk(0, prefix, a, b, q)
+	mgr.mu.Lock()
+	if !mgr.memoOff {
+		mgr.cache[key] = cacheEntry{result: r, analysis: name}
+	}
+	mgr.mu.Unlock()
+	if !r.Definitive() {
+		r, name = mgr.walk(prefix, len(mgr.chain), a, b, q)
+	}
+	mgr.countResult(r, name)
+	return r
 }
 
 // NoAliasLocs reports whether two locations are proven disjoint.

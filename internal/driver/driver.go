@@ -6,6 +6,15 @@
 // paper settled on, and the frequency-space splitting it compares
 // against — plus the executable-hash test cache that skips re-running
 // bit-identical binaries.
+//
+// Deviating from the paper's strictly sequential driver, probing runs
+// on a bounded worker pool (BenchSpec.Workers): sibling subranges of
+// the chunked recursion and residue classes of the freq-space strategy
+// are independent candidates, so the driver speculatively tests the
+// likely next candidates concurrently and cancels losers. The decision
+// loop itself stays sequential and consumes test outcomes in canonical
+// order, so parallel and sequential probing produce bit-identical
+// FinalSeq (see engine.go).
 package driver
 
 import (
@@ -40,10 +49,15 @@ type BenchSpec struct {
 	Verify   verify.Spec // empty references: baseline output is recorded
 	ORAQL    oraql.Options
 	Strategy Strategy
+	// Workers bounds the worker pool for speculative parallel probing
+	// (0 defaults to runtime.NumCPU(); 1 probes strictly sequentially).
+	// The final sequence is identical for every worker count.
+	Workers int
 	// DisableExeCache turns off the executable-hash test cache (for the
 	// ablation benchmark).
 	DisableExeCache bool
-	// MaxTests bounds probing effort (0 = no bound).
+	// MaxTests bounds probing effort (0 = no bound). The budget counts
+	// consumed tests only; speculative tests are free.
 	MaxTests int
 	// Log receives progress lines when non-nil.
 	Log io.Writer
@@ -71,24 +85,32 @@ type Result struct {
 	// verified (no pessimistic answers needed).
 	FullyOptimistic bool
 
-	// Probing effort counters.
+	// Probing effort counters. Compiles includes speculative compiles;
+	// TestsRun + TestsCached counts the tests the decision loop
+	// consumed and is identical for every worker count (the split
+	// between run and cached may shift with speculative timing).
 	Compiles    int
 	TestsRun    int
 	TestsCached int
+	// TestsSpeculated counts speculative tests launched by the parallel
+	// driver; TestsWasted is the subset whose outcome was never
+	// consumed by the decision loop (cancelled losers included).
+	TestsSpeculated int
+	TestsWasted     int
 }
 
 // Probe runs the full ORAQL workflow on a benchmark.
 func Probe(spec *BenchSpec) (*Result, error) {
-	st := &state{spec: spec, exeCache: map[string]verify.Result{}}
+	st := &state{spec: spec}
 	return st.probe()
 }
 
 type state struct {
-	spec     *BenchSpec
-	res      *Result
-	exeCache map[string]verify.Result
-	padLen   int // generous pessimistic padding length
-	maxSeen  int // highest unique-query count observed
+	spec    *BenchSpec
+	res     *Result
+	eng     *engine
+	padLen  int // generous pessimistic padding length
+	maxSeen int // highest unique-query count observed
 }
 
 func (st *state) logf(format string, args ...any) {
@@ -118,43 +140,35 @@ func (st *state) execute(opts *oraql.Options) (*Outcome, error) {
 	return out, nil
 }
 
-// test compiles with a sequence and verifies, consulting the
-// executable-hash cache to skip runs of bit-identical binaries.
-func (st *state) test(seq oraql.Seq) (bool, error) {
+// test verifies a candidate sequence through the engine, optionally
+// prefetching speculative candidates onto the worker pool first. Only
+// consumed tests update the decision state (budget, counters, drift),
+// which keeps the probing decisions independent of worker count.
+func (st *state) test(seq oraql.Seq, specs ...oraql.Seq) (bool, error) {
 	if st.spec.MaxTests > 0 && st.res.TestsRun+st.res.TestsCached >= st.spec.MaxTests {
 		return false, fmt.Errorf("driver: test budget (%d) exhausted", st.spec.MaxTests)
 	}
-	opts := st.spec.ORAQL
-	opts.Seq = seq
-	cfg := st.spec.Compile
-	cfg.Name = st.spec.Name
-	cfg.ORAQL = &opts
-	cr, err := pipeline.Compile(cfg)
-	if err != nil {
-		return false, err
+	for _, s := range specs {
+		st.eng.prefetch(s)
 	}
-	st.res.Compiles++
-	if u := cr.ORAQLStats().Unique(); u > st.maxSeen {
-		st.maxSeen = u
+	out := st.eng.get(seq)
+	if out.err != nil {
+		return false, out.err
 	}
-	hash := cr.ExeHash()
-	if !st.spec.DisableExeCache {
-		if v, ok := st.exeCache[hash]; ok {
-			st.res.TestsCached++
-			return v.OK, nil
-		}
+	if out.unique > st.maxSeen {
+		st.maxSeen = out.unique
 	}
-	rr, runErr := irinterp.Run(cr.Program, st.spec.Run)
-	var stdout string
-	if rr != nil {
-		stdout = rr.Stdout
+	if out.didRun {
+		st.res.TestsRun++
+	} else {
+		st.res.TestsCached++
 	}
-	v := st.spec.Verify.Check(stdout, runErr)
-	st.res.TestsRun++
-	if !st.spec.DisableExeCache {
-		st.exeCache[hash] = v
+	if out.ok {
+		// A success flips decided bits: every candidate speculated from
+		// the previous decided state is now a loser.
+		st.eng.cancelSpeculative()
 	}
-	return v.OK, nil
+	return out.ok, nil
 }
 
 func (st *state) probe() (*Result, error) {
@@ -181,6 +195,11 @@ func (st *state) probe() (*Result, error) {
 	}
 	st.res.Baseline = base
 	st.logf("%s: baseline verified (%d instrs)", spec.Name, base.Run.Instrs)
+
+	// The engine is created only after the verify references are
+	// recorded: workers verify concurrently against the frozen spec.
+	st.eng = newEngine(spec)
+	defer st.eng.shutdown()
 
 	// Step 2: fully optimistic attempt (empty sequence).
 	ok, err := st.test(nil)
@@ -247,19 +266,24 @@ func (st *state) finalize(seq oraql.Seq) (*Result, error) {
 	}
 	st.res.Final = fin
 	st.res.FinalSeq = seq
+	st.res.Compiles += int(st.eng.compiles.Load())
+	st.res.TestsSpeculated = int(st.eng.specLaunched.Load())
+	st.res.TestsWasted = st.res.TestsSpeculated - int(st.eng.specConsumed.Load())
 	s := fin.Compile.ORAQLStats()
-	st.logf("%s: done: %d opt (%d cached), %d pess (%d cached); %d compiles, %d tests (+%d cached)",
+	st.logf("%s: done: %d opt (%d cached), %d pess (%d cached); %d compiles, %d tests (+%d cached, %d speculated, %d wasted)",
 		st.spec.Name, s.UniqueOptimistic, s.CachedOptimistic, s.UniquePessimistic, s.CachedPessimistic,
-		st.res.Compiles, st.res.TestsRun, st.res.TestsCached)
+		st.res.Compiles, st.res.TestsRun, st.res.TestsCached, st.res.TestsSpeculated, st.res.TestsWasted)
 	return st.res, nil
 }
 
-// pad extends a decided prefix with pessimistic padding.
+// pad extends a decided prefix with pessimistic padding, preallocating
+// the padded sequence in one step.
 func (st *state) pad(decided oraql.Seq, upto int) oraql.Seq {
-	out := decided.Clone()
-	for len(out) < upto {
-		out = append(out, false)
+	if upto < len(decided) {
+		upto = len(decided)
 	}
+	out := make(oraql.Seq, upto)
+	copy(out, decided)
 	return out
 }
 
@@ -280,7 +304,7 @@ func (st *state) chunkSolve(n int) (oraql.Seq, error) {
 			for i := lo; i < hi; i++ {
 				cand[i] = true
 			}
-			ok, err := st.test(st.pad(cand[:hi], st.padLen))
+			ok, err := st.test(st.pad(cand[:hi], st.padLen), st.chunkSpecs(decided, lo, hi)...)
 			if err != nil {
 				return false, err
 			}
@@ -312,6 +336,37 @@ func (st *state) chunkSolve(n int) (oraql.Seq, error) {
 	return decided, nil
 }
 
+// chunkSpecs builds the speculative candidates launched alongside the
+// whole-range test of [lo, hi): the fail path descends the left spine
+// (left half, left quarter, ...), and the right half is speculated
+// under the assumption that the whole left half stays pessimistic.
+// Decided bits only ever flip to optimistic on a success — and every
+// success cancels outstanding speculation — so candidates built from
+// the current decided state stay exact until consumed or cancelled.
+func (st *state) chunkSpecs(decided oraql.Seq, lo, hi int) []oraql.Seq {
+	if st.eng.workers <= 1 || hi-lo <= 1 {
+		return nil
+	}
+	var specs []oraql.Seq
+	for l, h := lo, hi; h-l > 1 && len(specs) < st.eng.workers-1; {
+		m := (l + h) / 2
+		cand := decided.Clone()
+		for i := l; i < m; i++ {
+			cand[i] = true
+		}
+		specs = append(specs, st.pad(cand[:m], st.padLen))
+		h = m
+	}
+	if mid := (lo + hi) / 2; len(specs) < st.eng.workers-1 {
+		cand := decided.Clone()
+		for i := mid; i < hi; i++ {
+			cand[i] = true
+		}
+		specs = append(specs, st.pad(cand[:hi], st.padLen))
+	}
+	return specs
+}
+
 // freqSolve runs the frequency-space recursion: residue classes of the
 // query index, refined by doubling the modulus.
 func (st *state) freqSolve(n int) (oraql.Seq, error) {
@@ -328,7 +383,7 @@ func (st *state) freqSolve(n int) (oraql.Seq, error) {
 				cand[i] = true
 			}
 		}
-		ok, err := st.test(st.pad(cand, st.padLen))
+		ok, err := st.test(st.pad(cand, st.padLen), st.freqSpecs(decided, done, m, r)...)
 		if err != nil {
 			return err
 		}
@@ -357,6 +412,43 @@ func (st *state) freqSolve(n int) (oraql.Seq, error) {
 		return nil, err
 	}
 	return decided, nil
+}
+
+// freqSpecs builds the speculative candidates launched alongside the
+// test of residue class (m, r): the refined classes of the next modulus
+// levels, expanded breadth-first so one whole level tests in parallel.
+// All of them belong to the fail path (decided unchanged); a success
+// cancels them.
+func (st *state) freqSpecs(decided oraql.Seq, done []bool, m, r int) []oraql.Seq {
+	n := len(decided)
+	if st.eng.workers <= 1 || m >= n {
+		return nil
+	}
+	type class struct{ m, r int }
+	frontier := []class{{2 * m, r}, {2 * m, r + m}}
+	var specs []oraql.Seq
+	for len(frontier) > 0 && len(specs) < st.eng.workers-1 {
+		c := frontier[0]
+		frontier = frontier[1:]
+		if c.r >= n {
+			continue
+		}
+		cand := decided.Clone()
+		fresh := false
+		for i := c.r; i < n; i += c.m {
+			if !done[i] {
+				cand[i] = true
+				fresh = true
+			}
+		}
+		if fresh {
+			specs = append(specs, st.pad(cand, st.padLen))
+		}
+		if c.m < n {
+			frontier = append(frontier, class{2 * c.m, c.r}, class{2 * c.m, c.r + c.m})
+		}
+	}
+	return specs
 }
 
 // trimTrailingOptimistic drops trailing 1s (queries beyond the sequence

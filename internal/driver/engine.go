@@ -1,0 +1,260 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/verify"
+)
+
+// testOutcome is one candidate sequence's compile+run+verify verdict.
+// It is a pure function of the candidate (compilation is deterministic,
+// and the exe-hash cache only ever replays the verify result of a
+// bit-identical binary), which is what makes speculative execution safe:
+// a result computed ahead of time is the same result the sequential
+// driver would have computed on demand.
+type testOutcome struct {
+	ok     bool
+	unique int  // unique ORAQL query count of this compile
+	didRun bool // false when the verdict came from the exe-hash cache
+	err    error
+}
+
+// testCall is one in-flight or completed test, single-flighted by the
+// candidate sequence: duplicate requests wait for the first instead of
+// re-running.
+type testCall struct {
+	key         string
+	done        chan struct{}
+	out         testOutcome
+	speculative bool
+	canceled    bool
+	cancel      context.CancelFunc
+}
+
+// exeEntry single-flights verification by executable hash: a test whose
+// binary hash matches an in-flight run waits for that run's verdict
+// instead of executing the bit-identical binary again.
+type exeEntry struct {
+	done     chan struct{}
+	v        verify.Result
+	canceled bool
+}
+
+// engine executes candidate tests for the probing driver on a bounded
+// worker pool. The decision loop stays strictly sequential and
+// deterministic; the engine adds two layers the loop consults:
+//
+//   - a single-flight candidate map, so a speculatively prefetched test
+//     is joined (not repeated) when the decision loop requests it;
+//   - a concurrency-safe, single-flight executable-hash cache, so
+//     bit-identical binaries are verified exactly once.
+//
+// Speculative calls carry a context and are cancelled as losers the
+// moment a consumed test succeeds (success flips decided bits, which
+// stales every candidate built from the previous decided state).
+type engine struct {
+	spec    *BenchSpec
+	workers int
+	sem     chan struct{}
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	calls map[string]*testCall
+	exe   map[string]*exeEntry
+
+	compiles     atomic.Int64
+	specLaunched atomic.Int64
+	specConsumed atomic.Int64
+}
+
+func newEngine(spec *BenchSpec) *engine {
+	w := spec.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	return &engine{
+		spec:    spec,
+		workers: w,
+		sem:     make(chan struct{}, w),
+		calls:   map[string]*testCall{},
+		exe:     map[string]*exeEntry{},
+	}
+}
+
+// get returns the outcome for a candidate, joining an in-flight or
+// completed speculative call when one exists, else testing inline. The
+// consumed call is removed from the single-flight map so that a later
+// identical candidate re-tests (and is then served by the exe-hash
+// cache), exactly like the sequential driver.
+func (e *engine) get(seq oraql.Seq) testOutcome {
+	key := seq.String()
+	for {
+		e.mu.Lock()
+		if c, ok := e.calls[key]; ok {
+			e.mu.Unlock()
+			<-c.done
+			if c.canceled {
+				continue // cancelled speculation: re-issue inline
+			}
+			e.consume(c)
+			if c.speculative {
+				e.specConsumed.Add(1)
+			}
+			return c.out
+		}
+		c := &testCall{key: key, done: make(chan struct{})}
+		e.calls[key] = c
+		e.mu.Unlock()
+		c.out = e.run(context.Background(), seq)
+		close(c.done)
+		e.consume(c)
+		return c.out
+	}
+}
+
+// prefetch speculatively launches a candidate test on the worker pool.
+// It is a no-op when probing sequentially or when the candidate is
+// already in flight.
+func (e *engine) prefetch(seq oraql.Seq) {
+	if e.workers <= 1 {
+		return
+	}
+	key := seq.String()
+	e.mu.Lock()
+	if _, ok := e.calls[key]; ok {
+		e.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &testCall{key: key, done: make(chan struct{}), speculative: true, cancel: cancel}
+	e.calls[key] = c
+	e.mu.Unlock()
+	e.specLaunched.Add(1)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		out := e.run(ctx, seq)
+		e.mu.Lock()
+		if errors.Is(out.err, context.Canceled) {
+			c.canceled = true
+			if e.calls[key] == c {
+				delete(e.calls, key)
+			}
+		}
+		c.out = out
+		e.mu.Unlock()
+		close(c.done)
+	}()
+}
+
+// cancelSpeculative cancels every outstanding speculative call. Called
+// when a consumed test succeeds: successes flip decided bits, so every
+// candidate speculated from the previous decided state is a loser.
+func (e *engine) cancelSpeculative() {
+	e.mu.Lock()
+	for _, c := range e.calls {
+		if c.speculative && c.cancel != nil {
+			c.cancel()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// shutdown cancels outstanding speculation and waits for the worker
+// goroutines to drain.
+func (e *engine) shutdown() {
+	e.cancelSpeculative()
+	e.wg.Wait()
+}
+
+// consume removes a finished call from the single-flight map.
+func (e *engine) consume(c *testCall) {
+	e.mu.Lock()
+	if e.calls[c.key] == c {
+		delete(e.calls, c.key)
+	}
+	e.mu.Unlock()
+}
+
+// run compiles and verifies one candidate on a worker slot. ctx is
+// checked before compiling and again before executing, the two
+// cancellation points of a speculative test.
+func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	if ctx.Err() != nil {
+		return testOutcome{err: ctx.Err()}
+	}
+	opts := e.spec.ORAQL
+	opts.Seq = seq
+	cfg := e.spec.Compile
+	cfg.Name = e.spec.Name
+	cfg.ORAQL = &opts
+	cr, err := pipeline.Compile(cfg)
+	if err != nil {
+		return testOutcome{err: err}
+	}
+	e.compiles.Add(1)
+	out := testOutcome{unique: cr.ORAQLStats().Unique()}
+	if e.spec.DisableExeCache {
+		if ctx.Err() != nil {
+			return testOutcome{err: ctx.Err()}
+		}
+		out.ok = e.verifyRun(cr)
+		out.didRun = true
+		return out
+	}
+
+	hash := cr.ExeHash()
+	for {
+		e.mu.Lock()
+		ent, ok := e.exe[hash]
+		if !ok {
+			ent = &exeEntry{done: make(chan struct{})}
+			e.exe[hash] = ent
+		}
+		e.mu.Unlock()
+		if ok {
+			// Completed or in-flight run of a bit-identical binary: wait
+			// for its verdict instead of re-running.
+			<-ent.done
+			if ent.canceled {
+				continue // owner was cancelled mid-flight; re-claim
+			}
+			out.ok = ent.v.OK
+			return out
+		}
+		if ctx.Err() != nil {
+			// Don't publish a cancelled entry: remove it so the next test
+			// of this binary runs for real.
+			e.mu.Lock()
+			delete(e.exe, hash)
+			ent.canceled = true
+			e.mu.Unlock()
+			close(ent.done)
+			return testOutcome{err: ctx.Err()}
+		}
+		ent.v = verify.Result{OK: e.verifyRun(cr)}
+		close(ent.done)
+		out.ok = ent.v.OK
+		out.didRun = true
+		return out
+	}
+}
+
+// verifyRun executes the compiled program and checks its output.
+func (e *engine) verifyRun(cr *pipeline.CompileResult) bool {
+	rr, runErr := irinterp.Run(cr.Program, e.spec.Run)
+	var stdout string
+	if rr != nil {
+		stdout = rr.Stdout
+	}
+	return e.spec.Verify.Check(stdout, runErr).OK
+}

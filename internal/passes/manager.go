@@ -179,8 +179,14 @@ func (p *Pipeline) Run(ctx *Context) {
 			if ctx.DebugPassExec && ctx.Out != nil {
 				fmt.Fprintf(ctx.Out, "Executing Pass '%s' on Function '%s'...\n", pass.Name(), fn.Name)
 			}
-			pass.Run(fn, ctx)
+			changed := pass.Run(fn, ctx)
 			fn.Compact()
+			// A pass that mutated the function invalidates the memoized
+			// alias-query verdicts before the next pass queries them
+			// (the AAQueryInfo lifetime boundary).
+			if changed && ctx.AA != nil {
+				ctx.AA.Invalidate()
+			}
 		}
 	}
 	ctx.curPass = ""

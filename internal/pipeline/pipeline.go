@@ -37,6 +37,9 @@ type Config struct {
 	OptLevel int
 	// FullAAChain additionally enables the CFL points-to analyses.
 	FullAAChain bool
+	// DisableAAQueryCache turns off the manager-level memoized alias
+	// query cache (for the cache-ablation benchmarks).
+	DisableAAQueryCache bool
 	// ORAQL, when non-nil, appends the ORAQL pass to the AA chain.
 	ORAQL *oraql.Options
 	// DebugPassExec and DumpOut mirror -debug-pass=Executions.
@@ -83,6 +86,17 @@ func (r *CompileResult) ORAQLStats() oraql.Stats {
 		s.CachedPessimistic += st.CachedPessimistic
 	}
 	return s
+}
+
+// AAStats merges the alias-analysis statistics of all targets,
+// including the memoized query-cache hit/miss/flush counters.
+func (r *CompileResult) AAStats() *aa.Stats {
+	out := aa.NewStats()
+	out.Merge(r.Host.AA)
+	if r.Device != nil {
+		out.Merge(r.Device.AA)
+	}
+	return out
 }
 
 // NoAliasTotal sums no-alias responses across all AA passes and targets
@@ -151,6 +165,9 @@ func compileModule(cfg Config, m *ir.Module) (*TargetStats, error) {
 		chain = aa.DefaultChain(m)
 	}
 	mgr := aa.NewManager(m, chain...)
+	if cfg.DisableAAQueryCache {
+		mgr.SetQueryCache(false)
+	}
 	var op *oraql.Pass
 	if cfg.ORAQL != nil {
 		opts := *cfg.ORAQL

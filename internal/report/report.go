@@ -113,7 +113,7 @@ func pct(oraql, orig int64) string {
 func Fig4(exps []*Experiment, withPaper bool) string {
 	t := &table{header: []string{
 		"Benchmark", "Programming Model", "Source Files",
-		"OptU", "OptC", "PessU", "PessC", "NA-Orig", "NA-ORAQL", "Delta",
+		"OptU", "OptC", "PessU", "PessC", "NA-Orig", "NA-ORAQL", "Delta", "AA$-Hit",
 	}}
 	if withPaper {
 		t.header = append(t.header, "paper:PessU", "paper:Delta")
@@ -127,6 +127,7 @@ func Fig4(exps []*Experiment, withPaper bool) string {
 			fmt.Sprint(s.UniqueOptimistic), fmt.Sprint(s.CachedOptimistic),
 			fmt.Sprint(s.UniquePessimistic), fmt.Sprint(s.CachedPessimistic),
 			fmt.Sprint(orig), fmt.Sprint(final), pct(final, orig),
+			fmt.Sprintf("%.1f%%", 100*e.Probe.Final.Compile.AAStats().CacheHitRate()),
 		}
 		if withPaper {
 			p := e.Config.Paper
@@ -290,12 +291,15 @@ func modeledKernelTime(e *Experiment, baseline bool) float64 {
 }
 
 // ProbingEffort renders the driver-side counters (compiles, tests run,
-// tests skipped via the executable hash cache).
+// tests skipped via the executable hash cache, speculative tests of the
+// parallel driver).
 func ProbingEffort(exps []*Experiment) string {
-	t := &table{header: []string{"Benchmark", "Compiles", "Tests run", "Tests cached", "Final seq len", "Pess in seq"}}
+	t := &table{header: []string{"Benchmark", "Compiles", "Tests run", "Tests cached",
+		"Speculated", "Wasted", "Final seq len", "Pess in seq"}}
 	for _, e := range exps {
 		t.add(e.Config.ID,
 			fmt.Sprint(e.Probe.Compiles), fmt.Sprint(e.Probe.TestsRun), fmt.Sprint(e.Probe.TestsCached),
+			fmt.Sprint(e.Probe.TestsSpeculated), fmt.Sprint(e.Probe.TestsWasted),
 			fmt.Sprint(len(e.Probe.FinalSeq)), fmt.Sprint(e.Probe.FinalSeq.CountPessimistic()))
 	}
 	return "Probing effort (paper Section IV-B mechanisms)\n" + t.String()

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Records the sequential-vs-parallel probing baseline into
+# BENCH_probe.json: wall-clock per workflow sweep, speculation counts,
+# and the alias-query cache hit rate. Run from the repo root:
+#
+#   scripts/bench_probe.sh [count]
+#
+# On a single-core machine the parallel driver cannot overlap its
+# speculative tests, so expect parallel >= sequential there; the >=2x
+# speedup target is for multi-core hosts.
+set -eu
+count="${1:-3}"
+out="BENCH_probe.json"
+
+go test -run '^$' -bench 'Probe_(Sequential|Parallel)' -benchtime=1x \
+	-count="$count" . | tee /tmp/bench_probe.txt
+
+awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+/^BenchmarkProbe_(Sequential|Parallel)/ {
+	name = ($1 ~ /Sequential/) ? "sequential" : "parallel"
+	ns[name] += $3; n[name]++
+	for (i = 5; i < NF; i += 2) {
+		if ($(i+1) == "aa-cache-hit-%") hit[name] = $i
+		if ($(i+1) == "compiles") comp[name] = $i
+		if ($(i+1) == "tests-speculated") spec[name] = $i
+		if ($(i+1) == "tests-wasted") waste[name] = $i
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": [\"lulesh-seq\", \"testsnap-openmp\", \"minigmg-sse\", \"quicksilver-openmp\"],\n"
+	printf "  \"cpus\": %d,\n", ncpu
+	sep = ""
+	for (name in ns) {
+		printf "%s  \"%s\": {\n", sep, name
+		printf "    \"wall_clock_ms\": %.1f,\n", ns[name] / n[name] / 1e6
+		printf "    \"compiles\": %d,\n", comp[name]
+		printf "    \"tests_speculated\": %d,\n", spec[name]
+		printf "    \"tests_wasted\": %d,\n", waste[name]
+		printf "    \"aa_cache_hit_pct\": %.2f\n", hit[name]
+		printf "  }"
+		sep = ",\n"
+	}
+	printf "\n}\n"
+}' /tmp/bench_probe.txt > "$out"
+echo "wrote $out"
