@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race bench check
+.PHONY: tier1 vet build test race bench bench-compile check
 
 # tier1 is the gate the roadmap pins: it must stay green.
 tier1: build test
@@ -22,4 +22,9 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Probe_(Sequential|Parallel)' -benchtime=1x .
 
-check: vet tier1 race bench
+# bench-compile smoke-runs the analysis-cache compile benchmark; use
+# scripts/bench_compile.sh to record a BENCH_compile.json baseline.
+bench-compile:
+	$(GO) test -run '^$$' -bench 'Compile_AnalysisCache' -benchtime=1x .
+
+check: vet tier1 race bench bench-compile

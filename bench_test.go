@@ -317,6 +317,47 @@ func BenchmarkCompileOnly(b *testing.B) {
 	b.ReportMetric(float64(len(cfgs)), "configs")
 }
 
+// BenchmarkCompile_AnalysisCache measures the compile-time effect of
+// the analysis manager's lazy cache: every configuration is compiled
+// once with cached analyses and once force-invalidated (each pass
+// recomputes CFG info and MemorySSA from scratch), reporting the cache
+// hit rate as a metric. scripts/bench_compile.sh records both modes
+// into BENCH_compile.json.
+func BenchmarkCompile_AnalysisCache(b *testing.B) {
+	modes := []struct {
+		name    string
+		disable bool
+	}{{"cached", false}, {"forced", true}}
+	for _, c := range apps.All() {
+		c := c
+		for _, mode := range modes {
+			mode := mode
+			b.Run(c.ID+"/"+mode.name, func(b *testing.B) {
+				var hits, misses int64
+				for i := 0; i < b.N; i++ {
+					cc := c.Spec().Compile
+					cc.Name = c.ID
+					cc.DisableAnalysisCache = mode.disable
+					cr, err := CompileSource(cc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hits, misses = 0, 0
+					for _, as := range cr.AnalysisStats() {
+						hits += as.Hits
+						misses += as.Misses
+					}
+				}
+				b.ReportMetric(float64(hits), "analysis-hits")
+				b.ReportMetric(float64(misses), "analysis-misses")
+				if hits+misses > 0 {
+					b.ReportMetric(100*float64(hits)/float64(hits+misses), "analysis-hit-%")
+				}
+			})
+		}
+	}
+}
+
 var _ = fmt.Sprintf
 
 // BenchmarkAblation_BlockingChain is the Section VIII dual experiment:

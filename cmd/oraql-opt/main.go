@@ -7,7 +7,7 @@
 //
 //	oraql-opt prog.mc [-opt-aa-seq "1 0 1"] [-opt-aa-seq @file]
 //	         [-opt-aa-target gpu] [-opt-aa-dump-pessimistic ...]
-//	         [-stats] [-print-ir] [-debug-pass] [-run] [-O1]
+//	         [-stats] [-time-passes] [-print-ir] [-debug-pass] [-run] [-O1]
 package main
 
 import (
@@ -39,6 +39,8 @@ func main() {
 	o0 := fs.Bool("O0", false, "frontend output only (no optimization)")
 	full := fs.Bool("full-aa", false, "enable the CFL points-to analyses in the chain")
 	stats := fs.Bool("stats", false, "print pass statistics (-mllvm -stats analogue)")
+	timePasses := fs.Bool("time-passes", false, "print per-pass wall time, run counts, and analysis cache counters")
+	noAnalysisCache := fs.Bool("disable-analysis-cache", false, "recompute every analysis on every pass run (force-invalidate mode)")
 	printIR := fs.Bool("print-ir", false, "print optimized IR")
 	debugPass := fs.Bool("debug-pass", false, "print pass executions (-debug-pass=Executions analogue)")
 	run := fs.Bool("run", false, "run the compiled program on the simulated machine")
@@ -69,9 +71,10 @@ func main() {
 
 	cfg := pipeline.Config{
 		Name: file, Source: string(src), SourceFile: file,
-		Frontend:      minic.Options{Dialect: d, Model: m, Views: *views},
-		FullAAChain:   *full,
-		DebugPassExec: *debugPass,
+		Frontend:             minic.Options{Dialect: d, Model: m, Views: *views},
+		FullAAChain:          *full,
+		DebugPassExec:        *debugPass,
+		DisableAnalysisCache: *noAnalysisCache,
 	}
 	if strings.HasSuffix(file, ".ir") {
 		// Textual-IR input: bypass the frontend.
@@ -119,6 +122,10 @@ func main() {
 		fmt.Printf("%8d aa - Number of memoized query cache hits\n", aas.CacheHits)
 		fmt.Printf("%8d aa - Number of memoized query cache misses\n", aas.CacheMisses)
 		fmt.Printf("%8d aa - Number of query cache invalidations\n", aas.CacheFlushes)
+		fmt.Printf("%8d aa - Number of scoped (per-function) cache flushes\n", aas.CacheScopedFlushes)
+	}
+	if *timePasses {
+		cr.Timing().Print(os.Stdout, cr.AnalysisStats())
 	}
 	fmt.Fprintf(os.Stderr, "exe hash: %s\n", cr.ExeHash())
 	if *run {

@@ -2,7 +2,7 @@
 // live runs of the evaluation:
 //
 //	oraql-tables               # everything
-//	oraql-tables -table fig4   # one table: fig3|fig4|fig5|fig6|fig7|runtime|effort
+//	oraql-tables -table fig4   # one table: fig3|fig4|fig5|fig6|fig7|runtime|effort|timing
 //	oraql-tables -configs a,b  # restrict to a config subset
 package main
 
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to print (fig3|fig4|fig5|fig6|fig7|runtime|effort|all)")
+	table := flag.String("table", "all", "which table to print (fig3|fig4|fig5|fig6|fig7|runtime|effort|timing|all)")
 	configs := flag.String("configs", "", "comma-separated config ids (default: all)")
 	verbose := flag.Bool("v", false, "verbose driver log")
 	flag.Parse()
@@ -73,5 +73,8 @@ func main() {
 	}
 	if show("effort") {
 		fmt.Println(report.ProbingEffort(exps))
+	}
+	if show("timing") {
+		fmt.Println(report.PassTiming(exps))
 	}
 }

@@ -26,12 +26,14 @@ import (
 	"io"
 
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/apps"
 	"github.com/oraql/go-oraql/internal/driver"
 	"github.com/oraql/go-oraql/internal/ir"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/minic"
 	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/passes"
 	"github.com/oraql/go-oraql/internal/pipeline"
 	"github.com/oraql/go-oraql/internal/report"
 	"github.com/oraql/go-oraql/internal/verify"
@@ -154,6 +156,19 @@ const (
 	NoAlias      = aa.NoAlias
 	PartialAlias = aa.PartialAlias
 	MustAlias    = aa.MustAlias
+)
+
+// Pass-manager instrumentation types.
+type (
+	// PassTiming is the per-pass execution accounting of one
+	// compilation (-time-passes): runs, changed runs, wall time.
+	PassTiming = passes.Timing
+	// PreservedAnalyses is the per-pass declaration of which analyses
+	// survive it (the new-pass-manager invalidation protocol).
+	PreservedAnalyses = analysis.PreservedAnalyses
+	// AnalysisStats are the analysis manager's per-analysis cache
+	// counters (hits, misses, invalidations).
+	AnalysisStats = analysis.Stats
 )
 
 // Benchmark registry (the paper's Fig. 4 configurations).

@@ -6,6 +6,8 @@ package aa
 
 import (
 	"testing"
+
+	"github.com/oraql/go-oraql/internal/ir"
 )
 
 // countingAA is a memoizable fake analysis that records how often it is
@@ -94,6 +96,65 @@ func TestQueryCacheInvalidate(t *testing.T) {
 	mgr.Invalidate()
 	if s := mgr.Stats(); s.CacheFlushes != 2 {
 		t.Errorf("CacheFlushes after empty invalidate = %d, want 2", s.CacheFlushes)
+	}
+}
+
+// TestQueryCacheScopedInvalidate: InvalidateFunc must drop only the
+// changed function's bucket, leaving other functions' verdicts hot.
+func TestQueryCacheScopedInvalidate(t *testing.T) {
+	f := newFixture(t)
+	mgr := NewManager(f.m, NewBasicAA())
+	l1, l2 := f.loc(f.a1, 8), f.loc(f.a2, 8)
+
+	other, ob := ir.NewFunc(f.m, "other", ir.Void)
+	ob.Ret(nil)
+	qf := &QueryCtx{Pass: "test", Func: f.fn}
+	qo := &QueryCtx{Pass: "test", Func: other}
+
+	mgr.Alias(l1, l2, qf)
+	mgr.Alias(l1, l2, qo)
+	// Scoped flush of f.fn: its entry re-misses, other's entry hits.
+	mgr.InvalidateFunc(f.fn)
+	mgr.Alias(l1, l2, qf)
+	mgr.Alias(l1, l2, qo)
+	s := mgr.Stats()
+	if s.CacheMisses != 3 || s.CacheHits != 1 {
+		t.Errorf("got %d misses / %d hits, want 3 / 1 (scoped flush)", s.CacheMisses, s.CacheHits)
+	}
+	if s.CacheScopedFlushes != 1 || s.CacheFlushes != 0 {
+		t.Errorf("scoped/full flushes = %d/%d, want 1/0", s.CacheScopedFlushes, s.CacheFlushes)
+	}
+	// Scoped flush of a function with no entries is not a flush.
+	mgr.InvalidateFunc(f.fn)
+	mgr.InvalidateFunc(f.fn)
+	if s := mgr.Stats(); s.CacheScopedFlushes != 2 {
+		t.Errorf("CacheScopedFlushes = %d, want 2 (second empty flush uncounted)", s.CacheScopedFlushes)
+	}
+	// A full Invalidate drops the remaining buckets.
+	mgr.Invalidate()
+	mgr.Alias(l1, l2, qo)
+	s = mgr.Stats()
+	if s.CacheFlushes != 1 {
+		t.Errorf("CacheFlushes = %d, want 1", s.CacheFlushes)
+	}
+	if s.CacheHits != 1 {
+		t.Errorf("hits after full flush = %d, want 1 (re-miss)", s.CacheHits)
+	}
+}
+
+// TestQueryCacheNilBucketFlushedScoped: entries from queries without a
+// function context cannot be attributed, so every scoped flush drops
+// them too.
+func TestQueryCacheNilBucketFlushedScoped(t *testing.T) {
+	f := newFixture(t)
+	mgr := NewManager(f.m, NewBasicAA())
+	l1, l2 := f.loc(f.a1, 8), f.loc(f.a2, 8)
+
+	mgr.Alias(l1, l2, nil)
+	mgr.InvalidateFunc(f.fn)
+	mgr.Alias(l1, l2, nil)
+	if s := mgr.Stats(); s.CacheMisses != 2 || s.CacheHits != 0 {
+		t.Errorf("got %d misses / %d hits, want 2 / 0 (nil bucket dropped)", s.CacheMisses, s.CacheHits)
 	}
 }
 

@@ -28,10 +28,12 @@ type Stats struct {
 	// cache and count in neither.
 	CacheHits   int64
 	CacheMisses int64
-	// CacheFlushes counts invalidations that actually dropped entries
-	// (one per module-mutating pass execution, wired through the pass
-	// manager).
-	CacheFlushes int64
+	// CacheFlushes counts module-wide invalidations that actually
+	// dropped entries; CacheScopedFlushes counts the per-function
+	// invalidations the analysis manager issues for the one function a
+	// pass changed, which leave every other function's entries intact.
+	CacheFlushes       int64
+	CacheScopedFlushes int64
 
 	// NoAliasByAnalysis counts definitive no-alias answers per analysis
 	// in the chain (including "oraql" when present).
@@ -67,6 +69,7 @@ func (s *Stats) Merge(other *Stats) {
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
 	s.CacheFlushes += other.CacheFlushes
+	s.CacheScopedFlushes += other.CacheScopedFlushes
 	for k, v := range other.NoAliasByAnalysis {
 		s.NoAliasByAnalysis[k] += v
 	}
@@ -199,6 +202,14 @@ type cacheEntry struct {
 // Manager is safe for concurrent queries; note however that the ORAQL
 // pass appended during probing keeps its own unsynchronized state, so
 // probing compilations use one manager per compilation.
+//
+// Cache entries are bucketed by the querying function (QueryCtx.Func),
+// because alias queries are intra-function: both locations name values
+// of that function, or globals whose chain-level facts were computed
+// once at manager construction. A pass mutating function f therefore
+// cannot stale another function's verdicts, and InvalidateFunc(f)
+// drops only f's bucket. Queries without a function context land in a
+// shared nil bucket that every scoped flush also drops.
 type Manager struct {
 	Module *ir.Module
 	chain  []Analysis
@@ -208,7 +219,7 @@ type Manager struct {
 
 	mu      sync.Mutex
 	stats   *Stats
-	cache   map[queryKey]cacheEntry
+	cache   map[*ir.Func]map[queryKey]cacheEntry
 	memoOff bool
 }
 
@@ -219,7 +230,7 @@ func NewManager(m *ir.Module, chain ...Analysis) *Manager {
 		Module: m,
 		chain:  chain,
 		stats:  NewStats(),
-		cache:  map[queryKey]cacheEntry{},
+		cache:  map[*ir.Func]map[queryKey]cacheEntry{},
 	}
 }
 
@@ -266,22 +277,46 @@ func (mgr *Manager) SetQueryCache(enabled bool) {
 	mgr.mu.Lock()
 	mgr.memoOff = !enabled
 	if !enabled {
-		mgr.cache = map[queryKey]cacheEntry{}
+		mgr.cache = map[*ir.Func]map[queryKey]cacheEntry{}
 	}
 	mgr.mu.Unlock()
 }
 
-// Invalidate flushes the memoized query cache. The pass manager calls
-// this between pass executions whenever a pass reports that it changed
-// the function — the analogue of LLVM dropping AAQueryInfo between
-// query batches.
+// Invalidate flushes the entire memoized query cache across all
+// functions — the module-wide AAQueryInfo drop. The pass pipeline now
+// prefers the scoped InvalidateFunc; the full flush remains for
+// callers without a function context.
 func (mgr *Manager) Invalidate() {
 	mgr.mu.Lock()
-	if len(mgr.cache) > 0 {
-		mgr.cache = make(map[queryKey]cacheEntry, len(mgr.cache))
+	if mgr.cachedEntries() > 0 {
+		mgr.cache = map[*ir.Func]map[queryKey]cacheEntry{}
 		mgr.stats.CacheFlushes++
 	}
 	mgr.mu.Unlock()
+}
+
+// InvalidateFunc drops the memoized verdicts of one function — the
+// analysis manager calls this for exactly the function a pass changed,
+// leaving every other function's entries hot. The shared nil bucket
+// (queries without a function context) is dropped too, since those
+// cannot be attributed.
+func (mgr *Manager) InvalidateFunc(fn *ir.Func) {
+	mgr.mu.Lock()
+	if len(mgr.cache[fn]) > 0 || len(mgr.cache[nil]) > 0 {
+		delete(mgr.cache, fn)
+		delete(mgr.cache, nil)
+		mgr.stats.CacheScopedFlushes++
+	}
+	mgr.mu.Unlock()
+}
+
+// cachedEntries counts entries over all buckets; callers hold mgr.mu.
+func (mgr *Manager) cachedEntries() int {
+	n := 0
+	for _, bucket := range mgr.cache {
+		n += len(bucket)
+	}
+	return n
 }
 
 // cachePrefixLen returns the length of the chain prefix whose answers
@@ -353,9 +388,13 @@ func (mgr *Manager) Alias(a, b MemLoc, q *QueryCtx) Result {
 		return r
 	}
 
+	var fn *ir.Func
+	if q != nil {
+		fn = q.Func
+	}
 	key := queryKeyOf(a, b)
 	mgr.mu.Lock()
-	ent, hit := mgr.cache[key]
+	ent, hit := mgr.cache[fn][key]
 	if hit {
 		mgr.stats.CacheHits++
 	} else {
@@ -378,7 +417,12 @@ func (mgr *Manager) Alias(a, b MemLoc, q *QueryCtx) Result {
 	r, name := mgr.walk(0, prefix, a, b, q)
 	mgr.mu.Lock()
 	if !mgr.memoOff {
-		mgr.cache[key] = cacheEntry{result: r, analysis: name}
+		bucket := mgr.cache[fn]
+		if bucket == nil {
+			bucket = map[queryKey]cacheEntry{}
+			mgr.cache[fn] = bucket
+		}
+		bucket[key] = cacheEntry{result: r, analysis: name}
 	}
 	mgr.mu.Unlock()
 	if !r.Definitive() {

@@ -1,0 +1,263 @@
+// Package analysis is the per-function analysis manager, modelled on
+// LLVM's new-pass-manager AnalysisManager/PreservedAnalyses protocol:
+// registered analyses are computed lazily, cached per function, and
+// dropped only when a transformation pass declares it did not preserve
+// them. The probing driver recompiles each application hundreds of
+// times, so keeping dominator trees, loop forests and the MemorySSA
+// walker alive across the passes that do not touch the CFG is the
+// single largest compile-time lever the pipeline has (paper §VIII
+// names compile/probe cost as the main obstacle to adoption).
+//
+// The manager is generic: it knows nothing about concrete analyses.
+// The passes package registers the CFG info, the MemorySSA walker, and
+// an invalidation hook that scopes the alias-query cache to the
+// function that actually changed.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// Key identifies one registered analysis.
+type Key string
+
+// The analyses the default pipeline registers. They live here (not in
+// the passes package) so PreservedAnalyses constructors can name them
+// without an import cycle.
+const (
+	// CFGKey is the control-flow-graph analysis (preds, RPO, dominator
+	// tree, natural loops) — cfg.Info.
+	CFGKey Key = "cfg"
+	// MemSSAKey is the MemorySSA clobber walker — mssa.Walker.
+	MemSSAKey Key = "memory-ssa"
+	// AAQueryCacheKey stands for the alias-analysis manager's memoized
+	// query cache. It has no Build function; it is registered only so
+	// invalidation can be scoped to the changed function through an
+	// OnInvalidate hook.
+	AAQueryCacheKey Key = "aa-query-cache"
+)
+
+// PreservedAnalyses is a transformation pass's declaration of which
+// analyses remain valid after it ran, the return-value protocol of
+// LLVM's new pass manager. The zero value preserves nothing.
+type PreservedAnalyses struct {
+	all  bool
+	keys map[Key]bool
+}
+
+// All declares that every analysis is preserved — the return value of
+// a pass that did not change the function.
+func All() PreservedAnalyses { return PreservedAnalyses{all: true} }
+
+// None declares that no analysis survives — the return value of a pass
+// that restructured the CFG.
+func None() PreservedAnalyses { return PreservedAnalyses{} }
+
+// Some declares that exactly the named analyses are preserved.
+func Some(keys ...Key) PreservedAnalyses {
+	pa := PreservedAnalyses{keys: make(map[Key]bool, len(keys))}
+	for _, k := range keys {
+		pa.keys[k] = true
+	}
+	return pa
+}
+
+// CFGOnly declares that the function's instructions changed but its
+// block structure did not: CFG-derived analyses survive, everything
+// else (in particular the alias-query cache) is invalidated. This is
+// the set EarlyCSE, GVN, DSE, LICM and Sink return.
+func CFGOnly() PreservedAnalyses { return Some(CFGKey) }
+
+// PreservesAll reports whether every analysis is preserved (i.e. the
+// pass made no change it needs to announce).
+func (pa PreservedAnalyses) PreservesAll() bool { return pa.all }
+
+// Preserves reports whether the analysis k is declared preserved.
+func (pa PreservedAnalyses) Preserves(k Key) bool { return pa.all || pa.keys[k] }
+
+// Intersect returns the preservation set kept by both pa and o — the
+// combination rule for a pass that ran two sub-passes.
+func (pa PreservedAnalyses) Intersect(o PreservedAnalyses) PreservedAnalyses {
+	if pa.all {
+		return o
+	}
+	if o.all {
+		return pa
+	}
+	out := PreservedAnalyses{keys: map[Key]bool{}}
+	for k := range pa.keys {
+		if o.keys[k] {
+			out.keys[k] = true
+		}
+	}
+	return out
+}
+
+// Registration describes one function analysis.
+type Registration struct {
+	Key Key
+
+	// Build computes the result for fn. It may fetch dependencies
+	// through the manager (which caches them). Nil for marker
+	// registrations that exist only for their OnInvalidate hook.
+	Build func(m *Manager, fn *ir.Func) any
+
+	// PreservedWith lists keys whose joint preservation keeps this
+	// analysis valid even when its own key is not named: a stateless
+	// view over its dependencies, like the MemorySSA walker over the
+	// CFG, is exactly as fresh as they are.
+	PreservedWith []Key
+
+	// OnInvalidate, when non-nil, runs whenever the analysis is
+	// invalidated for fn — the scoped-flush hook for state held outside
+	// the manager (the AA query cache).
+	OnInvalidate func(fn *ir.Func)
+}
+
+// Stats counts cache traffic for one registered analysis.
+type Stats struct {
+	Key           Key
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+}
+
+// Manager lazily computes and caches analyses per function.
+// It is not safe for concurrent use; each compilation owns one.
+type Manager struct {
+	regs     []*Registration
+	byKey    map[Key]*Registration
+	cache    map[*ir.Func]map[Key]any
+	stats    map[Key]*Stats
+	cacheOff bool
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{
+		byKey: map[Key]*Registration{},
+		cache: map[*ir.Func]map[Key]any{},
+		stats: map[Key]*Stats{},
+	}
+}
+
+// Register adds an analysis. Registering a key twice replaces the
+// earlier registration (used by tests to stub builders).
+func (m *Manager) Register(r Registration) {
+	if old, ok := m.byKey[r.Key]; ok {
+		*old = r
+		return
+	}
+	reg := &r
+	m.regs = append(m.regs, reg)
+	m.byKey[r.Key] = reg
+	m.stats[r.Key] = &Stats{Key: r.Key}
+}
+
+// SetCaching enables or disables result caching. Disabled, every Get
+// recomputes and Invalidate treats every non-All preservation set as
+// None — the force-invalidate mode the transparency tests compare
+// against.
+func (m *Manager) SetCaching(enabled bool) {
+	m.cacheOff = !enabled
+	if !enabled {
+		m.cache = map[*ir.Func]map[Key]any{}
+	}
+}
+
+// Caching reports whether results are being cached.
+func (m *Manager) Caching() bool { return !m.cacheOff }
+
+// Get returns the analysis k for fn, computing and caching it on a
+// miss. It panics on an unregistered key or a marker registration
+// without a Build function — both are programming errors.
+func (m *Manager) Get(k Key, fn *ir.Func) any {
+	reg, ok := m.byKey[k]
+	if !ok || reg.Build == nil {
+		panic("analysis: Get of unregistered or marker analysis " + string(k))
+	}
+	st := m.stats[k]
+	if !m.cacheOff {
+		if res, ok := m.cache[fn][k]; ok {
+			st.Hits++
+			return res
+		}
+	}
+	st.Misses++
+	res := reg.Build(m, fn)
+	if !m.cacheOff {
+		bucket := m.cache[fn]
+		if bucket == nil {
+			bucket = map[Key]any{}
+			m.cache[fn] = bucket
+		}
+		bucket[k] = res
+	}
+	return res
+}
+
+// preserved decides whether registration reg survives pa.
+func preserved(reg *Registration, pa PreservedAnalyses) bool {
+	if pa.Preserves(reg.Key) {
+		return true
+	}
+	if len(reg.PreservedWith) == 0 {
+		return false
+	}
+	for _, dep := range reg.PreservedWith {
+		if !pa.Preserves(dep) {
+			return false
+		}
+	}
+	return true
+}
+
+// Invalidate drops every analysis for fn that pa does not preserve and
+// fires the OnInvalidate hooks of the dropped ones. With caching
+// disabled, any pa short of All() invalidates everything, so declared
+// preservation sets are never trusted — the reference behaviour the
+// differential tests compare the cache against.
+func (m *Manager) Invalidate(fn *ir.Func, pa PreservedAnalyses) {
+	if pa.PreservesAll() {
+		return
+	}
+	for _, reg := range m.regs {
+		if !m.cacheOff && preserved(reg, pa) {
+			continue
+		}
+		if bucket := m.cache[fn]; bucket != nil {
+			if _, had := bucket[reg.Key]; had {
+				delete(bucket, reg.Key)
+				m.stats[reg.Key].Invalidations++
+			}
+		}
+		if reg.OnInvalidate != nil {
+			reg.OnInvalidate(fn)
+		}
+	}
+}
+
+// StatsFor returns the cache counters of one analysis (zero value if
+// never registered).
+func (m *Manager) StatsFor(k Key) Stats {
+	if s, ok := m.stats[k]; ok {
+		return *s
+	}
+	return Stats{Key: k}
+}
+
+// Snapshot returns the counters of every registered analysis with a
+// Build function, sorted by key for deterministic output.
+func (m *Manager) Snapshot() []Stats {
+	out := make([]Stats, 0, len(m.regs))
+	for _, r := range m.regs {
+		if r.Build == nil {
+			continue
+		}
+		out = append(out, *m.stats[r.Key])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

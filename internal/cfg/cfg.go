@@ -25,6 +25,12 @@ type Info struct {
 	// idom maps each reachable block (except entry) to its immediate
 	// dominator.
 	idom map[*ir.Block]*ir.Block
+
+	// loops memoizes the natural-loop forest: an Info is immutable once
+	// built (any CFG edit invalidates it wholesale), so the forest is
+	// computed at most once no matter how many passes consult it.
+	loops     []*Loop
+	loopsDone bool
 }
 
 // New computes CFG analyses for f.

@@ -24,10 +24,19 @@ type Loop struct {
 // Contains reports whether b belongs to the loop.
 func (l *Loop) Contains(b *ir.Block) bool { return l.blocks[b] }
 
-// Loops finds all natural loops of the function, innermost first for
-// equal headers and otherwise in header RPO order. The implementation
-// finds back edges (edges to a dominator) and floods backwards.
+// Loops returns all natural loops of the function, innermost first for
+// equal headers and otherwise in header RPO order. The forest is
+// computed once per Info and memoized; the implementation finds back
+// edges (edges to a dominator) and floods backwards.
 func (in *Info) Loops() []*Loop {
+	if !in.loopsDone {
+		in.loops = in.findLoops()
+		in.loopsDone = true
+	}
+	return in.loops
+}
+
+func (in *Info) findLoops() []*Loop {
 	byHeader := map[*ir.Block]*Loop{}
 	var order []*Loop
 	for _, b := range in.RPO {

@@ -273,6 +273,19 @@ func (st *state) finalize(seq oraql.Seq) (*Result, error) {
 	st.logf("%s: done: %d opt (%d cached), %d pess (%d cached); %d compiles, %d tests (+%d cached, %d speculated, %d wasted)",
 		st.spec.Name, s.UniqueOptimistic, s.CachedOptimistic, s.UniquePessimistic, s.CachedPessimistic,
 		st.res.Compiles, st.res.TestsRun, st.res.TestsCached, st.res.TestsSpeculated, st.res.TestsWasted)
+	// -time-passes style summary of the final compilation.
+	tm := fin.Compile.Timing()
+	var runs int64
+	for _, pt := range tm.Entries() {
+		runs += pt.Runs
+	}
+	var hits, misses int64
+	for _, as := range fin.Compile.AnalysisStats() {
+		hits += as.Hits
+		misses += as.Misses
+	}
+	st.logf("%s: final compile: %d pass runs in %.2fms; analysis cache %d hits / %d misses",
+		st.spec.Name, runs, float64(tm.Total().Microseconds())/1000, hits, misses)
 	return st.res, nil
 }
 

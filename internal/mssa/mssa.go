@@ -16,7 +16,11 @@ import (
 // PassName is the analysis name attached to the walker's alias queries.
 const PassName = "memory-ssa"
 
-// Walker answers clobber queries for one function.
+// Walker answers clobber queries for one function. It holds no
+// per-query state: every walk scans the function's current
+// instructions, so a Walker stays valid for exactly as long as its CFG
+// info does — which is what lets the analysis manager cache it across
+// passes that preserve the CFG.
 type Walker struct {
 	Fn  *ir.Func
 	CFG *cfg.Info
@@ -24,16 +28,18 @@ type Walker struct {
 	// Budget caps the number of blocks visited per walk, like LLVM's
 	// MemorySSA walk limits; exceeded walks return conservative answers.
 	Budget int
+
+	// q is the walker's constant query attribution, allocated once.
+	q aa.QueryCtx
 }
 
 // New builds a walker over fn. cfgInfo may be shared with the caller.
 func New(fn *ir.Func, cfgInfo *cfg.Info, mgr *aa.Manager) *Walker {
-	return &Walker{Fn: fn, CFG: cfgInfo, AA: mgr, Budget: 2048}
+	return &Walker{Fn: fn, CFG: cfgInfo, AA: mgr, Budget: 2048,
+		q: aa.QueryCtx{Pass: PassName, Func: fn}}
 }
 
-func (w *Walker) query() *aa.QueryCtx {
-	return &aa.QueryCtx{Pass: PassName, Func: w.Fn}
-}
+func (w *Walker) query() *aa.QueryCtx { return &w.q }
 
 // walkState carries one upward walk.
 type walkState struct {

@@ -2,6 +2,7 @@ package passes
 
 import (
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/ir"
 )
 
@@ -15,7 +16,7 @@ type DSE struct{}
 func (*DSE) Name() string { return "Dead Store Elimination" }
 
 // Run implements Pass.
-func (p *DSE) Run(fn *ir.Func, ctx *Context) bool {
+func (p *DSE) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
 	q := ctx.Query(fn)
 
@@ -80,11 +81,12 @@ func (p *DSE) Run(fn *ir.Func, ctx *Context) bool {
 		}
 	}
 
-	if changed {
-		fn.Compact()
-		removeDeadCode(fn)
+	if !changed {
+		return analysis.All()
 	}
-	return changed
+	fn.Compact()
+	removeDeadCode(fn)
+	return analysis.CFGOnly() // deletes stores, never edges
 }
 
 // objectIsRead reports whether any instruction reads through a pointer

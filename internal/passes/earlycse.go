@@ -2,6 +2,7 @@ package passes
 
 import (
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/ir"
 )
 
@@ -21,7 +22,7 @@ type availEntry struct {
 }
 
 // Run implements Pass.
-func (p *EarlyCSE) Run(fn *ir.Func, ctx *Context) bool {
+func (p *EarlyCSE) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
 	q := ctx.Query(fn)
 	for _, b := range fn.Blocks {
@@ -63,10 +64,11 @@ func (p *EarlyCSE) Run(fn *ir.Func, ctx *Context) bool {
 			}
 		}
 	}
-	if changed {
-		fn.Compact()
+	if !changed {
+		return analysis.All()
 	}
-	return changed
+	fn.Compact()
+	return analysis.CFGOnly() // removes instructions, never edges
 }
 
 // lookupAvail finds an available entry whose location must-aliases loc

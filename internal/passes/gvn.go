@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"github.com/oraql/go-oraql/internal/aa"
-	"github.com/oraql/go-oraql/internal/cfg"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/ir"
-	"github.com/oraql/go-oraql/internal/mssa"
 )
 
 // GVN is global value numbering: pure expressions with identical
@@ -22,10 +21,10 @@ type GVN struct{}
 func (*GVN) Name() string { return "Global Value Numbering" }
 
 // Run implements Pass.
-func (p *GVN) Run(fn *ir.Func, ctx *Context) bool {
+func (p *GVN) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
-	info := cfg.New(fn)
-	walker := mssa.New(fn, info, ctx.AA)
+	info := ctx.CFG(fn)
+	walker := ctx.MemSSA(fn)
 	q := ctx.Query(fn)
 
 	// Pure-expression numbering over RPO with dominance.
@@ -93,5 +92,8 @@ func (p *GVN) Run(fn *ir.Func, ctx *Context) bool {
 	if removeDeadCode(fn) > 0 {
 		changed = true
 	}
-	return changed
+	if !changed {
+		return analysis.All()
+	}
+	return analysis.CFGOnly() // deletes instructions, never edges
 }

@@ -1,6 +1,9 @@
 package passes
 
-import "github.com/oraql/go-oraql/internal/ir"
+import (
+	"github.com/oraql/go-oraql/internal/analysis"
+	"github.com/oraql/go-oraql/internal/ir"
+)
 
 // InstSimplify folds constants and applies algebraic identities. It
 // issues no alias queries; its job is to canonicalize the IR so the
@@ -11,7 +14,7 @@ type InstSimplify struct{}
 func (*InstSimplify) Name() string { return "instsimplify" }
 
 // Run implements Pass.
-func (p *InstSimplify) Run(fn *ir.Func, ctx *Context) bool {
+func (p *InstSimplify) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
 	for {
 		round := false
@@ -40,7 +43,11 @@ func (p *InstSimplify) Run(fn *ir.Func, ctx *Context) bool {
 	if removeDeadCode(fn) > 0 {
 		changed = true
 	}
-	return changed
+	if !changed {
+		return analysis.All()
+	}
+	// Rewrites values (in particular GEP offsets) but never block edges.
+	return analysis.CFGOnly()
 }
 
 // canonGEP folds constant addends of a GEP index into the byte offset:

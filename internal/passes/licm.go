@@ -2,6 +2,7 @@ package passes
 
 import (
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/cfg"
 	"github.com/oraql/go-oraql/internal/ir"
 )
@@ -18,11 +19,11 @@ type LICM struct{}
 func (*LICM) Name() string { return "Loop Invariant Code Motion" }
 
 // Run implements Pass.
-func (p *LICM) Run(fn *ir.Func, ctx *Context) bool {
-	info := cfg.New(fn)
+func (p *LICM) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
+	info := ctx.CFG(fn)
 	loops := info.Loops()
 	if len(loops) == 0 {
-		return false
+		return analysis.All()
 	}
 	// Innermost loops first so hoisted code can cascade outwards.
 	ordered := append([]*cfg.Loop(nil), loops...)
@@ -42,10 +43,11 @@ func (p *LICM) Run(fn *ir.Func, ctx *Context) bool {
 			changed = true
 		}
 	}
-	if changed {
-		fn.Compact()
+	if !changed {
+		return analysis.All()
 	}
-	return changed
+	fn.Compact()
+	return analysis.CFGOnly() // moves instructions between existing blocks
 }
 
 func (p *LICM) runOnLoop(fn *ir.Func, ctx *Context, info *cfg.Info, l *cfg.Loop) bool {

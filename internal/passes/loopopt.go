@@ -2,9 +2,9 @@ package passes
 
 import (
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/cfg"
 	"github.com/oraql/go-oraql/internal/ir"
-	"github.com/oraql/go-oraql/internal/mssa"
 )
 
 // LoopDeletion removes loops that provably do nothing: no writes to
@@ -20,10 +20,10 @@ type LoopDeletion struct{}
 func (*LoopDeletion) Name() string { return "Loop Deletion" }
 
 // Run implements Pass.
-func (p *LoopDeletion) Run(fn *ir.Func, ctx *Context) bool {
+func (p *LoopDeletion) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
 	for {
-		info := cfg.New(fn)
+		info := ctx.CFG(fn)
 		deleted := false
 		for _, l := range info.Loops() {
 			if l.Preheader == nil || len(l.Exits) != 1 {
@@ -55,10 +55,15 @@ func (p *LoopDeletion) Run(fn *ir.Func, ctx *Context) bool {
 		if !deleted {
 			break
 		}
-		// Clean up unreachable loop bodies before re-analysing.
+		// Clean up unreachable loop bodies, then drop the stale CFG view
+		// before re-analysing.
 		(&SimplifyCFG{}).Run(fn, ctx)
+		ctx.InvalidateAll(fn)
 	}
-	return changed
+	if !changed {
+		return analysis.All()
+	}
+	return analysis.None() // rewired branches and removed blocks
 }
 
 // loopIsDead: no stores, no effectful calls, and no inside-defined
@@ -216,13 +221,13 @@ type LoopLoadElim struct{}
 func (*LoopLoadElim) Name() string { return "Loop Load Elimination" }
 
 // Run implements Pass.
-func (p *LoopLoadElim) Run(fn *ir.Func, ctx *Context) bool {
-	info := cfg.New(fn)
+func (p *LoopLoadElim) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
+	info := ctx.CFG(fn)
 	loops := info.Loops()
 	if len(loops) == 0 {
-		return false
+		return analysis.All()
 	}
-	walker := mssa.New(fn, info, ctx.AA)
+	walker := ctx.MemSSA(fn)
 	q := ctx.Query(fn)
 	changed := false
 	for _, l := range loops {
@@ -260,9 +265,10 @@ func (p *LoopLoadElim) Run(fn *ir.Func, ctx *Context) bool {
 			}
 		}
 	}
-	if changed {
-		fn.Compact()
-		removeDeadCode(fn)
+	if !changed {
+		return analysis.All()
 	}
-	return changed
+	fn.Compact()
+	removeDeadCode(fn)
+	return analysis.CFGOnly() // deletes loads, never edges
 }

@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/cfg"
 	"github.com/oraql/go-oraql/internal/ir"
 )
@@ -24,20 +25,24 @@ type LoopRotate struct{}
 func (*LoopRotate) Name() string { return "Loop Rotation" }
 
 // Run implements Pass.
-func (p *LoopRotate) Run(fn *ir.Func, ctx *Context) bool {
+func (p *LoopRotate) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
 	for {
-		info := cfg.New(fn)
+		info := ctx.CFG(fn)
 		rotated := false
 		for _, l := range info.Loops() {
 			if p.rotate(fn, ctx, info, l) {
 				rotated = true
 				changed = true
+				ctx.InvalidateAll(fn)
 				break // CFG changed; re-analyse
 			}
 		}
 		if !rotated {
-			return changed
+			if !changed {
+				return analysis.All()
+			}
+			return analysis.None() // restructured loop headers
 		}
 	}
 }

@@ -2,6 +2,7 @@ package passes
 
 import (
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/cfg"
 	"github.com/oraql/go-oraql/internal/ir"
 )
@@ -26,13 +27,13 @@ func (*LoopVectorize) Name() string { return "Loop Vectorizer" }
 const vecWidth = 4
 
 // Run implements Pass.
-func (p *LoopVectorize) Run(fn *ir.Func, ctx *Context) bool {
+func (p *LoopVectorize) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
 	// Headers of loops already vectorized (the remainder loop reuses
 	// the original header) must not be vectorized again.
 	skip := map[*ir.Block]bool{}
 	for {
-		info := cfg.New(fn)
+		info := ctx.CFG(fn)
 		var done bool
 		for _, l := range info.Loops() {
 			if skip[l.Header] || !isInnermost(l, info) {
@@ -48,10 +49,14 @@ func (p *LoopVectorize) Run(fn *ir.Func, ctx *Context) bool {
 			ctx.Stats.Add(p.Name(), "# vector instructions generated", int64(plan.vectorInstrs))
 			changed = true
 			done = true
+			ctx.InvalidateAll(fn)
 			break // CFG changed; re-analyse
 		}
 		if !done {
-			return changed
+			if !changed {
+				return analysis.All()
+			}
+			return analysis.None() // inserted vector and remainder loops
 		}
 	}
 }

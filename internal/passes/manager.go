@@ -1,23 +1,36 @@
 // Package passes implements the optimization pipeline: a pass manager
-// with LLVM-style statistics (-stats) and pass-execution tracing
-// (-debug-pass=Executions), and the AA-consuming transformation passes
-// whose statistics the paper reports in Fig. 6 — EarlyCSE, GVN,
-// MemCpyOpt, DSE, LICM, loop load elimination, loop deletion, the loop
-// and SLP vectorizers, and sinking — plus the AA-free cleanups
-// (InstSimplify, SimplifyCFG, ADCE) that keep the IR canonical.
+// with LLVM-style statistics (-stats), pass-execution tracing
+// (-debug-pass=Executions) and timing (-time-passes), and the
+// AA-consuming transformation passes whose statistics the paper
+// reports in Fig. 6 — EarlyCSE, GVN, MemCpyOpt, DSE, LICM, loop load
+// elimination, loop deletion, the loop and SLP vectorizers, and
+// sinking — plus the AA-free cleanups (InstSimplify, SimplifyCFG,
+// ADCE) that keep the IR canonical.
+//
+// Passes obtain CFG info and the MemorySSA walker through the
+// per-function analysis manager (Context.CFG / Context.MemSSA) and
+// report what they preserved by returning an
+// analysis.PreservedAnalyses set, the new-pass-manager protocol.
 package passes
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
+	"github.com/oraql/go-oraql/internal/cfg"
 	"github.com/oraql/go-oraql/internal/ir"
+	"github.com/oraql/go-oraql/internal/mssa"
 )
 
 // StatsRegistry accumulates named counters per pass, mirroring LLVM's
-// STATISTIC mechanism surfaced through -mllvm -stats.
+// STATISTIC mechanism surfaced through -mllvm -stats. Only
+// deterministic counters belong here — the transparency tests compare
+// registries across cached and uncached compilations bit-for-bit;
+// wall times go to Timing instead.
 type StatsRegistry struct {
 	counters map[statKey]int64
 	order    []statKey
@@ -79,11 +92,22 @@ func (s *StatsRegistry) Print(w io.Writer) {
 
 // Context carries everything a pass needs: the module, the AA manager
 // (with ORAQL possibly at the end of its chain), the statistics
-// registry, and debug options.
+// registry, the per-function analysis manager, and debug options.
 type Context struct {
 	Module *ir.Module
 	AA     *aa.Manager
 	Stats  *StatsRegistry
+
+	// Timing, when non-nil, accumulates per-pass run counts and wall
+	// times — the -time-passes report. It is deliberately separate from
+	// Stats: wall time is nondeterministic.
+	Timing *Timing
+
+	// DisableAnalysisCache runs the analysis manager in force-invalidate
+	// mode: every Get recomputes and any change invalidates everything,
+	// never trusting declared preservation sets. This is the reference
+	// behaviour the transparency tests compare the cache against.
+	DisableAnalysisCache bool
 
 	// DebugPassExec prints "Executing Pass '<name>' on Function '<fn>'"
 	// lines to Out, the analogue of -debug-pass=Executions that the
@@ -93,6 +117,63 @@ type Context struct {
 
 	// curPass is the pass currently executing; queries carry it.
 	curPass string
+
+	// am is the lazily built analysis manager; use Analyses().
+	am *analysis.Manager
+}
+
+// Analyses returns the context's analysis manager, building and
+// populating it with the default registrations on first use: CFG info,
+// the MemorySSA walker (valid exactly as long as the CFG is), and the
+// alias-query-cache marker whose invalidation hook scopes AA cache
+// flushes to the changed function.
+func (c *Context) Analyses() *analysis.Manager {
+	if c.am == nil {
+		m := analysis.NewManager()
+		m.Register(analysis.Registration{
+			Key:   analysis.CFGKey,
+			Build: func(_ *analysis.Manager, fn *ir.Func) any { return cfg.New(fn) },
+		})
+		m.Register(analysis.Registration{
+			Key: analysis.MemSSAKey,
+			Build: func(m *analysis.Manager, fn *ir.Func) any {
+				info := m.Get(analysis.CFGKey, fn).(*cfg.Info)
+				return mssa.New(fn, info, c.AA)
+			},
+			// The walker holds no state beyond its CFG view, so it stays
+			// valid whenever the CFG does.
+			PreservedWith: []analysis.Key{analysis.CFGKey},
+		})
+		m.Register(analysis.Registration{
+			Key: analysis.AAQueryCacheKey,
+			OnInvalidate: func(fn *ir.Func) {
+				if c.AA != nil {
+					c.AA.InvalidateFunc(fn)
+				}
+			},
+		})
+		m.SetCaching(!c.DisableAnalysisCache)
+		c.am = m
+	}
+	return c.am
+}
+
+// CFG returns fn's control-flow analyses (cached until a pass fails to
+// preserve them).
+func (c *Context) CFG(fn *ir.Func) *cfg.Info {
+	return c.Analyses().Get(analysis.CFGKey, fn).(*cfg.Info)
+}
+
+// MemSSA returns fn's MemorySSA clobber walker (cached with the CFG).
+func (c *Context) MemSSA(fn *ir.Func) *mssa.Walker {
+	return c.Analyses().Get(analysis.MemSSAKey, fn).(*mssa.Walker)
+}
+
+// InvalidateAll drops every cached analysis for fn. Passes that
+// restructure the CFG mid-run (loop rotation, vectorization) call this
+// between iterations before re-fetching CFG info.
+func (c *Context) InvalidateAll(fn *ir.Func) {
+	c.Analyses().Invalidate(fn, analysis.None())
 }
 
 // Query returns the AA query context for the currently running pass.
@@ -111,8 +192,10 @@ type Pass interface {
 	// Name is the human-readable pass name used in statistics and
 	// query attribution (matching the paper's pass names).
 	Name() string
-	// Run transforms fn, returning whether anything changed.
-	Run(fn *ir.Func, ctx *Context) bool
+	// Run transforms fn and declares which analyses it preserved:
+	// All() when nothing changed, CFGOnly() when instructions changed
+	// but block structure did not, None() after CFG surgery.
+	Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses
 }
 
 // Pipeline is an ordered list of passes run over every function.
@@ -168,8 +251,12 @@ func O1Pipeline() *Pipeline {
 	}}
 }
 
-// Run executes the pipeline over every function in ctx.Module.
+// Run executes the pipeline over every function in ctx.Module. After
+// each pass run it applies the pass's preservation set to the analysis
+// manager — the invalidation boundary that used to be a module-wide
+// AA cache flush and is now scoped to the function that changed.
 func (p *Pipeline) Run(ctx *Context) {
+	am := ctx.Analyses()
 	for _, pass := range p.Passes {
 		for _, fn := range ctx.Module.Funcs {
 			if len(fn.Blocks) == 0 {
@@ -179,13 +266,13 @@ func (p *Pipeline) Run(ctx *Context) {
 			if ctx.DebugPassExec && ctx.Out != nil {
 				fmt.Fprintf(ctx.Out, "Executing Pass '%s' on Function '%s'...\n", pass.Name(), fn.Name)
 			}
-			changed := pass.Run(fn, ctx)
+			start := time.Now()
+			pa := pass.Run(fn, ctx)
+			elapsed := time.Since(start)
 			fn.Compact()
-			// A pass that mutated the function invalidates the memoized
-			// alias-query verdicts before the next pass queries them
-			// (the AAQueryInfo lifetime boundary).
-			if changed && ctx.AA != nil {
-				ctx.AA.Invalidate()
+			am.Invalidate(fn, pa)
+			if ctx.Timing != nil {
+				ctx.Timing.Record(pass.Name(), elapsed, !pa.PreservesAll())
 			}
 		}
 	}

@@ -2,9 +2,8 @@ package passes
 
 import (
 	"github.com/oraql/go-oraql/internal/aa"
-	"github.com/oraql/go-oraql/internal/cfg"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/ir"
-	"github.com/oraql/go-oraql/internal/mssa"
 )
 
 // MemCpyOpt forwards memory through memcpy: a load from the destination
@@ -18,10 +17,10 @@ type MemCpyOpt struct{}
 func (*MemCpyOpt) Name() string { return "MemCpy Optimization" }
 
 // Run implements Pass.
-func (p *MemCpyOpt) Run(fn *ir.Func, ctx *Context) bool {
+func (p *MemCpyOpt) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
-	info := cfg.New(fn)
-	walker := mssa.New(fn, info, ctx.AA)
+	info := ctx.CFG(fn)
+	walker := ctx.MemSSA(fn)
 	q := ctx.Query(fn)
 
 	for _, b := range info.RPO {
@@ -65,11 +64,12 @@ func (p *MemCpyOpt) Run(fn *ir.Func, ctx *Context) bool {
 			ctx.Stats.Add(p.Name(), "# loads forwarded through memcpy", 1)
 		}
 	}
-	if changed {
-		removeDeadCode(fn)
-		fn.Compact()
+	if !changed {
+		return analysis.All()
 	}
-	return changed
+	removeDeadCode(fn)
+	fn.Compact()
+	return analysis.CFGOnly() // inserts GEPs in place, never edges
 }
 
 // decomposePtr mirrors BasicAA's GEP walk.

@@ -51,7 +51,7 @@ func TestLoopRotateShape(t *testing.T) {
 	narg := &ir.Arg{Name: "n", Ty: ir.I64}
 	m, fn := countedLoop(t, narg)
 	ctx := newCtx(m)
-	if !(&LoopRotate{}).Run(fn, ctx) {
+	if (&LoopRotate{}).Run(fn, ctx).PreservesAll() {
 		t.Fatal("loop should rotate")
 	}
 	if err := ir.Verify(m); err != nil {
@@ -66,7 +66,7 @@ func TestLoopRotateShape(t *testing.T) {
 		t.Errorf("entry must end in the guard branch:\n%s", fn.String())
 	}
 	// Rotating again must be a no-op (bottom-tested form).
-	if (&LoopRotate{}).Run(fn, ctx) {
+	if !(&LoopRotate{}).Run(fn, ctx).PreservesAll() {
 		t.Error("second rotation must not fire")
 	}
 }
@@ -99,7 +99,7 @@ func TestLoopRotateSkipsMultiExit(t *testing.T) {
 	if err := ir.Verify(m); err != nil {
 		t.Fatal(err)
 	}
-	if (&LoopRotate{}).Run(fn, newCtx(m)) {
+	if !(&LoopRotate{}).Run(fn, newCtx(m)).PreservesAll() {
 		t.Error("multi-predecessor exit must not rotate")
 	}
 }
@@ -140,7 +140,7 @@ func TestVectorizeCountedLoop(t *testing.T) {
 	narg := &ir.Arg{Name: "n", Ty: ir.I64}
 	m, fn := countedLoop(t, narg)
 	ctx := newCtx(m)
-	if !(&LoopVectorize{}).Run(fn, ctx) {
+	if (&LoopVectorize{}).Run(fn, ctx).PreservesAll() {
 		t.Fatalf("loop should vectorize:\n%s", fn.String())
 	}
 	if err := ir.Verify(m); err != nil {

@@ -1,6 +1,9 @@
 package passes
 
-import "github.com/oraql/go-oraql/internal/ir"
+import (
+	"github.com/oraql/go-oraql/internal/analysis"
+	"github.com/oraql/go-oraql/internal/ir"
+)
 
 // SimplifyCFG folds constant branches, deletes unreachable blocks, and
 // merges straight-line block chains. It keeps the CFG canonical for
@@ -11,7 +14,7 @@ type SimplifyCFG struct{}
 func (*SimplifyCFG) Name() string { return "simplifycfg" }
 
 // Run implements Pass.
-func (p *SimplifyCFG) Run(fn *ir.Func, ctx *Context) bool {
+func (p *SimplifyCFG) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
 	for {
 		round := foldConstBranches(fn)
@@ -23,7 +26,10 @@ func (p *SimplifyCFG) Run(fn *ir.Func, ctx *Context) bool {
 		changed = true
 		ctx.Stats.Add(p.Name(), "Number of CFG simplification rounds", 1)
 	}
-	return changed
+	if !changed {
+		return analysis.All()
+	}
+	return analysis.None() // block structure changed
 }
 
 func foldConstBranches(fn *ir.Func) bool {

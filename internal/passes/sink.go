@@ -2,6 +2,7 @@ package passes
 
 import (
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/cfg"
 	"github.com/oraql/go-oraql/internal/ir"
 	"github.com/oraql/go-oraql/internal/mssa"
@@ -19,9 +20,9 @@ type Sink struct{}
 func (*Sink) Name() string { return "Machine Code Sinking" }
 
 // Run implements Pass.
-func (p *Sink) Run(fn *ir.Func, ctx *Context) bool {
-	info := cfg.New(fn)
-	walker := mssa.New(fn, info, ctx.AA)
+func (p *Sink) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
+	info := ctx.CFG(fn)
+	walker := ctx.MemSSA(fn)
 	changed := false
 	for _, b := range info.RPO {
 		succs := b.Succs()
@@ -59,7 +60,10 @@ func (p *Sink) Run(fn *ir.Func, ctx *Context) bool {
 			ctx.Stats.Add(p.Name(), "# instructions sunk", 1)
 		}
 	}
-	return changed
+	if !changed {
+		return analysis.All()
+	}
+	return analysis.CFGOnly() // moves instructions between existing blocks
 }
 
 // soleUserBlock returns the single successor (from succs) that
@@ -147,12 +151,12 @@ type ADCE struct{}
 func (*ADCE) Name() string { return "ADCE" }
 
 // Run implements Pass.
-func (p *ADCE) Run(fn *ir.Func, ctx *Context) bool {
+func (p *ADCE) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	n := removeDeadCode(fn)
 	if n > 0 {
 		ctx.Stats.Add(p.Name(), "# instructions removed", int64(n))
 		fn.Compact()
-		return true
+		return analysis.CFGOnly() // deletes instructions, never edges
 	}
-	return false
+	return analysis.All()
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/ir"
 )
 
@@ -19,7 +20,7 @@ type SLPVectorize struct{}
 func (*SLPVectorize) Name() string { return "SLP Vectorizer" }
 
 // Run implements Pass.
-func (p *SLPVectorize) Run(fn *ir.Func, ctx *Context) bool {
+func (p *SLPVectorize) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
 	for _, b := range fn.Blocks {
 		for {
@@ -38,11 +39,12 @@ func (p *SLPVectorize) Run(fn *ir.Func, ctx *Context) bool {
 	for k := range attempted {
 		delete(attempted, k)
 	}
-	if changed {
-		fn.Compact()
-		removeDeadCode(fn)
+	if !changed {
+		return analysis.All()
 	}
-	return changed
+	fn.Compact()
+	removeDeadCode(fn)
+	return analysis.CFGOnly() // rewrites instructions within blocks
 }
 
 // attempted remembers store groups that failed legality within one

@@ -1,0 +1,127 @@
+package pipeline_test
+
+// Transparency tests for the per-function analysis manager: compiling
+// with lazily cached CFG/MemorySSA analyses must be observably
+// identical to force-invalidate mode (every analysis rebuilt on every
+// pass run) — same executable, same ORAQL counters, same pass
+// statistics — and the probing driver must discover the exact same
+// response sequence either way.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/driver"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/pipeline"
+)
+
+var analysisCacheConfigs = []string{
+	"lulesh-seq", "testsnap-openmp", "minigmg-sse", "quicksilver-openmp",
+}
+
+func TestAnalysisCacheIsTransparent(t *testing.T) {
+	for _, id := range analysisCacheConfigs {
+		app := apps.ByID(id)
+		if app == nil {
+			t.Fatalf("unknown app config %q", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			spec := app.Spec()
+			compile := func(disable bool) *pipeline.CompileResult {
+				cfg := spec.Compile
+				cfg.Name = id
+				cfg.DisableAnalysisCache = disable
+				cfg.ORAQL = &oraql.Options{}
+				cr, err := pipeline.Compile(cfg)
+				if err != nil {
+					t.Fatalf("compile (analysis cache disabled=%v): %v", disable, err)
+				}
+				return cr
+			}
+			on := compile(false)
+			off := compile(true)
+
+			if g, w := on.ExeHash(), off.ExeHash(); g != w {
+				t.Errorf("ExeHash differs with analysis cache on: %s vs %s", g, w)
+			}
+			if g, w := on.ORAQLStats(), off.ORAQLStats(); g != w {
+				t.Errorf("ORAQL stats differ: cached %+v, force-invalidated %+v", g, w)
+			}
+			if g, w := on.Host.Pass.Entries(), off.Host.Pass.Entries(); !reflect.DeepEqual(g, w) {
+				t.Errorf("pass statistics differ:\ncached: %+v\nforce-invalidated: %+v", g, w)
+			}
+			son, soff := on.AAStats(), off.AAStats()
+			if son.Queries != soff.Queries || son.NoAlias != soff.NoAlias || son.MayAlias != soff.MayAlias {
+				t.Errorf("alias query counters differ: cached %d/%d/%d, force-invalidated %d/%d/%d",
+					son.Queries, son.NoAlias, son.MayAlias, soff.Queries, soff.NoAlias, soff.MayAlias)
+			}
+			var hitsOn, hitsOff, missesOff int64
+			for _, as := range on.AnalysisStats() {
+				hitsOn += as.Hits
+			}
+			for _, as := range off.AnalysisStats() {
+				hitsOff += as.Hits
+				missesOff += as.Misses
+			}
+			if hitsOn == 0 {
+				t.Errorf("analysis cache enabled but never hit")
+			}
+			if hitsOff != 0 {
+				t.Errorf("force-invalidate mode counted %d analysis cache hits", hitsOff)
+			}
+			if missesOff == 0 {
+				t.Errorf("force-invalidate mode never computed an analysis")
+			}
+			t.Logf("%s: analysis cache %d hits (force-invalidated mode rebuilt %d times)",
+				id, hitsOn, missesOff)
+		})
+	}
+}
+
+// TestProbeSeqUnchangedByAnalysisCache drives the full probing
+// workflow twice per configuration — cached and force-invalidated —
+// and requires the discovered response sequence, the final executable,
+// and the ORAQL counters to be identical: the analysis cache must be
+// invisible to the bisection.
+func TestProbeSeqUnchangedByAnalysisCache(t *testing.T) {
+	for _, id := range analysisCacheConfigs {
+		app := apps.ByID(id)
+		if app == nil {
+			t.Fatalf("unknown app config %q", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			probe := func(disable bool) *driver.Result {
+				spec := app.Spec()
+				spec.Compile.DisableAnalysisCache = disable
+				spec.Workers = 1
+				res, err := driver.Probe(spec)
+				if err != nil {
+					t.Fatalf("probe (analysis cache disabled=%v): %v", disable, err)
+				}
+				return res
+			}
+			on := probe(false)
+			off := probe(true)
+
+			if g, w := on.FinalSeq.String(), off.FinalSeq.String(); g != w {
+				t.Errorf("FinalSeq differs:\ncached:            %q\nforce-invalidated: %q", g, w)
+			}
+			if on.FullyOptimistic != off.FullyOptimistic {
+				t.Errorf("FullyOptimistic differs: cached %v, force-invalidated %v",
+					on.FullyOptimistic, off.FullyOptimistic)
+			}
+			if g, w := on.Final.Compile.ExeHash(), off.Final.Compile.ExeHash(); g != w {
+				t.Errorf("final ExeHash differs: %s vs %s", g, w)
+			}
+			if g, w := on.Final.Compile.ORAQLStats(), off.Final.Compile.ORAQLStats(); g != w {
+				t.Errorf("final ORAQL stats differ: cached %+v, force-invalidated %+v", g, w)
+			}
+			if on.TestsRun+on.TestsCached != off.TestsRun+off.TestsCached {
+				t.Errorf("consumed test count differs: cached %d, force-invalidated %d",
+					on.TestsRun+on.TestsCached, off.TestsRun+off.TestsCached)
+			}
+		})
+	}
+}

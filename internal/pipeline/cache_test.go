@@ -59,15 +59,20 @@ func TestAAQueryCacheIsTransparent(t *testing.T) {
 			if son.CacheHits == 0 {
 				t.Errorf("cache enabled but CacheHits == 0")
 			}
-			if son.CacheFlushes == 0 {
-				t.Errorf("cache enabled but CacheFlushes == 0 (invalidation never fired)")
+			// The pass manager scopes invalidation to the changed function,
+			// so flushes must be the per-function kind, never module-wide.
+			if son.CacheScopedFlushes == 0 {
+				t.Errorf("cache enabled but CacheScopedFlushes == 0 (invalidation never fired)")
+			}
+			if son.CacheFlushes != 0 {
+				t.Errorf("pipeline issued %d module-wide flushes; expected scoped only", son.CacheFlushes)
 			}
 			if soff.CacheHits != 0 || soff.CacheMisses != 0 {
 				t.Errorf("cache disabled but counted %d hits / %d misses",
 					soff.CacheHits, soff.CacheMisses)
 			}
-			t.Logf("%s: %d queries, cache hit rate %.1f%%, %d flushes",
-				id, son.Queries, 100*son.CacheHitRate(), son.CacheFlushes)
+			t.Logf("%s: %d queries, cache hit rate %.1f%%, %d scoped flushes",
+				id, son.Queries, 100*son.CacheHitRate(), son.CacheScopedFlushes)
 		})
 	}
 }

@@ -3,11 +3,13 @@ package pipeline
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/minic"
+	"github.com/oraql/go-oraql/internal/oraql"
 )
 
 // progGen generates random but UB-free minic programs: all indices are
@@ -280,6 +282,66 @@ func TestDifferentialModelsFuzz(t *testing.T) {
 					seed, model, ref, res.Stdout, src)
 			}
 		}
+	}
+}
+
+// TestDifferentialAnalysisCache is the analysis-manager soundness fuzz
+// test: for many random programs, compiling with cached analyses and
+// compiling with every analysis force-invalidated before each use must
+// be indistinguishable — same executable, same per-pass statistics,
+// same ORAQL query stream, same alias-query counters. Any preservation
+// set that is too generous shows up here as a divergence.
+func TestDifferentialAnalysisCache(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := newProgGen(int64(seed)).generate(6)
+			compile := func(disable bool) *CompileResult {
+				cr, err := Compile(Config{
+					Name:                 "fuzz-am",
+					Source:               src,
+					SourceFile:           "fuzz.mc",
+					ORAQL:                &oraql.Options{},
+					DisableAnalysisCache: disable,
+				})
+				if err != nil {
+					t.Fatalf("compile (analysis cache disabled=%v): %v\nsource:\n%s", disable, err, src)
+				}
+				return cr
+			}
+			on := compile(false)
+			off := compile(true)
+
+			if g, w := on.ExeHash(), off.ExeHash(); g != w {
+				t.Errorf("seed %d: ExeHash differs: cached %s, force-invalidated %s\nsource:\n%s",
+					seed, g, w, src)
+			}
+			if g, w := on.ORAQLStats(), off.ORAQLStats(); g != w {
+				t.Errorf("seed %d: ORAQL stats differ: cached %+v, force-invalidated %+v",
+					seed, g, w)
+			}
+			if g, w := on.Host.Pass.Entries(), off.Host.Pass.Entries(); !reflect.DeepEqual(g, w) {
+				t.Errorf("seed %d: pass statistics differ:\ncached: %+v\nforce-invalidated: %+v",
+					seed, g, w)
+			}
+			son, soff := on.AAStats(), off.AAStats()
+			if son.Queries != soff.Queries || son.NoAlias != soff.NoAlias ||
+				son.MayAlias != soff.MayAlias || son.MustAlias != soff.MustAlias {
+				t.Errorf("seed %d: alias query counters differ: cached %+v, force-invalidated %+v",
+					seed, son, soff)
+			}
+			var hitsOff int64
+			for _, as := range off.AnalysisStats() {
+				hitsOff += as.Hits
+			}
+			if hitsOff != 0 {
+				t.Errorf("seed %d: force-invalidate mode counted %d analysis cache hits", seed, hitsOff)
+			}
+		})
 	}
 }
 

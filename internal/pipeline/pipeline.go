@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/codegen"
 	"github.com/oraql/go-oraql/internal/ir"
 	"github.com/oraql/go-oraql/internal/irinterp"
@@ -40,6 +41,11 @@ type Config struct {
 	// DisableAAQueryCache turns off the manager-level memoized alias
 	// query cache (for the cache-ablation benchmarks).
 	DisableAAQueryCache bool
+	// DisableAnalysisCache runs the per-function analysis manager in
+	// force-invalidate mode: every pass run recomputes CFG info and the
+	// MemorySSA walker from scratch. The transparency tests compare this
+	// reference mode against the cached default.
+	DisableAnalysisCache bool
 	// ORAQL, when non-nil, appends the ORAQL pass to the AA chain.
 	ORAQL *oraql.Options
 	// DebugPassExec and DumpOut mirror -debug-pass=Executions.
@@ -54,6 +60,10 @@ type TargetStats struct {
 	Pass   *passes.StatsRegistry
 	ORAQL  *oraql.Pass // nil when ORAQL disabled
 	Code   *codegen.Result
+	// Timing is the per-pass execution accounting (-time-passes).
+	Timing *passes.Timing
+	// Analysis is the analysis manager's cache-counter snapshot.
+	Analysis []analysis.Stats
 }
 
 // CompileResult is the outcome of compiling a benchmark configuration.
@@ -107,6 +117,44 @@ func (r *CompileResult) NoAliasTotal() int64 {
 		n += r.Device.AA.NoAlias
 	}
 	return n
+}
+
+// Timing merges the per-pass timing of all targets (-time-passes).
+func (r *CompileResult) Timing() *passes.Timing {
+	out := passes.NewTiming()
+	out.Merge(r.Host.Timing)
+	if r.Device != nil {
+		out.Merge(r.Device.Timing)
+	}
+	return out
+}
+
+// AnalysisStats merges the analysis-manager cache counters of all
+// targets, summed per analysis key.
+func (r *CompileResult) AnalysisStats() []analysis.Stats {
+	byKey := map[analysis.Key]*analysis.Stats{}
+	var order []analysis.Key
+	for _, t := range []*TargetStats{r.Host, r.Device} {
+		if t == nil {
+			continue
+		}
+		for _, s := range t.Analysis {
+			agg := byKey[s.Key]
+			if agg == nil {
+				agg = &analysis.Stats{Key: s.Key}
+				byKey[s.Key] = agg
+				order = append(order, s.Key)
+			}
+			agg.Hits += s.Hits
+			agg.Misses += s.Misses
+			agg.Invalidations += s.Invalidations
+		}
+	}
+	out := make([]analysis.Stats, len(order))
+	for i, k := range order {
+		out[i] = *byKey[k]
+	}
+	return out
 }
 
 // Records returns the ORAQL query records of all targets in
@@ -184,7 +232,10 @@ func compileModule(cfg Config, m *ir.Module) (*TargetStats, error) {
 		}
 	}
 	stats := passes.NewStats()
-	ctx := &passes.Context{Module: m, AA: mgr, Stats: stats, DebugPassExec: cfg.DebugPassExec}
+	ctx := &passes.Context{Module: m, AA: mgr, Stats: stats,
+		Timing:               passes.NewTiming(),
+		DisableAnalysisCache: cfg.DisableAnalysisCache,
+		DebugPassExec:        cfg.DebugPassExec}
 	if cfg.DumpOut != nil {
 		ctx.Out = cfg.DumpOut
 	}
@@ -202,5 +253,6 @@ func compileModule(cfg Config, m *ir.Module) (*TargetStats, error) {
 	code := codegen.Compile(m)
 	stats.Add("asm printer", "# machine instructions generated", int64(code.MachineInstrs))
 	stats.Add("register allocation", "# register spills inserted", int64(code.Spills))
-	return &TargetStats{Module: m, AA: mgr.Stats(), Pass: stats, ORAQL: op, Code: code}, nil
+	return &TargetStats{Module: m, AA: mgr.Stats(), Pass: stats, ORAQL: op, Code: code,
+		Timing: ctx.Timing, Analysis: ctx.Analyses().Snapshot()}, nil
 }

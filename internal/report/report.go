@@ -305,6 +305,38 @@ func ProbingEffort(exps []*Experiment) string {
 	return "Probing effort (paper Section IV-B mechanisms)\n" + t.String()
 }
 
+// PassTiming renders the -time-passes view of each configuration's
+// final compilation: total pipeline wall time, the most expensive
+// pass, and the analysis manager's cache economy.
+func PassTiming(exps []*Experiment) string {
+	t := &table{header: []string{"Benchmark", "Pipeline ms", "Hottest pass", "Pass runs",
+		"Analysis hits", "Analysis misses", "Hit rate"}}
+	for _, e := range exps {
+		tm := e.Probe.Final.Compile.Timing()
+		entries := tm.Entries()
+		hottest := "-"
+		var runs int64
+		if len(entries) > 0 {
+			hottest = entries[0].Pass
+		}
+		for _, pt := range entries {
+			runs += pt.Runs
+		}
+		var hits, misses int64
+		for _, as := range e.Probe.Final.Compile.AnalysisStats() {
+			hits += as.Hits
+			misses += as.Misses
+		}
+		rate := "n/a"
+		if hits+misses > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+		}
+		t.add(e.Config.ID, fmt.Sprintf("%.2f", float64(tm.Total().Microseconds())/1000),
+			hottest, fmt.Sprint(runs), fmt.Sprint(hits), fmt.Sprint(misses), rate)
+	}
+	return "Pass timing (-time-passes analogue, final compilation per config)\n" + t.String()
+}
+
 // Fig3 renders the pessimistic-query dump of a configuration in the
 // style of the paper's Fig. 3.
 func Fig3(e *Experiment) string {

@@ -30,4 +30,5 @@ func TestFullEvaluation(t *testing.T) {
 	}
 	fmt.Println(Runtime(exps))
 	fmt.Println(ProbingEffort(exps))
+	fmt.Println(PassTiming(exps))
 }
