@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-compile check
+.PHONY: tier1 vet build test race bench bench-compile fuzz fuzz-smoke check
 
 # tier1 is the gate the roadmap pins: it must stay green.
 tier1: build test
@@ -26,5 +26,21 @@ bench:
 # scripts/bench_compile.sh to record a BENCH_compile.json baseline.
 bench-compile:
 	$(GO) test -run '^$$' -bench 'Compile_AnalysisCache' -benchtime=1x .
+
+# fuzz-smoke mirrors the CI fuzz job: a 200-program differential
+# campaign, the fault-injection triage self-test, and 30s of each
+# native fuzz target.
+fuzz-smoke:
+	$(GO) run ./cmd/oraql-fuzz -n 200 -seed 1 -v
+	$(GO) run ./cmd/oraql-fuzz -inject -n 10 -seed 1 -v
+	$(GO) test ./internal/irtext -fuzz FuzzIRTextRoundtrip -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/irtext -fuzz FuzzParseNoPanic -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/difftest -fuzz FuzzDifferential -fuzztime 30s -run '^$$'
+
+# fuzz runs an open-ended differential campaign; tune N/SEED/ARGS.
+N ?= 1000
+SEED ?= 1
+fuzz:
+	$(GO) run ./cmd/oraql-fuzz -n $(N) -seed $(SEED) -v $(ARGS)
 
 check: vet tier1 race bench bench-compile

@@ -1,0 +1,143 @@
+// Command oraql-fuzz is the differential-fuzzing front end: it
+// generates UB-free minic programs, compiles each one at O0 and under
+// every AA configuration of the O1/O3 matrix, and compares the
+// interpreter outputs. Any divergence is a miscompile; with -triage
+// (default on) it is automatically bisected to the first guilty pass,
+// delta-debugged to a minimal reproducer, and — in -inject mode — to
+// the minimal set of guilty optimistic alias responses.
+//
+// Usage:
+//
+//	oraql-fuzz [-n N] [-seed S] [-j N] [-stmts N] [-corpus dir] [-json file]
+//	oraql-fuzz -inject [-n N] ...   # fault-injection self-test
+//
+// In the default (clean) mode the exit status is 0 only when the whole
+// campaign is divergence-free: any hit means the compiler at head
+// miscompiles a generated program. In -inject mode the logic flips —
+// the deliberately unsound fully-optimistic responder MUST produce a
+// divergence and the triage MUST pin it, otherwise the harness itself
+// has rotted and the run fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/oraql/go-oraql/internal/difftest"
+	"github.com/oraql/go-oraql/internal/progen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "oraql-fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oraql-fuzz", flag.ExitOnError)
+	n := fs.Int("n", 100, "number of programs to generate")
+	seed := fs.Int64("seed", 1, "first generator seed; programs use [seed, seed+n)")
+	workers := fs.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+	stmts := fs.Int("stmts", 0, "statements per generated program (0 = generator default)")
+	corpus := fs.String("corpus", "", "directory receiving diverging sources, reproducers, and JSON reports")
+	jsonOut := fs.String("json", "", "write the campaign summary as JSON to this file (- = stdout)")
+	inject := fs.Bool("inject", false, "fault-injection mode: run the unsound fully-optimistic responder and demand a triaged divergence")
+	triage := fs.Bool("triage", true, "triage divergences (reduce source, bisect pipeline and queries)")
+	maxDiv := fs.Int("max-div", 0, "stop after this many divergences (0 = default)")
+	verbose := fs.Bool("v", false, "log progress to stderr")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	opts := difftest.FuzzOptions{
+		N:              *n,
+		Seed:           *seed,
+		Workers:        *workers,
+		Gen:            progen.Options{Stmts: *stmts},
+		Triage:         *triage,
+		MaxDivergences: *maxDiv,
+		CorpusDir:      *corpus,
+	}
+	if *verbose {
+		opts.Log = stderr
+	}
+	if *inject {
+		opts.Variants = []difftest.Variant{difftest.InjectVariant()}
+	}
+
+	res, err := difftest.Fuzz(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit(res, *jsonOut, stdout); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "oraql-fuzz: %d programs x %d variants: %d divergences, %d harness errors\n",
+		res.Programs, res.Variants, len(res.Divergences), len(res.Errors))
+	for _, e := range res.Errors {
+		fmt.Fprintln(stderr, "harness error:", e)
+	}
+	if len(res.Errors) > 0 {
+		return fmt.Errorf("%d harness errors", len(res.Errors))
+	}
+	if *inject {
+		return checkInject(res, stdout)
+	}
+	for _, d := range res.Divergences {
+		fmt.Fprintf(stdout, "MISCOMPILE seed=%d variant=%s ref=%q got=%q\n", d.Seed, d.Variant, d.Ref, d.Got)
+		if d.Triage != nil {
+			fmt.Fprintf(stdout, "  first guilty pass: %q (position %d), %d-line reproducer\n",
+				d.Triage.Pass, d.Triage.PassIndex, d.Triage.ReproLines)
+		}
+	}
+	if len(res.Divergences) > 0 {
+		return fmt.Errorf("%d divergences — the compiler miscompiles generated programs", len(res.Divergences))
+	}
+	return nil
+}
+
+// checkInject validates the fault-injection self-test: the unsound
+// responder must diverge and the triage must fully explain it.
+func checkInject(res *difftest.FuzzResult, stdout io.Writer) error {
+	if len(res.Divergences) == 0 {
+		return fmt.Errorf("inject mode: the fully-optimistic responder produced no divergence in %d programs; the oracle cannot detect miscompiles", res.Programs)
+	}
+	for _, d := range res.Divergences {
+		if d.Triage == nil {
+			return fmt.Errorf("inject mode: seed %d diverged but triage failed: %s", d.Seed, d.TriageErr)
+		}
+		if d.Triage.Pass == "" || len(d.Triage.Queries) == 0 {
+			return fmt.Errorf("inject mode: seed %d triage incomplete: pass=%q queries=%d",
+				d.Seed, d.Triage.Pass, len(d.Triage.Queries))
+		}
+		fmt.Fprintf(stdout, "inject seed=%d: pass %q (position %d), %d guilty queries, %d-line reproducer\n",
+			d.Seed, d.Triage.Pass, d.Triage.PassIndex, len(d.Triage.Queries), d.Triage.ReproLines)
+		for _, q := range d.Triage.Queries {
+			fmt.Fprintf(stdout, "  query #%d in %s/%s: %s vs %s\n", q.Index, q.Pass, q.Func, q.A, q.B)
+		}
+	}
+	fmt.Fprintln(stdout, "inject mode: all divergences detected and triaged — oracle healthy")
+	return nil
+}
+
+// emit writes the JSON campaign summary when requested.
+func emit(res *difftest.FuzzResult, dest string, stdout io.Writer) error {
+	if dest == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if dest == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(dest, data, 0o644)
+}

@@ -1,0 +1,126 @@
+package aa
+
+import (
+	"testing"
+)
+
+// TestPrecisionLattice cross-checks every analysis in the full chain
+// over a shared set of location pairs: definitive answers must agree.
+// NoAlias and MustAlias/PartialAlias are contradictory claims about
+// the same two locations, so one sound analysis concluding "disjoint"
+// while another concludes "overlapping" means (at least) one of them
+// is wrong. In particular no chain analysis may contradict a
+// definitive Basic AA answer, since Basic AA only speaks on ground
+// truth it can prove from the IR (paper Section II: the chain refines
+// MayAlias, it never overrules a definitive response).
+func TestPrecisionLattice(t *testing.T) {
+	f := newFixture(t)
+	g0 := f.b.GEP(f.a1, nil, 0, 0, "g0")
+	g4 := f.b.GEP(f.a1, nil, 0, 4, "g4")
+	g8 := f.b.GEP(f.a1, nil, 0, 8, "g8")
+	gi := f.b.GEP(f.a1, f.idx, 8, 0, "gi")
+	go2 := f.b.GEP(f.a2, nil, 0, 0, "go2")
+	gp := f.b.GEP(f.p, f.idx, 8, 0, "gp")
+	gq := f.b.GEP(f.q, nil, 0, 16, "gq")
+
+	pairs := []struct {
+		name string
+		a, b MemLoc
+	}{
+		{"same alloca", f.loc(f.a1, 8), f.loc(f.a1, 8)},
+		{"distinct allocas", f.loc(f.a1, 8), f.loc(f.a2, 8)},
+		{"const gep same offset", f.loc(g0, 8), f.loc(g0, 8)},
+		{"const gep disjoint", f.loc(g0, 8), f.loc(g8, 8)},
+		{"const gep overlap", f.loc(g0, 8), f.loc(g4, 8)},
+		{"variable vs const gep", f.loc(gi, 8), f.loc(g0, 8)},
+		{"geps off distinct allocas", f.loc(g0, 8), f.loc(go2, 8)},
+		{"alloca vs plain param", f.loc(f.a1, 8), f.loc(f.p, 8)},
+		{"alloca vs restrict param", f.loc(f.a1, 8), f.loc(f.q, 8)},
+		{"plain vs restrict param", f.loc(f.p, 8), f.loc(f.q, 8)},
+		{"param gep vs restrict gep", f.loc(gp, 8), f.loc(gq, 8)},
+		{"param gep vs alloca gep", f.loc(gp, 8), f.loc(g0, 8)},
+		{"unknown sizes same base", MemLoc{Ptr: g0, Size: UnknownSize}, MemLoc{Ptr: g8, Size: UnknownSize}},
+		{"unknown size vs precise", MemLoc{Ptr: gi, Size: UnknownSize}, f.loc(g4, 8)},
+	}
+
+	analyses := FullChain(f.m)
+	basic := NewBasicAA()
+	q := &QueryCtx{Pass: "lattice-test", Func: f.fn}
+
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			base := basic.Alias(p.a, p.b, q)
+			type claim struct {
+				name string
+				r    Result
+			}
+			var definitive []claim
+			if base.Definitive() {
+				definitive = append(definitive, claim{"Basic AA", base})
+			}
+			for _, an := range analyses {
+				r := an.Alias(p.a, p.b, q)
+				if !r.Definitive() {
+					continue
+				}
+				definitive = append(definitive, claim{an.Name(), r})
+				// Direct cross-check against Basic AA's definitive
+				// answer: disjointness and overlap are incompatible.
+				if base.Definitive() && contradict(base, r) {
+					t.Errorf("%s says %v, contradicting Basic AA's %v", an.Name(), r, base)
+				}
+			}
+			// Pairwise consistency across the whole chain.
+			for i := 0; i < len(definitive); i++ {
+				for j := i + 1; j < len(definitive); j++ {
+					if contradict(definitive[i].r, definitive[j].r) {
+						t.Errorf("%s says %v but %s says %v",
+							definitive[i].name, definitive[i].r,
+							definitive[j].name, definitive[j].r)
+					}
+				}
+			}
+			// Symmetry: every analysis must answer queries
+			// symmetrically over this fixture set.
+			for _, an := range append(analyses, Analysis(basic)) {
+				ab := an.Alias(p.a, p.b, q)
+				ba := an.Alias(p.b, p.a, q)
+				if ab != ba {
+					t.Errorf("%s is asymmetric: (a,b)=%v (b,a)=%v", an.Name(), ab, ba)
+				}
+			}
+		})
+	}
+}
+
+// contradict reports whether two definitive answers make incompatible
+// claims: NoAlias asserts disjointness, MustAlias and PartialAlias
+// assert overlap.
+func contradict(a, b Result) bool {
+	overlap := func(r Result) bool { return r == MustAlias || r == PartialAlias }
+	return (a == NoAlias && overlap(b)) || (b == NoAlias && overlap(a))
+}
+
+// TestLatticeRestrictWindow widens the restrict cross-check: inside
+// the restrict param's function, accesses through q must be declared
+// no-alias against other objects only by analyses entitled to do so,
+// and never must-alias by anyone.
+func TestLatticeRestrictWindow(t *testing.T) {
+	f := newFixture(t)
+	q := &QueryCtx{Pass: "lattice-test", Func: f.fn}
+	others := []struct {
+		name string
+		loc  MemLoc
+	}{
+		{"alloca", f.loc(f.a1, 8)},
+		{"plain param", f.loc(f.p, 8)},
+	}
+	for _, an := range FullChain(f.m) {
+		for _, o := range others {
+			r := an.Alias(f.loc(f.q, 8), o.loc, q)
+			if r == MustAlias || r == PartialAlias {
+				t.Errorf("%s claims restrict param overlaps %s: %v", an.Name(), o.name, r)
+			}
+		}
+	}
+}

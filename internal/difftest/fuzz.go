@@ -1,0 +1,186 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/progen"
+)
+
+// FuzzOptions configures one fuzzing campaign.
+type FuzzOptions struct {
+	// N is the number of programs; seeds run [Seed, Seed+N).
+	N    int
+	Seed int64
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Gen tunes the program generator.
+	Gen progen.Options
+	// Run configures the simulated machine.
+	Run irinterp.Options
+	// Variants is the compilation matrix (default Variants()).
+	Variants []Variant
+	// Triage runs the full diagnosis on every divergence.
+	Triage bool
+	// MaxDivergences stops the campaign early once this many
+	// divergences were found (0 = 3).
+	MaxDivergences int
+	// CorpusDir, when set, receives the diverging source, the
+	// minimized reproducer, and the JSON report of every divergence.
+	CorpusDir string
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+}
+
+// Report is the JSON-serializable record of one divergence.
+type Report struct {
+	Seed      int64   `json:"seed"`
+	Variant   string  `json:"variant"`
+	File      string  `json:"file"`
+	Source    string  `json:"source"`
+	Ref       string  `json:"ref"`
+	Got       string  `json:"got"`
+	RunErr    string  `json:"run_err,omitempty"`
+	Triage    *Triage `json:"triage,omitempty"`
+	TriageErr string  `json:"triage_err,omitempty"`
+}
+
+// FuzzResult summarizes a campaign.
+type FuzzResult struct {
+	Programs    int       `json:"programs"`
+	Variants    int       `json:"variants"`
+	Divergences []*Report `json:"divergences"`
+	// Errors records harness failures (generated program failed to
+	// compile or the reference run crashed) — any entry is a bug.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Fuzz runs the campaign: N generated programs, each checked under the
+// variant matrix, with divergences optionally triaged and archived.
+// Worker scheduling does not affect the outcome: results are collected
+// per seed and reported in seed order.
+func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
+	if opts.N <= 0 {
+		opts.N = 100
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.MaxDivergences <= 0 {
+		opts.MaxDivergences = 3
+	}
+	variants := opts.Variants
+	if len(variants) == 0 {
+		variants = Variants()
+	}
+
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "[oraql-fuzz] "+format+"\n", args...)
+		}
+	}
+
+	res := &FuzzResult{Variants: len(variants)}
+	var mu sync.Mutex
+	var found atomic.Int64
+	seeds := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				if found.Load() >= int64(opts.MaxDivergences) {
+					continue // drain: stop doing work, keep the channel moving
+				}
+				p := progen.Generate(seed, opts.Gen)
+				div, err := Check(p, CheckOptions{Run: opts.Run, Variants: variants})
+				mu.Lock()
+				res.Programs++
+				mu.Unlock()
+				if err != nil {
+					mu.Lock()
+					res.Errors = append(res.Errors, err.Error())
+					mu.Unlock()
+					continue
+				}
+				if div == nil {
+					continue
+				}
+				found.Add(1)
+				logf("%s", div)
+				rep := &Report{
+					Seed: seed, Variant: div.Variant.Name, File: p.FileName,
+					Source: p.Source, Ref: div.Ref, Got: div.Got, RunErr: div.RunErr,
+				}
+				if opts.Triage {
+					tr, terr := TriageDivergence(div, opts.Run)
+					if terr != nil {
+						rep.TriageErr = terr.Error()
+						logf("seed %d: triage failed: %v", seed, terr)
+					} else {
+						rep.Triage = tr
+						logf("seed %d: triaged to pass %q (position %d), %d guilty queries, %d-line reproducer",
+							seed, tr.Pass, tr.PassIndex, len(tr.Queries), tr.ReproLines)
+					}
+				}
+				mu.Lock()
+				res.Divergences = append(res.Divergences, rep)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opts.N; i++ {
+		seeds <- opts.Seed + int64(i)
+	}
+	close(seeds)
+	wg.Wait()
+
+	sort.Slice(res.Divergences, func(i, j int) bool { return res.Divergences[i].Seed < res.Divergences[j].Seed })
+	sort.Strings(res.Errors)
+
+	if opts.CorpusDir != "" && len(res.Divergences) > 0 {
+		if err := writeCorpus(opts.CorpusDir, res.Divergences); err != nil {
+			return res, err
+		}
+		logf("archived %d divergences under %s", len(res.Divergences), opts.CorpusDir)
+	}
+	logf("done: %d programs x %d variants, %d divergences, %d harness errors",
+		res.Programs, res.Variants, len(res.Divergences), len(res.Errors))
+	return res, nil
+}
+
+// writeCorpus archives each divergence: the full source, the minimized
+// reproducer when triaged, and the JSON report.
+func writeCorpus(dir string, reports []*Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		base := fmt.Sprintf("seed%d-%s", r.Seed, r.Variant)
+		if err := os.WriteFile(filepath.Join(dir, base+".mc"), []byte(r.Source), 0o644); err != nil {
+			return err
+		}
+		if r.Triage != nil {
+			if err := os.WriteFile(filepath.Join(dir, base+"-repro.mc"), []byte(r.Triage.Reproducer), 0o644); err != nil {
+				return err
+			}
+		}
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, base+".json"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

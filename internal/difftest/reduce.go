@@ -1,0 +1,103 @@
+package difftest
+
+import "strings"
+
+// ReduceSource delta-debugs a minic source down to a smaller program
+// for which interesting still holds (for triage: "compiles cleanly
+// and still diverges"). The reduction is line-based with two moves —
+// removing whole brace-balanced blocks and removing contiguous line
+// chunks of shrinking size — iterated to a fixpoint. budget bounds the
+// number of predicate evaluations (0 means a generous default); the
+// returned count reports how many were spent.
+//
+// The generator emits one statement per line precisely so that this
+// reducer converges quickly; it works on any minic source, since
+// candidates that no longer parse simply fail the predicate.
+func ReduceSource(src string, interesting func(string) bool, budget int) (string, int) {
+	if budget <= 0 {
+		budget = 2000
+	}
+	lines := splitTrim(src)
+	tests := 0
+	try := func(cand []string) bool {
+		if tests >= budget {
+			return false
+		}
+		tests++
+		return interesting(strings.Join(cand, "\n") + "\n")
+	}
+	for {
+		n := len(lines)
+		lines = removeBlocks(lines, try)
+		lines = removeChunks(lines, try)
+		if len(lines) == n || tests >= budget {
+			break
+		}
+	}
+	return strings.Join(lines, "\n") + "\n", tests
+}
+
+func splitTrim(src string) []string {
+	var out []string
+	for _, l := range strings.Split(src, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// without returns lines with [lo, hi) removed.
+func without(lines []string, lo, hi int) []string {
+	out := make([]string, 0, len(lines)-(hi-lo))
+	out = append(out, lines[:lo]...)
+	return append(out, lines[hi:]...)
+}
+
+// removeBlocks tries to drop whole brace-balanced regions: for every
+// line that opens a block, the candidate removes the opener through
+// its matching closer. Larger (outer) blocks are attempted first.
+func removeBlocks(lines []string, try func([]string) bool) []string {
+	for i := 0; i < len(lines); i++ {
+		if !strings.HasSuffix(strings.TrimSpace(lines[i]), "{") {
+			continue
+		}
+		j := matchingBrace(lines, i)
+		if j < 0 {
+			continue
+		}
+		if cand := without(lines, i, j+1); try(cand) {
+			lines = cand
+			i-- // rescan this position
+		}
+	}
+	return lines
+}
+
+// matchingBrace returns the index of the line closing the block opened
+// at line i, or -1.
+func matchingBrace(lines []string, i int) int {
+	depth := 0
+	for j := i; j < len(lines); j++ {
+		depth += strings.Count(lines[j], "{") - strings.Count(lines[j], "}")
+		if depth == 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// removeChunks is the classic ddmin move: remove contiguous chunks of
+// shrinking size until single-line removals stop helping.
+func removeChunks(lines []string, try func([]string) bool) []string {
+	for size := len(lines) / 2; size >= 1; size /= 2 {
+		for lo := 0; lo+size <= len(lines); {
+			if cand := without(lines, lo, lo+size); try(cand) {
+				lines = cand
+			} else {
+				lo++
+			}
+		}
+	}
+	return lines
+}

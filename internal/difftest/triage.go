@@ -1,0 +1,317 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/passes"
+	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/verify"
+)
+
+// QueryInfo describes one guilty alias query in a triage report.
+type QueryInfo struct {
+	Index int    `json:"index"`
+	Pass  string `json:"pass,omitempty"`
+	Func  string `json:"func,omitempty"`
+	A     string `json:"a"`
+	B     string `json:"b"`
+	LocA  string `json:"loc_a,omitempty"`
+	LocB  string `json:"loc_b,omitempty"`
+}
+
+// Triage is the automated miscompile diagnosis: the minimal
+// reproducer, the first guilty pass, and — for ORAQL-injected
+// divergences — the minimal guilty query set.
+type Triage struct {
+	Seed    int64  `json:"seed"`
+	Variant string `json:"variant"`
+
+	// Reproducer is the delta-debugged source; all bisection below ran
+	// against it (smaller programs give stabler query streams).
+	Reproducer  string `json:"reproducer"`
+	ReproLines  int    `json:"repro_lines"`
+	ReduceTests int    `json:"reduce_tests"`
+
+	// PassIndex is the 1-based pipeline position of the first pass
+	// whose prefix diverges; Pass its name.
+	PassIndex     int    `json:"pass_index"`
+	Pass          string `json:"pass"`
+	PipelineTests int    `json:"pipeline_tests"`
+
+	// GuiltySeq is the minimal failing response sequence (optimistic
+	// exactly at the guilty queries); Queries describes them. Only set
+	// for InjectOptimistic divergences.
+	GuiltySeq  string      `json:"guilty_seq,omitempty"`
+	Queries    []QueryInfo `json:"queries,omitempty"`
+	QueryTests int         `json:"query_tests,omitempty"`
+}
+
+// scenario fixes (variant, file, run options) and evaluates divergence
+// predicates against a per-source unoptimized reference.
+type scenario struct {
+	v    Variant
+	file string
+	run  irinterp.Options
+}
+
+// divergesSource reports whether the variant (full pipeline) diverges
+// on src; any compile or reference failure counts as "not
+// interesting", which is exactly what the reducer needs.
+func (sc *scenario) divergesSource(src string) bool {
+	ref, err := reference("triage-ref", sc.file, src, sc.v.Model, sc.run)
+	if err != nil {
+		return false
+	}
+	ok, _, err := sc.divergesCfg(sc.v.config("triage", sc.file, src, 0), ref)
+	return err == nil && ok
+}
+
+// divergesCfg compiles cfg, runs it, and checks the output against the
+// reference.
+func (sc *scenario) divergesCfg(cfg pipeline.Config, ref string) (bool, *pipeline.CompileResult, error) {
+	cr, err := pipeline.Compile(cfg)
+	if err != nil {
+		return false, nil, err
+	}
+	res, runErr := irinterp.Run(cr.Program, sc.run)
+	spec := &verify.Spec{References: []string{ref}}
+	if err := spec.Compile(); err != nil {
+		return false, nil, err
+	}
+	var stdout string
+	if res != nil {
+		stdout = res.Stdout
+	}
+	return !spec.Check(stdout, runErr).OK, cr, nil
+}
+
+// pipelinePasses returns the pass list the variant runs.
+func pipelinePasses(v Variant) []passes.Pass {
+	if v.OptLevel == 1 {
+		return passes.O1Pipeline().Passes
+	}
+	return passes.O3Pipeline().Passes
+}
+
+// TriageDivergence runs the full diagnosis on a divergence: reduce the
+// source, bisect the pipeline, and (for injected-ORAQL divergences)
+// bisect the response sequence to the minimal guilty query set.
+func TriageDivergence(d *Divergence, run irinterp.Options) (*Triage, error) {
+	sc := &scenario{v: d.Variant, file: d.Program.FileName, run: run}
+	if !sc.divergesSource(d.Program.Source) {
+		return nil, fmt.Errorf("triage: seed %d variant %s: divergence did not reproduce", d.Program.Seed, d.Variant.Name)
+	}
+	t := &Triage{Seed: d.Program.Seed, Variant: d.Variant.Name}
+
+	// Step 1: minimize the source while it still diverges.
+	t.Reproducer, t.ReduceTests = ReduceSource(d.Program.Source, sc.divergesSource, 0)
+	t.ReproLines = countLines(t.Reproducer)
+
+	// Step 2: bisect the pipeline on the reduced program. The prefix
+	// of zero passes equals the reference by construction, the full
+	// pipeline diverges; binary-search the first diverging prefix.
+	ref, err := reference("triage-ref", sc.file, t.Reproducer, sc.v.Model, sc.run)
+	if err != nil {
+		return nil, fmt.Errorf("triage: reduced reference: %w", err)
+	}
+	pipePasses := pipelinePasses(d.Variant)
+	divergesAt := func(stop int) (bool, error) {
+		cfg := sc.v.config("triage-bisect", sc.file, t.Reproducer, stop)
+		ok, _, err := sc.divergesCfg(cfg, ref)
+		t.PipelineTests++
+		return ok, err
+	}
+	lo, hi := 0, len(pipePasses)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		bad, err := divergesAt(mid)
+		if err != nil {
+			return nil, fmt.Errorf("triage: pass bisection: %w", err)
+		}
+		if bad {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	t.PassIndex = hi
+	t.Pass = pipePasses[hi-1].Name()
+
+	// Step 3: guilty-query bisection, only meaningful when the
+	// divergence came from the injected optimistic responder.
+	if d.Variant.InjectOptimistic {
+		if err := sc.bisectQueries(t, ref); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// bisectQueries delta-debugs the optimistic response set: starting
+// from "every unique query answered optimistically" (which diverges)
+// it finds a minimal set of sequence positions whose optimistic answer
+// still breaks the program, with everything else pessimistic.
+func (sc *scenario) bisectQueries(t *Triage, ref string) error {
+	// Size the sequence from the fully-optimistic compile.
+	bad, cr, err := sc.divergesCfg(sc.v.config("triage-size", sc.file, t.Reproducer, 0), ref)
+	if err != nil {
+		return fmt.Errorf("triage: query sizing: %w", err)
+	}
+	if !bad {
+		return fmt.Errorf("triage: reduced program no longer diverges fully optimistic")
+	}
+	n := cr.ORAQLStats().Unique()
+	pad := 2*n + 64
+
+	seqOf := func(set []int) oraql.Seq {
+		seq := make(oraql.Seq, pad)
+		for _, i := range set {
+			seq[i] = true
+		}
+		return seq
+	}
+	fails := func(set []int) bool {
+		cfg := sc.v.configWithSeq("triage-query", sc.file, t.Reproducer, seqOf(set))
+		ok, _, err := sc.divergesCfg(cfg, ref)
+		t.QueryTests++
+		return err == nil && ok
+	}
+
+	// The all-pessimistic sequence must behave like the baseline; if
+	// it does not, the divergence is not ORAQL's doing after all.
+	if fails(nil) {
+		return fmt.Errorf("triage: all-pessimistic sequence still diverges; not an ORAQL fault")
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	guilty := ddmin(all, fails, 600)
+	sort.Ints(guilty)
+
+	// Final compile with the minimal sequence: confirm and attribute.
+	cfg := sc.v.configWithSeq("triage-final", sc.file, t.Reproducer, seqOf(guilty))
+	bad, cr, err = sc.divergesCfg(cfg, ref)
+	if err != nil {
+		return fmt.Errorf("triage: final guilty compile: %w", err)
+	}
+	if !bad {
+		return fmt.Errorf("triage: minimal guilty set does not reproduce the divergence")
+	}
+	records := cr.Records()
+	maxIdx := 0
+	for _, i := range guilty {
+		if i > maxIdx {
+			maxIdx = i
+		}
+		q := QueryInfo{Index: i, A: "<query drifted out of stream>", B: ""}
+		if i < len(records) {
+			rec := records[i]
+			q.Pass, q.Func = rec.Pass, rec.Func
+			q.A, q.B = rec.LocDescriptions()
+			if la, lb := rec.SrcLocs(); la.IsValid() || lb.IsValid() {
+				q.LocA, q.LocB = la.String(), lb.String()
+			}
+		}
+		t.Queries = append(t.Queries, q)
+	}
+	t.GuiltySeq = seqOf(guilty)[:maxIdx+1].String()
+	return nil
+}
+
+// ddmin is the classic delta-debugging minimization over an index set:
+// it returns a 1-minimal subset for which fails still holds, spending
+// at most budget predicate evaluations.
+func ddmin(set []int, fails func([]int) bool, budget int) []int {
+	tests := 0
+	check := func(s []int) bool {
+		if tests >= budget {
+			return false
+		}
+		tests++
+		return fails(s)
+	}
+	cur := set
+	gran := 2
+	for len(cur) > 1 && tests < budget {
+		chunks := chunkSplit(cur, gran)
+		reduced := false
+		for _, c := range chunks {
+			if len(c) < len(cur) && check(c) {
+				cur, gran, reduced = c, 2, true
+				break
+			}
+		}
+		if !reduced {
+			for i := range chunks {
+				comp := exclude(cur, chunks[i])
+				if len(comp) == 0 || len(comp) == len(cur) {
+					continue
+				}
+				if check(comp) {
+					cur, reduced = comp, true
+					if gran > 2 {
+						gran--
+					}
+					break
+				}
+			}
+		}
+		if !reduced {
+			if gran >= len(cur) {
+				break
+			}
+			gran *= 2
+			if gran > len(cur) {
+				gran = len(cur)
+			}
+		}
+	}
+	return cur
+}
+
+// chunkSplit splits set into gran nearly-equal contiguous chunks.
+func chunkSplit(set []int, gran int) [][]int {
+	if gran > len(set) {
+		gran = len(set)
+	}
+	var out [][]int
+	for i := 0; i < gran; i++ {
+		lo := i * len(set) / gran
+		hi := (i + 1) * len(set) / gran
+		if lo < hi {
+			out = append(out, set[lo:hi])
+		}
+	}
+	return out
+}
+
+// exclude returns set minus the elements of sub (sub is a contiguous
+// slice of set).
+func exclude(set, sub []int) []int {
+	drop := map[int]bool{}
+	for _, x := range sub {
+		drop[x] = true
+	}
+	var out []int
+	for _, x := range set {
+		if !drop[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func countLines(src string) int {
+	n := 0
+	for _, l := range strings.Split(src, "\n") {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -99,6 +99,26 @@ type Result struct {
 	TestsWasted     int
 }
 
+// GuiltyQueries returns the alias queries the probe had to answer
+// pessimistically in the final verified compilation — the queries
+// whose optimistic answer breaks the program (or rides along with one
+// that does; the chunked strategy does not always isolate singletons).
+// It is the programmatic form of the paper's Fig. 3 dump and the
+// hand-off point to the difftest triage, which delta-debugs such sets
+// further.
+func (r *Result) GuiltyQueries() []*oraql.QueryRecord {
+	if r.Final == nil || r.Final.Compile == nil {
+		return nil
+	}
+	var out []*oraql.QueryRecord
+	for _, rec := range r.Final.Compile.Records() {
+		if !rec.Optimistic {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
 // Probe runs the full ORAQL workflow on a benchmark.
 func Probe(spec *BenchSpec) (*Result, error) {
 	st := &state{spec: spec}

@@ -59,6 +59,47 @@ func TestProbeHelloChunked(t *testing.T) {
 		res.Compiles, res.TestsRun, res.TestsCached)
 }
 
+// TestGuiltyQueries checks the Fig. 3 accessor: the records returned
+// match the pessimistic half of the final sequence exactly, and each
+// one is attributable (pass, function, and both locations).
+func TestGuiltyQueries(t *testing.T) {
+	res, err := Probe(&BenchSpec{
+		Name:    "hello-guilty",
+		Compile: pipeline.Config{Source: helloSrc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guilty := res.GuiltyQueries()
+	if len(guilty) == 0 {
+		t.Fatal("hello has a true alias hazard; GuiltyQueries must be non-empty")
+	}
+	s := res.Final.Compile.ORAQLStats()
+	if len(guilty) != s.UniquePessimistic {
+		t.Errorf("GuiltyQueries = %d records, stats say %d pessimistic", len(guilty), s.UniquePessimistic)
+	}
+	if want := res.FinalSeq.CountPessimistic(); len(guilty) != want {
+		t.Errorf("GuiltyQueries = %d records, final sequence has %d pessimistic answers", len(guilty), want)
+	}
+	for _, rec := range guilty {
+		if rec.Optimistic {
+			t.Errorf("optimistic record in guilty set: %+v", rec)
+		}
+		if rec.Pass == "" || rec.Func == "" {
+			t.Errorf("guilty record not attributed: %+v", rec)
+		}
+		a, b := rec.LocDescriptions()
+		if a == "" || b == "" {
+			t.Errorf("guilty record lacks location descriptions: %+v", rec)
+		}
+	}
+
+	// A nil final outcome must not panic.
+	if got := (&Result{}).GuiltyQueries(); got != nil {
+		t.Errorf("empty result yields %v, want nil", got)
+	}
+}
+
 func TestProbeHelloFreqSpace(t *testing.T) {
 	spec := &BenchSpec{
 		Name:     "hello",

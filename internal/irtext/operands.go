@@ -137,6 +137,9 @@ func (fp *funcParser) operands(r rawInstr) error {
 	case ir.OpICmp, ir.OpFCmp:
 		// icmp PRED a, b
 		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) < 2 {
+			return fmt.Errorf("cmp wants 'PRED a, b'")
+		}
 		pred, ok := predByName[fields[0]]
 		if !ok {
 			return fmt.Errorf("unknown predicate %q", fields[0])

@@ -48,6 +48,12 @@ func (fp *funcParser) body(lines []string, baseLine int) error {
 		if err := fp.operands(r); err != nil {
 			return fmt.Errorf("line %d: %q: %w", r.line+1, r.text, err)
 		}
+		// A void result cannot carry a name: the printer drops the
+		// "%x = " prefix for void instructions, so a named one would
+		// not survive a print/parse round trip.
+		if r.in.Name != "" && r.in.Ty == ir.Void {
+			return fmt.Errorf("line %d: %q: named result of void type", r.line+1, r.text)
+		}
 	}
 	return nil
 }
@@ -148,7 +154,11 @@ func (fp *funcParser) shell(line string, pos int) error {
 		text = text[eq+3:]
 	}
 	text, meta := splitMeta(text)
-	op, ok := opByName(strings.Fields(text)[0])
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return fmt.Errorf("missing opcode in %q", line)
+	}
+	op, ok := opByName(fields[0])
 	if !ok {
 		return fmt.Errorf("unknown opcode in %q", line)
 	}

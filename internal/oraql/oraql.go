@@ -155,6 +155,18 @@ type QueryRecord struct {
 	CacheHits  int    // times later served from cache
 }
 
+// LocDescriptions renders both query locations the way the Fig. 3
+// dump does; the difftest triage reports embed these strings.
+func (r *QueryRecord) LocDescriptions() (a, b string) {
+	return describeLoc(r.A), describeLoc(r.B)
+}
+
+// SrcLocs returns the source locations of the two query pointers
+// (either may be invalid).
+func (r *QueryRecord) SrcLocs() (a, b ir.SrcLoc) {
+	return srcOf(r.A), srcOf(r.B)
+}
+
 // Stats are the counters the pass reports through the statistics
 // mechanism; the driver reads Unique to size bisection sequences.
 type Stats struct {

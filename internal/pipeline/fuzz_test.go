@@ -2,170 +2,19 @@ package pipeline
 
 import (
 	"fmt"
-	"math/rand"
 	"reflect"
-	"strings"
 	"testing"
 
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/minic"
 	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/progen"
 )
 
-// progGen generates random but UB-free minic programs: all indices are
-// wrapped into bounds, divisions are by strictly positive values, and
-// every loop is counted. O0 (frontend only) and O3 must agree on the
-// output for every generated program — the compiler's core soundness
-// property.
-type progGen struct {
-	r       *rand.Rand
-	sb      strings.Builder
-	arrays  []string // double arrays, all of size arrN
-	iarrays []string
-	scalars []string
-	arrN    int
-	depth   int
-}
-
-func (g *progGen) pick(list []string) string { return list[g.r.Intn(len(list))] }
-
-// expr generates a double-valued expression using loop var iv (may be "").
-func (g *progGen) expr(iv string, depth int) string {
-	if depth <= 0 || g.r.Intn(3) == 0 {
-		switch g.r.Intn(4) {
-		case 0:
-			return fmt.Sprintf("%.3f", g.r.Float64()*4-2)
-		case 1:
-			if len(g.scalars) > 0 {
-				return g.pick(g.scalars)
-			}
-			return "1.25"
-		case 2:
-			if iv != "" {
-				return "(double)" + iv
-			}
-			return "0.5"
-		default:
-			return fmt.Sprintf("%s[%s]", g.pick(g.arrays), g.index(iv))
-		}
-	}
-	op := []string{"+", "-", "*"}[g.r.Intn(3)]
-	l := g.expr(iv, depth-1)
-	r := g.expr(iv, depth-1)
-	if g.r.Intn(6) == 0 {
-		return fmt.Sprintf("(%s %s %s) / ((double)((%s %% 5 + 5) %% 5 + 1))", l, op, r, g.intExpr(iv))
-	}
-	return fmt.Sprintf("(%s %s %s)", l, op, r)
-}
-
-// intExpr generates an int expression (non-UB).
-func (g *progGen) intExpr(iv string) string {
-	switch g.r.Intn(3) {
-	case 0:
-		return fmt.Sprint(g.r.Intn(20))
-	case 1:
-		if iv != "" {
-			return iv
-		}
-		return "3"
-	default:
-		return fmt.Sprintf("%s[%s]", g.pick(g.iarrays), g.index(iv))
-	}
-}
-
-// index generates an always-in-bounds index expression.
-func (g *progGen) index(iv string) string {
-	if iv != "" && g.r.Intn(2) == 0 {
-		if off := g.r.Intn(3); off > 0 {
-			return fmt.Sprintf("(%s + %d) %% %d", iv, off, g.arrN)
-		}
-		return iv
-	}
-	return fmt.Sprintf("((%s) %%%% %d + %d) %%%% %d",
-		g.intExpr(iv), g.arrN, g.arrN, g.arrN)
-}
-
-func (g *progGen) stmt(depth int) {
-	iv := fmt.Sprintf("i%d", g.depth)
-	g.depth++
-	defer func() { g.depth-- }()
-	switch g.r.Intn(5) {
-	case 0: // elementwise loop
-		fmt.Fprintf(&g.sb, "for (int %s = 0; %s < %d; %s++) {\n", iv, iv, g.arrN, iv)
-		fmt.Fprintf(&g.sb, "%s[%s] = %s;\n", g.pick(g.arrays), iv, g.expr(iv, 2))
-		g.sb.WriteString("}\n")
-	case 1: // reduction loop
-		s := g.pick(g.scalars)
-		fmt.Fprintf(&g.sb, "for (int %s = 0; %s < %d; %s++) {\n", iv, iv, g.arrN, iv)
-		fmt.Fprintf(&g.sb, "%s = %s + %s;\n", s, s, g.expr(iv, 1))
-		g.sb.WriteString("}\n")
-	case 2: // conditional
-		a, b := g.pick(g.scalars), g.pick(g.scalars)
-		fmt.Fprintf(&g.sb, "if (%s > %s) {\n%s = %s * 0.5;\n} else {\n%s = %s + 0.25;\n}\n",
-			a, b, a, g.expr("", 1), b, g.expr("", 1))
-	case 3: // int array update loop
-		fmt.Fprintf(&g.sb, "for (int %s = 0; %s < %d; %s++) {\n", iv, iv, g.arrN, iv)
-		fmt.Fprintf(&g.sb, "%s[%s] = (%s + %d) %%%% 97;\n", g.pick(g.iarrays), iv, g.intExpr(iv), g.r.Intn(50))
-		g.sb.WriteString("}\n")
-	case 4: // nested loop
-		if depth > 0 {
-			jv := fmt.Sprintf("j%d", g.depth)
-			fmt.Fprintf(&g.sb, "for (int %s = 0; %s < %d; %s++) {\n", iv, iv, 4, iv)
-			fmt.Fprintf(&g.sb, "for (int %s = 0; %s < %d; %s++) {\n", jv, jv, g.arrN, jv)
-			fmt.Fprintf(&g.sb, "%s[%s] = %s;\n", g.pick(g.arrays), jv, g.expr(jv, 1))
-			g.sb.WriteString("}\n}\n")
-		} else {
-			fmt.Fprintf(&g.sb, "%s = %s;\n", g.pick(g.scalars), g.expr("", 2))
-		}
-	}
-}
-
-func (g *progGen) generate(nStmts int) string {
-	g.sb.WriteString("int main() {\n")
-	for i, a := range g.arrays {
-		fmt.Fprintf(&g.sb, "double %s[%d];\n", a, g.arrN)
-		fmt.Fprintf(&g.sb, "for (int z = 0; z < %d; z++) { %s[z] = (double)(z * %d) * 0.125; }\n",
-			g.arrN, a, i+1)
-	}
-	for i, a := range g.iarrays {
-		fmt.Fprintf(&g.sb, "int %s[%d];\n", a, g.arrN)
-		fmt.Fprintf(&g.sb, "for (int z = 0; z < %d; z++) { %s[z] = (z * %d) %%%% 31; }\n",
-			g.arrN, a, i+2)
-	}
-	for _, s := range g.scalars {
-		fmt.Fprintf(&g.sb, "double %s = %.3f;\n", s, g.r.Float64())
-	}
-	for i := 0; i < nStmts; i++ {
-		g.stmt(1)
-	}
-	for _, a := range g.arrays {
-		fmt.Fprintf(&g.sb, "print(\"%s \", checksum(%s, %d), \"\\n\");\n", a, a, g.arrN)
-	}
-	for _, a := range g.iarrays {
-		fmt.Fprintf(&g.sb, "print(\"%s \", checksumi(%s, %d), \"\\n\");\n", a, a, g.arrN)
-	}
-	for _, s := range g.scalars {
-		fmt.Fprintf(&g.sb, "print(\"%s \", %s, \"\\n\");\n", s, s)
-	}
-	g.sb.WriteString("return 0;\n}\n")
-	// The %% escapes above produce literal % in the source.
-	return strings.ReplaceAll(g.sb.String(), "%%", "%")
-}
-
-func newProgGen(seed int64) *progGen {
-	r := rand.New(rand.NewSource(seed))
-	g := &progGen{r: r, arrN: 8 + r.Intn(3)*4}
-	for i := 0; i < 2+r.Intn(2); i++ {
-		g.arrays = append(g.arrays, fmt.Sprintf("a%d", i))
-	}
-	for i := 0; i < 1+r.Intn(2); i++ {
-		g.iarrays = append(g.iarrays, fmt.Sprintf("n%d", i))
-	}
-	for i := 0; i < 2+r.Intn(2); i++ {
-		g.scalars = append(g.scalars, fmt.Sprintf("s%d", i))
-	}
-	return g
-}
+// The random-program tests below draw from internal/progen, the
+// shared UB-free generator (pointer views, structs, restrict calls,
+// parallel regions); internal/difftest builds the full differential
+// matrix and triage on top of the same generator.
 
 // TestDifferentialO0VsO3 is the compiler soundness fuzz test: for many
 // random programs, the unoptimized and fully optimized compilations
@@ -178,9 +27,10 @@ func TestDifferentialO0VsO3(t *testing.T) {
 	for seed := 0; seed < seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			src := newProgGen(int64(seed)).generate(6)
+			p := progen.Generate(int64(seed), progen.Options{})
+			src := p.Source
 
-			host0, _, err := minic.Compile("fuzz.mc", src, minic.Options{})
+			host0, _, err := minic.Compile(p.FileName, src, minic.Options{})
 			if err != nil {
 				t.Fatalf("frontend: %v\nsource:\n%s", err, src)
 			}
@@ -189,7 +39,7 @@ func TestDifferentialO0VsO3(t *testing.T) {
 				t.Fatalf("O0 run: %v\nsource:\n%s", err, src)
 			}
 
-			cr, err := Compile(Config{Name: "fuzz", Source: src, SourceFile: "fuzz.mc"})
+			cr, err := Compile(Config{Name: "fuzz", Source: src, SourceFile: p.FileName})
 			if err != nil {
 				t.Fatalf("O3 compile: %v\nsource:\n%s", err, src)
 			}
@@ -250,6 +100,7 @@ int main() {
 }
 
 // TestDifferentialModelsFuzz generates random data-parallel programs
+// (MinParallel guarantees at least one parallel region per program)
 // and checks all five model lowerings agree with the unoptimized
 // sequential build.
 func TestDifferentialModelsFuzz(t *testing.T) {
@@ -259,14 +110,15 @@ func TestDifferentialModelsFuzz(t *testing.T) {
 	}
 	models := []minic.Model{minic.ModelSeq, minic.ModelOpenMP, minic.ModelTasks, minic.ModelMPI, minic.ModelOffload}
 	for seed := 0; seed < seeds; seed++ {
-		g := newProgGen(int64(1000 + seed))
-		src := g.generate(4)
-		// Promote the first elementwise for-loop into a parallel for.
-		src = promoteFirstLoop(src)
+		p := progen.Generate(int64(1000+seed), progen.Options{MinParallel: 1})
+		src := p.Source
+		if p.Parallel == 0 {
+			t.Fatalf("seed %d: MinParallel ignored", seed)
+		}
 
 		ref := ""
 		for _, model := range models {
-			cr, err := Compile(Config{Name: "mfuzz", Source: src, SourceFile: "mfuzz.mc",
+			cr, err := Compile(Config{Name: "mfuzz", Source: src, SourceFile: p.FileName,
 				Frontend: minic.Options{Model: model}})
 			if err != nil {
 				t.Fatalf("seed %d model %d: %v\nsource:\n%s", seed, model, err, src)
@@ -299,12 +151,13 @@ func TestDifferentialAnalysisCache(t *testing.T) {
 	for seed := 0; seed < seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			src := newProgGen(int64(seed)).generate(6)
+			p := progen.Generate(int64(seed), progen.Options{})
+			src := p.Source
 			compile := func(disable bool) *CompileResult {
 				cr, err := Compile(Config{
 					Name:                 "fuzz-am",
 					Source:               src,
-					SourceFile:           "fuzz.mc",
+					SourceFile:           p.FileName,
 					ORAQL:                &oraql.Options{},
 					DisableAnalysisCache: disable,
 				})
@@ -343,18 +196,4 @@ func TestDifferentialAnalysisCache(t *testing.T) {
 			}
 		})
 	}
-}
-
-// promoteFirstLoop rewrites the first "for (int iN = 0; iN < K; iN++) {"
-// into a parallel for (the parallel-for grammar drops the type).
-func promoteFirstLoop(src string) string {
-	lines := strings.Split(src, "\n")
-	for i, l := range lines {
-		trimmed := strings.TrimSpace(l)
-		if strings.HasPrefix(trimmed, "for (int i") && strings.HasSuffix(trimmed, "{") {
-			lines[i] = strings.Replace(l, "for (int ", "parallel for (", 1)
-			return strings.Join(lines, "\n")
-		}
-	}
-	return src
 }

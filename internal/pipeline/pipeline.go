@@ -36,6 +36,11 @@ type Config struct {
 	Frontend minic.Options
 	// OptLevel: 0 (frontend output only), 1, or 3 (default 3).
 	OptLevel int
+	// StopAfter, when positive, truncates the pass pipeline to its
+	// first StopAfter pass instances. The differential-testing triage
+	// (internal/difftest) uses this to bisect a miscompilation to the
+	// first pipeline position whose prefix diverges.
+	StopAfter int
 	// FullAAChain additionally enables the CFL points-to analyses.
 	FullAAChain bool
 	// DisableAAQueryCache turns off the manager-level memoized alias
@@ -245,6 +250,9 @@ func compileModule(cfg Config, m *ir.Module) (*TargetStats, error) {
 		pipe = passes.O1Pipeline()
 	case -1:
 		pipe = &passes.Pipeline{} // -O0: frontend output only
+	}
+	if cfg.StopAfter > 0 && cfg.StopAfter < len(pipe.Passes) {
+		pipe = &passes.Pipeline{Passes: pipe.Passes[:cfg.StopAfter]}
 	}
 	pipe.Run(ctx)
 	if err := ir.Verify(m); err != nil {

@@ -1,0 +1,481 @@
+// Package progen generates random but UB-free minic programs for
+// differential testing. It is the promoted, much richer successor of
+// the ad-hoc generator that used to live inside the pipeline fuzz
+// tests: on top of counted loops over bounds-wrapped array indices it
+// produces pointer variables with controlled aliasing (offset views
+// into named arrays), helper functions with plain and restrict pointer
+// parameters, structs whose mixed int/double/pointer fields exercise
+// TBAA, nested and triangular loops, and race-free parallel-for
+// regions that lower to OpenMP, task, MPI, or offload code depending
+// on the frontend model.
+//
+// Every program is UB-free by construction: all indices are wrapped
+// into the accessed view's bounds, all divisors are strictly positive,
+// every loop is counted, every object is initialized before use,
+// restrict parameters only ever receive provably disjoint arrays, and
+// parallel-for bodies write only their own iteration's element and
+// never read an element another iteration writes. O0 and any sound
+// optimized compilation must therefore agree on the output — the
+// differential oracle in internal/difftest builds on exactly this
+// property.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options tunes the generator. The zero value enables every feature.
+type Options struct {
+	// Stmts is the number of top-level statements in main (default 6).
+	Stmts int
+	// DisableCalls suppresses helper functions and their call sites.
+	DisableCalls bool
+	// DisableStructs suppresses the struct declaration and its uses.
+	DisableStructs bool
+	// DisablePointers suppresses heap arrays and offset pointer views
+	// (the controlled-aliasing feature).
+	DisablePointers bool
+	// DisableParallel suppresses parallel-for regions.
+	DisableParallel bool
+	// MinParallel guarantees at least this many parallel-for regions
+	// (appended after the random statements when the dice under-rolled).
+	MinParallel int
+}
+
+// Program is one generated test program.
+type Program struct {
+	Seed     int64
+	FileName string
+	Source   string
+	// Parallel counts the emitted parallel-for regions.
+	Parallel int
+}
+
+// view is an accessible window into a double array: the expression
+// that names it, the underlying array it aliases, and the number of
+// in-bounds elements.
+type view struct {
+	name string
+	base string
+	n    int
+}
+
+type gen struct {
+	r    *rand.Rand
+	opts Options
+	sb   strings.Builder
+
+	arrN     int
+	views    []view // all double views (arrays, heap arrays, offset pointers)
+	arrays   []view // whole arrays only (valid restrict args, parallel dsts)
+	iarrays  []string
+	scalars  []string
+	depth    int
+	parallel int
+	hasBox   bool
+}
+
+// Generate builds the program for a seed. Equal (seed, opts) pairs
+// yield byte-identical sources.
+func Generate(seed int64, opts Options) *Program {
+	if opts.Stmts <= 0 {
+		opts.Stmts = 6
+	}
+	g := &gen{r: rand.New(rand.NewSource(seed)), opts: opts}
+	g.arrN = 8 + g.r.Intn(3)*4
+	g.emit()
+	return &Program{
+		Seed:     seed,
+		FileName: fmt.Sprintf("fuzz-%d.mc", seed),
+		Source:   g.sb.String(),
+		Parallel: g.parallel,
+	}
+}
+
+func (g *gen) pickView(pool []view) view  { return pool[g.r.Intn(len(pool))] }
+func (g *gen) pickS(list []string) string { return list[g.r.Intn(len(list))] }
+
+// fconst returns a small literal double constant.
+func (g *gen) fconst() string { return fmt.Sprintf("%.3f", g.r.Float64()*4-2) }
+
+// intExpr generates a non-negative int expression (the invariant that
+// keeps the single-mod index wrapping in bounds).
+func (g *gen) intExpr(iv string) string {
+	switch g.r.Intn(3) {
+	case 0:
+		return fmt.Sprint(g.r.Intn(20))
+	case 1:
+		if iv != "" {
+			return iv
+		}
+		return "3"
+	default:
+		a := g.pickS(g.iarrays)
+		return fmt.Sprintf("%s[%s]", a, g.index(iv, g.arrN))
+	}
+}
+
+// index generates an always-in-bounds index into a view of n elements.
+func (g *gen) index(iv string, n int) string {
+	if iv != "" && g.r.Intn(2) == 0 {
+		if off := g.r.Intn(3); off > 0 {
+			return fmt.Sprintf("(%s + %d) %% %d", iv, off, n)
+		}
+		return fmt.Sprintf("%s %% %d", iv, n)
+	}
+	return fmt.Sprintf("(%s) %% %d", g.intExpr(iv), n)
+}
+
+// expr generates a double-valued expression reading only views from
+// pool (restricting the pool is how parallel bodies stay race-free).
+func (g *gen) expr(iv string, pool []view, depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return g.fconst()
+		case 1:
+			if len(g.scalars) > 0 {
+				return g.pickS(g.scalars)
+			}
+			return "1.25"
+		case 2:
+			if iv != "" {
+				return "(double)" + iv
+			}
+			return "0.5"
+		case 3:
+			if g.hasBox && g.r.Intn(3) == 0 {
+				return "bx.w"
+			}
+			fallthrough
+		default:
+			v := g.pickView(pool)
+			return fmt.Sprintf("%s[%s]", v.name, g.index(iv, v.n))
+		}
+	}
+	op := []string{"+", "-", "*"}[g.r.Intn(3)]
+	l := g.expr(iv, pool, depth-1)
+	r := g.expr(iv, pool, depth-1)
+	if g.r.Intn(6) == 0 {
+		// Division by a strictly positive value.
+		return fmt.Sprintf("(%s %s %s) / (double)((%s) %% 5 + 1)", l, op, r, g.intExpr(iv))
+	}
+	return fmt.Sprintf("(%s %s %s)", l, op, r)
+}
+
+func (g *gen) line(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+// emit produces the whole translation unit.
+func (g *gen) emit() {
+	if !g.opts.DisableStructs {
+		g.emitStruct()
+	}
+	if !g.opts.DisableCalls {
+		g.emitHelpers()
+	}
+	g.line("int main() {")
+	g.emitDecls()
+	for i := 0; i < g.opts.Stmts; i++ {
+		g.stmt(1)
+	}
+	for g.parallel < g.opts.MinParallel && !g.opts.DisableParallel {
+		g.parallelLoop()
+	}
+	g.emitPrints()
+	g.line("return 0;")
+	g.line("}")
+}
+
+func (g *gen) emitStruct() {
+	g.line("struct Box {")
+	g.line("double* d;")
+	g.line("double* e;")
+	g.line("int* m;")
+	g.line("double w;")
+	g.line("int k;")
+	g.line("};")
+}
+
+// emitHelpers declares the callable kernels. Their bodies carry
+// per-seed constants so different seeds exercise different folds.
+func (g *gen) emitHelpers() {
+	c1, c2, c3 := g.fconst(), g.fconst(), g.fconst()
+	off := 1 + g.r.Intn(3)
+	// h_axpy tolerates dst == src (controlled aliasing call sites).
+	g.line("void h_axpy(double* dst, double* src, int n) {")
+	g.line("for (int k = 0; k < n; k++) {")
+	g.line("dst[k] = dst[k] * %s + src[(k + %d) %% n] * %s;", c1, off, c2)
+	g.line("}")
+	g.line("}")
+	// h_sum mixes double and int reads (a TBAA workload).
+	g.line("double h_sum(double* x, int* m, int n) {")
+	g.line("double s = 0.0;")
+	g.line("for (int k = 0; k < n; k++) {")
+	g.line("s = s + x[k] * (double)(m[k] %% 7 + 1);")
+	g.line("}")
+	g.line("return s;")
+	g.line("}")
+	if !g.opts.DisablePointers {
+		// h_stencil's restrict parameters demand disjoint arguments;
+		// call sites only ever pass distinct whole arrays.
+		g.line("void h_stencil(double* restrict dst, double* restrict src, int n) {")
+		g.line("dst[0] = src[0] * %s;", c3)
+		g.line("for (int k = 1; k < n - 1; k++) {")
+		g.line("dst[k] = (src[k - 1] + src[k] + src[k + 1]) * 0.25;")
+		g.line("}")
+		g.line("dst[n - 1] = src[n - 1] * %s;", c3)
+		g.line("}")
+	}
+	if !g.opts.DisableStructs {
+		// h_box reads and writes through the struct's pointer fields
+		// and accumulates into its int field (more TBAA pressure).
+		g.line("void h_box(Box* b, int n) {")
+		g.line("for (int k = 0; k < n; k++) {")
+		g.line("b.d[k] = b.d[k] * b.w + b.e[(k + 1) %% n] * %s;", c2)
+		g.line("b.k = b.k + b.m[k] %% 5;")
+		g.line("}")
+		g.line("}")
+	}
+}
+
+// emitDecls declares and initializes every object main uses.
+func (g *gen) emitDecls() {
+	n := g.arrN
+	for i := 0; i < 2+g.r.Intn(2); i++ {
+		name := fmt.Sprintf("a%d", i)
+		g.line("double %s[%d];", name, n)
+		g.line("for (int z = 0; z < %d; z++) { %s[z] = (double)(z * %d) * 0.125; }", n, name, i+1)
+		v := view{name: name, base: name, n: n}
+		g.views = append(g.views, v)
+		g.arrays = append(g.arrays, v)
+	}
+	if !g.opts.DisablePointers {
+		for i := 0; i < 1+g.r.Intn(2); i++ {
+			name := fmt.Sprintf("h%d", i)
+			g.line("double* %s = new double[%d];", name, n)
+			g.line("for (int z = 0; z < %d; z++) { %s[z] = (double)(z + %d) * 0.0625; }", n, name, i+3)
+			v := view{name: name, base: name, n: n}
+			g.views = append(g.views, v)
+			g.arrays = append(g.arrays, v)
+		}
+		// Offset pointer views: genuine, controlled aliasing with their
+		// base array that no conservative points-to analysis untangles.
+		for i := 0; i < 1+g.r.Intn(2); i++ {
+			base := g.pickView(g.arrays)
+			off := 1 + g.r.Intn(base.n/2)
+			name := fmt.Sprintf("p%d", i)
+			g.line("double* %s = %s + %d;", name, base.name, off)
+			g.views = append(g.views, view{name: name, base: base.base, n: base.n - off})
+		}
+	}
+	for i := 0; i < 1+g.r.Intn(2); i++ {
+		name := fmt.Sprintf("m%d", i)
+		g.iarrays = append(g.iarrays, name)
+		g.line("int %s[%d];", name, n)
+		g.line("for (int z = 0; z < %d; z++) { %s[z] = (z * %d) %% 31; }", n, name, i+2)
+	}
+	for i := 0; i < 2+g.r.Intn(2); i++ {
+		name := fmt.Sprintf("s%d", i)
+		g.scalars = append(g.scalars, name)
+		g.line("double %s = %.3f;", name, g.r.Float64())
+	}
+	if !g.opts.DisableStructs {
+		g.hasBox = true
+		d, e := g.pickView(g.views), g.pickView(g.views)
+		g.line("Box bx;")
+		g.line("bx.d = %s;", d.name)
+		g.line("bx.e = %s;", e.name)
+		g.line("bx.m = %s;", g.iarrays[0])
+		g.line("bx.w = %.3f;", g.r.Float64())
+		g.line("bx.k = %d;", g.r.Intn(5))
+		// The box's pointer views keep their own bounds.
+		g.views = append(g.views, view{name: "bx.d", base: d.base, n: d.n},
+			view{name: "bx.e", base: e.base, n: e.n})
+	}
+}
+
+// stmt emits one random statement.
+func (g *gen) stmt(depth int) {
+	iv := fmt.Sprintf("i%d", g.depth)
+	g.depth++
+	defer func() { g.depth-- }()
+	kinds := []func(iv string, depth int){
+		g.elementwise, g.reduction, g.conditional, g.intUpdate,
+		g.nested, g.triangular,
+	}
+	if !g.opts.DisableCalls {
+		kinds = append(kinds, g.call, g.call)
+	}
+	if g.hasBox {
+		kinds = append(kinds, g.boxStmt)
+	}
+	if !g.opts.DisableParallel {
+		kinds = append(kinds, func(string, int) { g.parallelLoop() })
+	}
+	kinds[g.r.Intn(len(kinds))](iv, depth)
+}
+
+func (g *gen) elementwise(iv string, _ int) {
+	dst := g.pickView(g.views)
+	g.line("for (int %s = 0; %s < %d; %s++) {", iv, iv, dst.n, iv)
+	g.line("%s[%s] = %s;", dst.name, iv, g.expr(iv, g.views, 2))
+	g.line("}")
+}
+
+func (g *gen) reduction(iv string, _ int) {
+	s := g.pickS(g.scalars)
+	g.line("for (int %s = 0; %s < %d; %s++) {", iv, iv, g.arrN, iv)
+	g.line("%s = %s + %s;", s, s, g.expr(iv, g.views, 1))
+	g.line("}")
+}
+
+func (g *gen) conditional(_ string, _ int) {
+	a, b := g.pickS(g.scalars), g.pickS(g.scalars)
+	g.line("if (%s > %s) {", a, b)
+	g.line("%s = %s * 0.5;", a, g.expr("", g.views, 1))
+	g.line("} else {")
+	g.line("%s = %s + 0.25;", b, g.expr("", g.views, 1))
+	g.line("}")
+}
+
+func (g *gen) intUpdate(iv string, _ int) {
+	a := g.pickS(g.iarrays)
+	g.line("for (int %s = 0; %s < %d; %s++) {", iv, iv, g.arrN, iv)
+	g.line("%s[%s] = (%s + %d) %% 97;", a, iv, g.intExpr(iv), g.r.Intn(50))
+	g.line("}")
+}
+
+func (g *gen) nested(iv string, depth int) {
+	if depth <= 0 {
+		g.line("%s = %s;", g.pickS(g.scalars), g.expr("", g.views, 2))
+		return
+	}
+	jv := fmt.Sprintf("j%d", g.depth)
+	dst := g.pickView(g.views)
+	g.line("for (int %s = 0; %s < 4; %s++) {", iv, iv, iv)
+	g.line("for (int %s = 0; %s < %d; %s++) {", jv, jv, dst.n, jv)
+	g.line("%s[%s] = %s;", dst.name, jv, g.expr(jv, g.views, 1))
+	g.line("}")
+	g.line("}")
+}
+
+// triangular emits the classic lower-triangle update: the inner bound
+// depends on the outer induction variable.
+func (g *gen) triangular(iv string, _ int) {
+	jv := fmt.Sprintf("j%d", g.depth)
+	dst := g.pickView(g.arrays)
+	g.line("for (int %s = 1; %s < %d; %s++) {", iv, iv, dst.n, iv)
+	g.line("for (int %s = 0; %s < %s; %s++) {", jv, jv, iv, jv)
+	g.line("%s[%s] = %s[%s] + %s[%s] * %s;", dst.name, jv, dst.name, jv, dst.name, iv, g.fconst())
+	g.line("}")
+	g.line("}")
+}
+
+// call emits a helper invocation. h_axpy may receive aliasing views;
+// h_stencil only distinct whole arrays (its parameters are restrict).
+func (g *gen) call(_ string, _ int) {
+	switch g.r.Intn(4) {
+	case 0:
+		if !g.opts.DisablePointers && len(g.arrays) >= 2 {
+			i := g.r.Intn(len(g.arrays))
+			j := g.r.Intn(len(g.arrays) - 1)
+			if j >= i {
+				j++
+			}
+			dst, src := g.arrays[i], g.arrays[j]
+			n := dst.n
+			if src.n < n {
+				n = src.n
+			}
+			g.line("h_stencil(%s, %s, %d);", dst.name, src.name, n)
+			return
+		}
+		fallthrough
+	case 1:
+		dst, src := g.pickView(g.views), g.pickView(g.views)
+		n := dst.n
+		if src.n < n {
+			n = src.n
+		}
+		g.line("h_axpy(%s, %s, %d);", dst.name, src.name, n)
+	case 2:
+		x := g.pickView(g.views)
+		n := x.n
+		if g.arrN < n {
+			n = g.arrN
+		}
+		g.line("%s = %s + h_sum(%s, %s, %d);", g.pickS(g.scalars), g.pickS(g.scalars), x.name, g.pickS(g.iarrays), n)
+	default:
+		dst, src := g.pickView(g.views), g.pickView(g.views)
+		n := dst.n
+		if src.n < n {
+			n = src.n
+		}
+		g.line("h_axpy(%s, %s, %d);", dst.name, src.name, n)
+	}
+}
+
+// boxStmt touches the struct: an inline mixed-field loop or (when
+// helpers exist) the h_box call.
+func (g *gen) boxStmt(iv string, _ int) {
+	boxN := g.arrN
+	for _, v := range g.views {
+		if (v.name == "bx.d" || v.name == "bx.e") && v.n < boxN {
+			boxN = v.n
+		}
+	}
+	if !g.opts.DisableCalls && g.r.Intn(2) == 0 {
+		g.line("h_box(&bx, %d);", boxN)
+		return
+	}
+	g.line("for (int %s = 0; %s < %d; %s++) {", iv, iv, boxN, iv)
+	g.line("bx.d[%s] = bx.d[%s] + bx.e[(%s + 1) %% %d] * bx.w;", iv, iv, iv, boxN)
+	g.line("bx.k = bx.k + bx.m[%s] %% 3;", iv)
+	g.line("}")
+}
+
+// parallelLoop emits a race-free parallel-for: the destination is a
+// whole array written only at the iteration's own index, and reads
+// come from views over *other* arrays (plus the own element), so no
+// iteration observes another iteration's writes under any model.
+func (g *gen) parallelLoop() {
+	if g.opts.DisableParallel {
+		return
+	}
+	dst := g.pickView(g.arrays)
+	var pool []view
+	for _, v := range g.views {
+		if v.base != dst.base {
+			pool = append(pool, v)
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	g.parallel++
+	iv := fmt.Sprintf("q%d", g.parallel)
+	g.line("parallel for (%s = 0; %s < %d; %s++) {", iv, iv, dst.n, iv)
+	g.line("%s[%s] = %s[%s] * %s + %s;", dst.name, iv, dst.name, iv, g.fconst(), g.expr(iv, pool, 2))
+	g.line("}")
+}
+
+// emitPrints writes the checksum epilogue that makes every memory
+// effect observable.
+func (g *gen) emitPrints() {
+	for _, v := range g.arrays {
+		g.line("print(\"%s \", checksum(%s, %d), \"\\n\");", v.name, v.name, v.n)
+	}
+	for _, a := range g.iarrays {
+		g.line("print(\"%s \", checksumi(%s, %d), \"\\n\");", a, a, g.arrN)
+	}
+	for _, s := range g.scalars {
+		g.line("print(\"%s \", %s, \"\\n\");", s, s)
+	}
+	if g.hasBox {
+		g.line("print(\"bx \", bx.w, \" \", bx.k, \"\\n\");")
+	}
+}

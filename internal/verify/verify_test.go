@@ -88,3 +88,104 @@ func TestLineCountDiff(t *testing.T) {
 		t.Errorf("line-count mismatch diff: %+v", r)
 	}
 }
+
+// TestOverlappingMasks checks that mask patterns compose left to right
+// and that a pattern may rewrite text already touched by an earlier
+// one: masking is substitution to a fixed token, so overlapping
+// matches must still converge to equal strings on both sides.
+func TestOverlappingMasks(t *testing.T) {
+	s := &Spec{
+		References: []string{"rank 0: time 12 ms on node-7\n"},
+		MaskPatterns: []string{
+			`time [0-9]+ ms`, // hits first, leaves "<masked>"
+			`node-[0-9]+`,    // disjoint match
+			`rank [0-9]+`,    // prefix overlapping the line start
+			`<masked> on`,    // re-matches the first substitution
+		},
+	}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("rank 3: time 99999 ms on node-123\n", nil); !r.OK {
+		t.Errorf("all volatile fields masked, must pass: %s", r.Diff)
+	}
+	if r := s.Check("rank 3: time 99 ms off node-1\n", nil); r.OK {
+		t.Error("text outside every mask still differs, must fail")
+	}
+}
+
+// TestMaskAppliesToAllReferences checks masking is symmetric: the
+// reference side is masked with the same patterns as the candidate,
+// for every reference in a multi-reference spec.
+func TestMaskAppliesToAllReferences(t *testing.T) {
+	s := &Spec{
+		References:   []string{"sum 1.5 seed 11\n", "sum 2.5 seed 22\n"},
+		MaskPatterns: []string{`seed [0-9]+`},
+	}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("sum 2.5 seed 77\n", nil); !r.OK {
+		t.Errorf("second reference must match after masking both sides: %s", r.Diff)
+	}
+	if r := s.Check("sum 3.5 seed 11\n", nil); r.OK {
+		t.Error("no reference matches outside the mask, must fail")
+	}
+}
+
+// TestCompileReuseAfterMutation checks that Compile can be called
+// again after the spec is mutated: stale compiled masks must not leak
+// into the new configuration, in either direction.
+func TestCompileReuseAfterMutation(t *testing.T) {
+	s := &Spec{
+		References:   []string{"v 1 t 5\n"},
+		MaskPatterns: []string{`t [0-9]+`},
+	}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("v 1 t 9\n", nil); !r.OK {
+		t.Fatalf("initial mask must apply: %s", r.Diff)
+	}
+
+	// Drop the mask: recompiling must forget the old pattern.
+	s.MaskPatterns = nil
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("v 1 t 9\n", nil); r.OK {
+		t.Error("stale mask survived recompilation")
+	}
+
+	// Add a different mask and new references: both must take effect.
+	s.References = []string{"v 2 t 5\n"}
+	s.MaskPatterns = []string{`v [0-9]+`}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("v 9 t 5\n", nil); !r.OK {
+		t.Errorf("new mask must apply after recompilation: %s", r.Diff)
+	}
+	if r := s.Check("v 2 t 6\n", nil); r.OK {
+		t.Error("old mask must no longer apply after recompilation")
+	}
+
+	// Recompiling into an error state must not keep the program
+	// running with half-updated masks silently.
+	s.MaskPatterns = []string{`v [0-9]+`, `(`}
+	if err := s.Compile(); err == nil {
+		t.Error("invalid pattern must fail recompilation")
+	}
+}
+
+// TestMaskedCrashStillFails pins the precedence: a crashed run fails
+// verification even when its stdout would match after masking.
+func TestMaskedCrashStillFails(t *testing.T) {
+	s := &Spec{References: []string{"ok\n"}, MaskPatterns: []string{`ok`}}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Check("ok\n", errors.New("trap")); r.OK {
+		t.Error("runErr must dominate a masked output match")
+	}
+}
