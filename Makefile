@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-compile fuzz fuzz-smoke check
+.PHONY: tier1 vet build test race bench bench-compile bench-serve serve-smoke fuzz fuzz-smoke check
 
 # tier1 is the gate the roadmap pins: it must stay green.
 tier1: build test
@@ -27,6 +27,17 @@ bench:
 bench-compile:
 	$(GO) test -run '^$$' -bench 'Compile_AnalysisCache' -benchtime=1x .
 
+# bench-serve smoke-runs the oraql-serve latency benchmark; use
+# scripts/bench_serve.sh to record a BENCH_serve.json baseline.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'Serve_Compile' -benchtime=1x .
+
+# serve-smoke mirrors the CI serve job: build the server, drive every
+# endpoint with the checked-in example, assert the cache hit on
+# /metrics, and check the SIGTERM drain.
+serve-smoke:
+	scripts/serve_smoke.sh
+
 # fuzz-smoke mirrors the CI fuzz job: a 200-program differential
 # campaign, the fault-injection triage self-test, and 30s of each
 # native fuzz target.
@@ -43,4 +54,4 @@ SEED ?= 1
 fuzz:
 	$(GO) run ./cmd/oraql-fuzz -n $(N) -seed $(SEED) -v $(ARGS)
 
-check: vet tier1 race bench bench-compile
+check: vet tier1 race bench bench-compile bench-serve serve-smoke

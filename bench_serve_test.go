@@ -1,0 +1,139 @@
+package goraql
+
+// Serve benchmarks: throughput and latency percentiles of the
+// /v1/compile endpoint under concurrent clients, cold (every request a
+// distinct program, so every request compiles) and warm (one shared
+// program, so all but the first request hit the cross-request result
+// cache). scripts/bench_serve.sh records the numbers into
+// BENCH_serve.json:
+//
+//	go test -run '^$' -bench Serve_Compile -benchtime=1x .
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/oraql/go-oraql/internal/service"
+	"github.com/oraql/go-oraql/internal/service/client"
+)
+
+// benchProgram renders a distinct-but-equivalent program per seed, so
+// cold-cache runs compile fresh modules of identical shape.
+func benchProgram(seed int) string {
+	return fmt.Sprintf(`int main() {
+	double a[16];
+	for (int z = 0; z < 16; z++) { a[z] = (double)(z + %d); }
+	int m[4];
+	for (int z = 0; z < 4; z++) { m[z] = z; }
+	double* p = a + m[2];
+	a[2] = 1.0;
+	p[0] = 3.0;
+	double s = 0.0;
+	for (int z = 0; z < 16; z++) { s = s + a[z]; }
+	print("sum ", s, "\n");
+	return 0;
+}
+`, seed)
+}
+
+const serveBenchRequestsPerClient = 8
+
+func benchServeCompile(b *testing.B, clients int, warm bool) {
+	for iter := 0; iter < b.N; iter++ {
+		svc := service.New(service.Config{CacheEntries: 4096})
+		ts := httptest.NewServer(svc)
+		cl := client.New(ts.URL)
+		ctx := context.Background()
+
+		if warm {
+			// Populate the cache so every measured request hits it.
+			if _, err := cl.Compile(ctx, &service.CompileRequest{
+				Program: service.ProgramSpec{Source: benchProgram(0), SourceFile: "bench.mc"},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			latencies []time.Duration
+			firstErr  error
+		)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				local := make([]time.Duration, 0, serveBenchRequestsPerClient)
+				for r := 0; r < serveBenchRequestsPerClient; r++ {
+					seed := 0 // warm: every client reuses the cached program
+					if !warm {
+						seed = 1 + c*serveBenchRequestsPerClient + r
+					}
+					req := &service.CompileRequest{
+						Program: service.ProgramSpec{Source: benchProgram(seed), SourceFile: "bench.mc"},
+					}
+					t0 := time.Now()
+					resp, err := cl.Compile(ctx, req)
+					local = append(local, time.Since(t0))
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					if warm && !resp.Cached {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("warm request missed the cache")
+						}
+						mu.Unlock()
+						return
+					}
+				}
+				mu.Lock()
+				latencies = append(latencies, local...)
+				mu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		shutCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := svc.Shutdown(shutCtx)
+		cancel()
+		ts.Close()
+		if firstErr != nil {
+			b.Fatal(firstErr)
+		}
+		if err != nil {
+			b.Fatalf("shutdown: %v", err)
+		}
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			idx := int(p * float64(len(latencies)-1))
+			return latencies[idx]
+		}
+		b.ReportMetric(float64(pct(0.50).Microseconds())/1000, "p50-ms")
+		b.ReportMetric(float64(pct(0.99).Microseconds())/1000, "p99-ms")
+		b.ReportMetric(float64(len(latencies))/elapsed.Seconds(), "req/s")
+	}
+}
+
+func BenchmarkServe_Compile(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("c%d_%s", clients, mode), func(b *testing.B) {
+				benchServeCompile(b, clients, mode == "warm")
+			})
+		}
+	}
+}

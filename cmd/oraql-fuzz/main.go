@@ -17,6 +17,10 @@
 // the deliberately unsound fully-optimistic responder MUST produce a
 // divergence and the triage MUST pin it, otherwise the harness itself
 // has rotted and the run fails.
+//
+// Exit codes: 0 success, 1 operational failure (including divergences
+// in clean mode), 2 usage error. Any -json usage additionally switches
+// failures to the shared JSON error envelope on stderr.
 package main
 
 import (
@@ -26,19 +30,20 @@ import (
 	"io"
 	"os"
 
+	"github.com/oraql/go-oraql/internal/cliutil"
 	"github.com/oraql/go-oraql/internal/difftest"
 	"github.com/oraql/go-oraql/internal/progen"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "oraql-fuzz:", err)
-		os.Exit(1)
-	}
+	argv := os.Args[1:]
+	err := run(argv, os.Stdout, os.Stderr)
+	os.Exit(cliutil.Report(os.Stderr, "oraql-fuzz", cliutil.WantsJSON(argv), err))
 }
 
 func run(argv []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("oraql-fuzz", flag.ExitOnError)
+	fs := flag.NewFlagSet("oraql-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	n := fs.Int("n", 100, "number of programs to generate")
 	seed := fs.Int64("seed", 1, "first generator seed; programs use [seed, seed+n)")
 	workers := fs.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -50,7 +55,10 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	maxDiv := fs.Int("max-div", 0, "stop after this many divergences (0 = default)")
 	verbose := fs.Bool("v", false, "log progress to stderr")
 	if err := fs.Parse(argv); err != nil {
-		return err
+		return cliutil.WrapUsage(err)
+	}
+	if fs.NArg() > 0 {
+		return cliutil.Usagef("unexpected arguments: %v", fs.Args())
 	}
 
 	opts := difftest.FuzzOptions{

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/cliutil"
+)
+
+func TestFailurePaths(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cliutil.ExitUsage},
+		{"unexpected positional", []string{"extra"}, cliutil.ExitUsage},
+		{"bad n value", []string{"-n", "many"}, cliutil.ExitUsage},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.argv, io.Discard, io.Discard)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if got := cliutil.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code = %d, want %d (err: %v)", got, tc.want, err)
+			}
+		})
+	}
+}
+
+func TestTinyCleanCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a variant matrix")
+	}
+	// One generated program across the full variant matrix: must be
+	// divergence-free at head and exit 0.
+	if err := run([]string{"-n", "1", "-seed", "7"}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("clean campaign: %v", err)
+	}
+}

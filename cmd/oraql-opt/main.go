@@ -8,14 +8,19 @@
 //	oraql-opt prog.mc [-opt-aa-seq "1 0 1"] [-opt-aa-seq @file]
 //	         [-opt-aa-target gpu] [-opt-aa-dump-pessimistic ...]
 //	         [-stats] [-time-passes] [-print-ir] [-debug-pass] [-run] [-O1]
+//
+// Exit codes: 0 success, 1 operational failure, 2 usage error. With
+// -json, failures are printed as the shared JSON error envelope.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"github.com/oraql/go-oraql/internal/cliutil"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/irtext"
 	"github.com/oraql/go-oraql/internal/minic"
@@ -24,7 +29,14 @@ import (
 )
 
 func main() {
-	fs := flag.NewFlagSet("oraql-opt", flag.ExitOnError)
+	argv := os.Args[1:]
+	err := run(argv, os.Stdout, os.Stderr)
+	os.Exit(cliutil.Report(os.Stderr, "oraql-opt", cliutil.WantsJSON(argv), err))
+}
+
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oraql-opt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	seqStr := fs.String("opt-aa-seq", "", `ORAQL response sequence ("1 0 ...", or @file); empty enables the pass fully optimistic`)
 	useORAQL := fs.Bool("opt-aa", false, "enable the ORAQL pass (implied by -opt-aa-seq/-opt-aa-dump-*)")
 	target := fs.String("opt-aa-target", "", "restrict ORAQL to modules whose target contains this substring")
@@ -43,26 +55,29 @@ func main() {
 	noAnalysisCache := fs.Bool("disable-analysis-cache", false, "recompute every analysis on every pass run (force-invalidate mode)")
 	printIR := fs.Bool("print-ir", false, "print optimized IR")
 	debugPass := fs.Bool("debug-pass", false, "print pass executions (-debug-pass=Executions analogue)")
-	run := fs.Bool("run", false, "run the compiled program on the simulated machine")
+	runProg := fs.Bool("run", false, "run the compiled program on the simulated machine")
 	ranks := fs.Int("ranks", 1, "simulated MPI ranks for -run")
+	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
 
-	if len(os.Args) < 2 {
+	if len(argv) < 1 {
 		fs.Usage()
-		os.Exit(2)
+		return cliutil.Usagef("missing input file")
 	}
-	file := os.Args[1]
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	file := argv[0]
+	if err := fs.Parse(argv[1:]); err != nil {
+		return cliutil.WrapUsage(err)
 	}
 
 	src, err := os.ReadFile(file)
-	check(err)
+	if err != nil {
+		return err
+	}
 
 	models := map[string]minic.Model{"seq": minic.ModelSeq, "openmp": minic.ModelOpenMP,
 		"tasks": minic.ModelTasks, "mpi": minic.ModelMPI, "offload": minic.ModelOffload}
 	m, ok := models[*model]
 	if !ok {
-		check(fmt.Errorf("unknown model %q", *model))
+		return cliutil.Usagef("unknown model %q", *model)
 	}
 	d := minic.DialectC
 	if *fortran {
@@ -79,7 +94,9 @@ func main() {
 	if strings.HasSuffix(file, ".ir") {
 		// Textual-IR input: bypass the frontend.
 		mod, err := irtext.Parse(string(src))
-		check(err)
+		if err != nil {
+			return err
+		}
 		cfg.Module = mod
 	}
 	if *o1 {
@@ -91,54 +108,54 @@ func main() {
 	dump := oraql.DumpFlags{First: *dumpFirst, Cached: *dumpCached, Optimistic: *dumpOpt, Pessimistic: *dumpPess}
 	if *useORAQL || *seqStr != "" || dump.Any() {
 		seq, err := oraql.ParseSeq(*seqStr)
-		check(err)
-		cfg.ORAQL = &oraql.Options{Seq: seq, Target: *target, Dump: dump, Out: os.Stderr}
+		if err != nil {
+			return cliutil.WrapUsage(err)
+		}
+		cfg.ORAQL = &oraql.Options{Seq: seq, Target: *target, Dump: dump, Out: stderr}
 	}
 
 	cr, err := pipeline.Compile(cfg)
-	check(err)
+	if err != nil {
+		return err
+	}
 
 	if *printIR {
-		fmt.Print(cr.Host.Module.String())
+		fmt.Fprint(stdout, cr.Host.Module.String())
 		if cr.Device != nil {
-			fmt.Print(cr.Device.Module.String())
+			fmt.Fprint(stdout, cr.Device.Module.String())
 		}
 	}
 	if *stats {
-		fmt.Println("=== host statistics ===")
-		cr.Host.Pass.Print(os.Stdout)
+		fmt.Fprintln(stdout, "=== host statistics ===")
+		cr.Host.Pass.Print(stdout)
 		if cr.Device != nil {
-			fmt.Println("=== device statistics ===")
-			cr.Device.Pass.Print(os.Stdout)
+			fmt.Fprintln(stdout, "=== device statistics ===")
+			cr.Device.Pass.Print(stdout)
 		}
 		s := cr.ORAQLStats()
 		if cfg.ORAQL != nil {
-			fmt.Printf("%8d oraql - Number of unique optimistic responses\n", s.UniqueOptimistic)
-			fmt.Printf("%8d oraql - Number of cached optimistic responses\n", s.CachedOptimistic)
-			fmt.Printf("%8d oraql - Number of unique pessimistic responses\n", s.UniquePessimistic)
-			fmt.Printf("%8d oraql - Number of cached pessimistic responses\n", s.CachedPessimistic)
+			fmt.Fprintf(stdout, "%8d oraql - Number of unique optimistic responses\n", s.UniqueOptimistic)
+			fmt.Fprintf(stdout, "%8d oraql - Number of cached optimistic responses\n", s.CachedOptimistic)
+			fmt.Fprintf(stdout, "%8d oraql - Number of unique pessimistic responses\n", s.UniquePessimistic)
+			fmt.Fprintf(stdout, "%8d oraql - Number of cached pessimistic responses\n", s.CachedPessimistic)
 		}
 		aas := cr.AAStats()
-		fmt.Printf("%8d aa - Number of memoized query cache hits\n", aas.CacheHits)
-		fmt.Printf("%8d aa - Number of memoized query cache misses\n", aas.CacheMisses)
-		fmt.Printf("%8d aa - Number of query cache invalidations\n", aas.CacheFlushes)
-		fmt.Printf("%8d aa - Number of scoped (per-function) cache flushes\n", aas.CacheScopedFlushes)
+		fmt.Fprintf(stdout, "%8d aa - Number of memoized query cache hits\n", aas.CacheHits)
+		fmt.Fprintf(stdout, "%8d aa - Number of memoized query cache misses\n", aas.CacheMisses)
+		fmt.Fprintf(stdout, "%8d aa - Number of query cache invalidations\n", aas.CacheFlushes)
+		fmt.Fprintf(stdout, "%8d aa - Number of scoped (per-function) cache flushes\n", aas.CacheScopedFlushes)
 	}
 	if *timePasses {
-		cr.Timing().Print(os.Stdout, cr.AnalysisStats())
+		cr.Timing().Print(stdout, cr.AnalysisStats())
 	}
-	fmt.Fprintf(os.Stderr, "exe hash: %s\n", cr.ExeHash())
-	if *run {
+	fmt.Fprintf(stderr, "exe hash: %s\n", cr.ExeHash())
+	if *runProg {
 		rr, err := irinterp.Run(cr.Program, irinterp.Options{NumRanks: *ranks})
-		check(err)
-		fmt.Print(rr.Stdout)
-		fmt.Fprintf(os.Stderr, "[%d instructions, %d cycles]\n", rr.Instrs, rr.Cycles)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, rr.Stdout)
+		fmt.Fprintf(stderr, "[%d instructions, %d cycles]\n", rr.Instrs, rr.Cycles)
 	}
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "oraql-opt:", err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/cliutil"
+)
+
+func TestFailurePaths(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want int
+	}{
+		{"no input file", nil, cliutil.ExitUsage},
+		{"bad flag", []string{"prog.mc", "-definitely-not-a-flag"}, cliutil.ExitUsage},
+		{"missing file", []string{"/nonexistent/prog.mc"}, cliutil.ExitFailure},
+		{"unknown model", []string{"main_test.go", "-model", "warp"}, cliutil.ExitUsage},
+		{"bad seq", []string{"main_test.go", "-opt-aa-seq", "maybe"}, cliutil.ExitUsage},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.argv, io.Discard, io.Discard)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if got := cliutil.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code = %d, want %d (err: %v)", got, tc.want, err)
+			}
+		})
+	}
+}
+
+func TestCompileAndRun(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "prog.mc")
+	src := `int main() {
+	int x = 40;
+	int y = 2;
+	print(x + y, "\n");
+	return 0;
+}
+`
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errW strings.Builder
+	if err := run([]string{file, "-run"}, &out, &errW); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errW.String())
+	}
+	if !strings.Contains(out.String(), "42") {
+		t.Fatalf("program output = %q, want 42", out.String())
+	}
+	if !strings.Contains(errW.String(), "exe hash:") {
+		t.Fatalf("stderr missing exe hash: %q", errW.String())
+	}
+}

@@ -4,6 +4,9 @@
 //	oraql-tables               # everything
 //	oraql-tables -table fig4   # one table: fig3|fig4|fig5|fig6|fig7|runtime|effort|timing
 //	oraql-tables -configs a,b  # restrict to a config subset
+//
+// Exit codes: 0 success, 1 operational failure, 2 usage error. With
+// -json, failures are printed as the shared JSON error envelope.
 package main
 
 import (
@@ -13,14 +16,35 @@ import (
 	"os"
 	"strings"
 
+	"github.com/oraql/go-oraql/internal/cliutil"
 	"github.com/oraql/go-oraql/internal/report"
 )
 
+var tables = map[string]bool{"all": true, "fig3": true, "fig4": true, "fig5": true,
+	"fig6": true, "fig7": true, "runtime": true, "effort": true, "timing": true}
+
 func main() {
-	table := flag.String("table", "all", "which table to print (fig3|fig4|fig5|fig6|fig7|runtime|effort|timing|all)")
-	configs := flag.String("configs", "", "comma-separated config ids (default: all)")
-	verbose := flag.Bool("v", false, "verbose driver log")
-	flag.Parse()
+	argv := os.Args[1:]
+	err := run(argv, os.Stdout, os.Stderr)
+	os.Exit(cliutil.Report(os.Stderr, "oraql-tables", cliutil.WantsJSON(argv), err))
+}
+
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("oraql-tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.String("table", "all", "which table to print (fig3|fig4|fig5|fig6|fig7|runtime|effort|timing|all)")
+	configs := fs.String("configs", "", "comma-separated config ids (default: all)")
+	verbose := fs.Bool("v", false, "verbose driver log")
+	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
+	if err := fs.Parse(argv); err != nil {
+		return cliutil.WrapUsage(err)
+	}
+	if fs.NArg() > 0 {
+		return cliutil.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if !tables[*table] {
+		return cliutil.Usagef("unknown table %q (fig3|fig4|fig5|fig6|fig7|runtime|effort|timing|all)", *table)
+	}
 
 	var ids []string
 	if *configs != "" {
@@ -28,35 +52,34 @@ func main() {
 	}
 	var logW io.Writer = io.Discard
 	if *verbose {
-		logW = os.Stderr
+		logW = stderr
 	}
 
 	if *table == "fig5" {
-		fmt.Println(report.Fig5())
-		return
+		fmt.Fprintln(stdout, report.Fig5())
+		return nil
 	}
 
 	exps, err := report.RunAll(ids, logW)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "oraql-tables:", err)
-		os.Exit(1)
+		return err
 	}
 	report.SortByFig4Order(exps)
 
 	show := func(name string) bool { return *table == "all" || *table == name }
 	if show("fig4") {
-		fmt.Println(report.Fig4(exps, true))
+		fmt.Fprintln(stdout, report.Fig4(exps, true))
 	}
 	if show("fig5") {
-		fmt.Println(report.Fig5())
+		fmt.Fprintln(stdout, report.Fig5())
 	}
 	if show("fig6") {
-		fmt.Println(report.Fig6(exps))
+		fmt.Fprintln(stdout, report.Fig6(exps))
 	}
 	if show("fig7") {
 		for _, e := range exps {
 			if e.Probe.Final.Compile.Device != nil {
-				fmt.Println(report.Fig7(e))
+				fmt.Fprintln(stdout, report.Fig7(e))
 			}
 		}
 	}
@@ -64,17 +87,18 @@ func main() {
 		for _, e := range exps {
 			s := e.Probe.Final.Compile.ORAQLStats()
 			if s.UniquePessimistic > 0 {
-				fmt.Println(report.Fig3(e))
+				fmt.Fprintln(stdout, report.Fig3(e))
 			}
 		}
 	}
 	if show("runtime") {
-		fmt.Println(report.Runtime(exps))
+		fmt.Fprintln(stdout, report.Runtime(exps))
 	}
 	if show("effort") {
-		fmt.Println(report.ProbingEffort(exps))
+		fmt.Fprintln(stdout, report.ProbingEffort(exps))
 	}
 	if show("timing") {
-		fmt.Println(report.PassTiming(exps))
+		fmt.Fprintln(stdout, report.PassTiming(exps))
 	}
+	return nil
 }

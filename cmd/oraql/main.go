@@ -1,201 +1,320 @@
 // Command oraql is the ORAQL probing driver CLI: it runs the full
 // workflow (baseline, fully-optimistic attempt, bisection) on a
 // benchmark configuration or a standalone minic source file and
-// reports the locally maximal optimistic sequence.
+// reports the locally maximal optimistic sequence — either locally or
+// against an oraql-serve instance (-server).
 //
 // Usage:
 //
 //	oraql list
-//	oraql probe <config-id> [-strategy chunked|freq] [-j N] [-v]
+//	oraql probe <config-id> [-strategy chunked|freq] [-j N] [-v] [-json]
 //	oraql probe -file prog.mc [-model seq|openmp|tasks|mpi|offload] [-fortran] [-views]
+//	oraql probe <config-id> -server http://localhost:8347   # same probe, remotely
 //	oraql report <config-id>        # Fig. 3-style pessimistic dump
 //	oraql run <config-id>           # baseline compile+run only
+//
+// Exit codes: 0 success, 1 operational failure, 2 usage error. With
+// -json, failures are printed as the shared JSON error envelope.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/cliutil"
 	"github.com/oraql/go-oraql/internal/driver"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/minic"
 	"github.com/oraql/go-oraql/internal/oraql"
 	"github.com/oraql/go-oraql/internal/pipeline"
 	"github.com/oraql/go-oraql/internal/report"
+	"github.com/oraql/go-oraql/internal/service"
+	"github.com/oraql/go-oraql/internal/service/client"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	argv := os.Args[1:]
+	err := run(argv, os.Stdout, os.Stderr)
+	os.Exit(cliutil.Report(os.Stderr, "oraql", cliutil.WantsJSON(argv), err))
+}
+
+func run(argv []string, stdout, stderr io.Writer) error {
+	if len(argv) < 1 {
+		usage(stderr)
+		return cliutil.Usagef("missing subcommand")
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
+	cmd, args := argv[0], argv[1:]
 	switch cmd {
 	case "list":
-		err = cmdList()
+		return cmdList(stdout)
 	case "probe":
-		err = cmdProbe(args)
+		return cmdProbe(args, stdout, stderr)
 	case "report":
-		err = cmdReport(args)
+		return cmdReport(args, stdout)
 	case "run":
-		err = cmdRun(args)
+		return cmdRun(args, stdout, stderr)
 	default:
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "oraql:", err)
-		os.Exit(1)
+		usage(stderr)
+		return cliutil.Usagef("unknown subcommand %q", cmd)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   oraql list
-  oraql probe <config-id> [-strategy chunked|freq] [-j N] [-no-exe-cache] [-v]
+  oraql probe <config-id> [-strategy chunked|freq] [-j N] [-no-exe-cache] [-v] [-json]
   oraql probe -file prog.mc [-model seq|openmp|tasks|mpi|offload] [-fortran] [-views] [-target sub]
+  oraql probe ... -server http://host:8347 [-poll 250ms]
   oraql report <config-id>
   oraql run <config-id>`)
 }
 
-func cmdList() error {
-	fmt.Printf("%-22s %-14s %-22s %s\n", "ID", "BENCHMARK", "MODEL", "SOURCE")
+func cmdList(stdout io.Writer) error {
+	fmt.Fprintf(stdout, "%-22s %-14s %-22s %s\n", "ID", "BENCHMARK", "MODEL", "SOURCE")
 	for _, c := range apps.All() {
-		fmt.Printf("%-22s %-14s %-22s %s\n", c.ID, c.Benchmark, c.ModelLabel, c.SourceFiles)
+		fmt.Fprintf(stdout, "%-22s %-14s %-22s %s\n", c.ID, c.Benchmark, c.ModelLabel, c.SourceFiles)
 	}
 	return nil
 }
 
-func buildSpec(args []string) (*driver.BenchSpec, error) {
-	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
-	file := fs.String("file", "", "standalone minic source file instead of a config id")
-	model := fs.String("model", "seq", "parallel model for -file (seq|openmp|tasks|mpi|offload)")
-	fortran := fs.Bool("fortran", false, "Fortran dialect (descriptor arrays, no TBAA) for -file")
-	views := fs.Bool("views", false, "Kokkos/Thrust-style boxed heap arrays for -file")
-	target := fs.String("target", "", "-opt-aa-target substring (restrict ORAQL to a target)")
-	strategy := fs.String("strategy", "chunked", "bisection strategy (chunked|freq)")
-	workers := fs.Int("j", 0, "probing worker pool size (0 = NumCPU, 1 = sequential)")
-	noCache := fs.Bool("no-exe-cache", false, "disable the executable-hash test cache")
-	ranks := fs.Int("ranks", 1, "simulated MPI ranks")
-	verbose := fs.Bool("v", false, "verbose driver log")
+// probeArgs is the parsed `oraql probe` invocation, kept in wire-able
+// form so the same invocation can run locally or against a server.
+type probeArgs struct {
+	id      string
+	file    string
+	source  string
+	model   string
+	fortran bool
+	views   bool
+	target  string
 
-	var id string
+	strategy string
+	workers  int
+	noCache  bool
+	ranks    int
+	verbose  bool
+	jsonOut  bool
+
+	server string
+	poll   time.Duration
+}
+
+func parseProbeArgs(args []string) (*probeArgs, error) {
+	pa := &probeArgs{}
+	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(&pa.file, "file", "", "standalone minic source file instead of a config id")
+	fs.StringVar(&pa.model, "model", "seq", "parallel model for -file (seq|openmp|tasks|mpi|offload)")
+	fs.BoolVar(&pa.fortran, "fortran", false, "Fortran dialect (descriptor arrays, no TBAA) for -file")
+	fs.BoolVar(&pa.views, "views", false, "Kokkos/Thrust-style boxed heap arrays for -file")
+	fs.StringVar(&pa.target, "target", "", "-opt-aa-target substring (restrict ORAQL to a target)")
+	fs.StringVar(&pa.strategy, "strategy", "chunked", "bisection strategy (chunked|freq)")
+	fs.IntVar(&pa.workers, "j", 0, "probing worker pool size (0 = NumCPU, 1 = sequential)")
+	fs.BoolVar(&pa.noCache, "no-exe-cache", false, "disable the executable-hash test cache")
+	fs.IntVar(&pa.ranks, "ranks", 1, "simulated MPI ranks")
+	fs.BoolVar(&pa.verbose, "v", false, "verbose driver log")
+	fs.BoolVar(&pa.jsonOut, "json", false, "print the probe result as JSON (and failures as the JSON envelope)")
+	fs.StringVar(&pa.server, "server", "", "probe against this oraql-serve address instead of locally")
+	fs.DurationVar(&pa.poll, "poll", 250*time.Millisecond, "job poll interval in -server mode")
+
 	if len(args) > 0 && args[0][0] != '-' {
-		id, args = args[0], args[1:]
+		pa.id, args = args[0], args[1:]
 	}
 	if err := fs.Parse(args); err != nil {
-		return nil, err
+		return nil, cliutil.WrapUsage(err)
 	}
-
-	var spec *driver.BenchSpec
+	if pa.strategy != "chunked" && pa.strategy != "freq" {
+		return nil, cliutil.Usagef("unknown strategy %q (chunked|freq)", pa.strategy)
+	}
 	switch {
-	case *file != "":
-		src, err := os.ReadFile(*file)
+	case pa.file != "":
+		src, err := os.ReadFile(pa.file)
 		if err != nil {
 			return nil, err
 		}
+		pa.source = string(src)
+	case pa.id == "":
+		return nil, cliutil.Usagef("need a config id or -file")
+	}
+	return pa, nil
+}
+
+// spec builds the local driver spec for the parsed invocation.
+func (pa *probeArgs) spec() (*driver.BenchSpec, error) {
+	var spec *driver.BenchSpec
+	if pa.file != "" {
 		models := map[string]minic.Model{"seq": minic.ModelSeq, "openmp": minic.ModelOpenMP,
 			"tasks": minic.ModelTasks, "mpi": minic.ModelMPI, "offload": minic.ModelOffload}
-		m, ok := models[*model]
+		m, ok := models[pa.model]
 		if !ok {
-			return nil, fmt.Errorf("unknown model %q", *model)
+			return nil, cliutil.Usagef("unknown model %q", pa.model)
 		}
 		d := minic.DialectC
-		if *fortran {
+		if pa.fortran {
 			d = minic.DialectFortran
 		}
 		spec = &driver.BenchSpec{
-			Name: *file,
+			Name: pa.file,
 			Compile: pipeline.Config{
-				Source: string(src), SourceFile: *file,
-				Frontend: minic.Options{Dialect: d, Model: m, Views: *views},
+				Source: pa.source, SourceFile: pa.file,
+				Frontend: minic.Options{Dialect: d, Model: m, Views: pa.views},
 			},
-			Run:   irinterp.Options{NumRanks: *ranks},
-			ORAQL: oraql.Options{Target: *target},
+			Run:   irinterp.Options{NumRanks: pa.ranks},
+			ORAQL: oraql.Options{Target: pa.target},
 		}
-	case id != "":
-		cfg := apps.ByID(id)
+	} else {
+		cfg := apps.ByID(pa.id)
 		if cfg == nil {
-			return nil, fmt.Errorf("unknown configuration %q (try `oraql list`)", id)
+			return nil, fmt.Errorf("unknown configuration %q (try `oraql list`)", pa.id)
 		}
 		spec = cfg.Spec()
-	default:
-		return nil, fmt.Errorf("need a config id or -file")
 	}
-	if *strategy == "freq" {
+	if pa.strategy == "freq" {
 		spec.Strategy = driver.FreqSpace
 	}
-	spec.Workers = *workers
-	spec.DisableExeCache = *noCache
-	var logW io.Writer = io.Discard
-	if *verbose {
-		logW = os.Stderr
-	}
-	spec.Log = logW
+	spec.Workers = pa.workers
+	spec.DisableExeCache = pa.noCache
 	return spec, nil
 }
 
-func cmdProbe(args []string) error {
-	spec, err := buildSpec(args)
+// request builds the wire form for -server mode.
+func (pa *probeArgs) request() *service.ProbeRequest {
+	req := &service.ProbeRequest{
+		Strategy:        pa.strategy,
+		Workers:         pa.workers,
+		Target:          pa.target,
+		DisableExeCache: pa.noCache,
+	}
+	if pa.file != "" {
+		req.Program = service.ProgramSpec{
+			Source: pa.source, SourceFile: pa.file,
+			Model: pa.model, Fortran: pa.fortran, Views: pa.views, Ranks: pa.ranks,
+		}
+	} else {
+		req.Program = service.ProgramSpec{ConfigID: pa.id}
+	}
+	return req
+}
+
+func cmdProbe(args []string, stdout, stderr io.Writer) error {
+	pa, err := parseProbeArgs(args)
 	if err != nil {
 		return err
 	}
-	spec.Log = os.Stderr
+	if pa.server != "" {
+		return probeViaServer(pa, stdout, stderr)
+	}
+	spec, err := pa.spec()
+	if err != nil {
+		return err
+	}
+	spec.Log = stderr
 	res, err := driver.Probe(spec)
 	if err != nil {
 		return err
 	}
-	s := res.Final.Compile.ORAQLStats()
-	fmt.Printf("configuration:        %s\n", spec.Name)
-	fmt.Printf("fully optimistic:     %v\n", res.FullyOptimistic)
-	fmt.Printf("optimistic queries:   %d unique, %d cached\n", s.UniqueOptimistic, s.CachedOptimistic)
-	fmt.Printf("pessimistic queries:  %d unique, %d cached\n", s.UniquePessimistic, s.CachedPessimistic)
-	fmt.Printf("no-alias responses:   %d original -> %d ORAQL\n",
-		res.Baseline.Compile.NoAliasTotal(), res.Final.Compile.NoAliasTotal())
-	fmt.Printf("probing effort:       %d compiles, %d tests (+%d from exe cache)\n",
-		res.Compiles, res.TestsRun, res.TestsCached)
-	if res.TestsSpeculated > 0 {
-		fmt.Printf("speculation:          %d tests prefetched, %d wasted\n",
-			res.TestsSpeculated, res.TestsWasted)
+	return emitProbe(report.NewProbeJSON(res), pa.jsonOut, stdout)
+}
+
+// probeViaServer submits the same probe to an oraql-serve instance,
+// waits for the job, and prints the identical summary.
+func probeViaServer(pa *probeArgs, stdout, stderr io.Writer) error {
+	ctx := context.Background()
+	cl := client.New(pa.server)
+	info, err := cl.Probe(ctx, pa.request())
+	if err != nil {
+		return err
 	}
-	aas := res.Final.Compile.AAStats()
-	fmt.Printf("aa query cache:       %d hits, %d misses (%.1f%% hit rate), %d flushes\n",
-		aas.CacheHits, aas.CacheMisses, 100*aas.CacheHitRate(), aas.CacheFlushes)
-	fmt.Printf("instructions:         %d original -> %d ORAQL\n",
-		res.Baseline.Run.Instrs, res.Final.Run.Instrs)
-	if len(res.FinalSeq) > 0 {
-		fmt.Printf("final -opt-aa-seq:    %s\n", res.FinalSeq)
+	fmt.Fprintf(stderr, "oraql: submitted %s to %s\n", info.ID, pa.server)
+	if pa.verbose {
+		// Stream progress lines while waiting; best-effort.
+		evCtx, evCancel := context.WithCancel(ctx)
+		defer evCancel()
+		go func() { _ = cl.Events(evCtx, info.ID, stderr) }()
+	}
+	info, err = cl.Wait(ctx, info.ID, pa.poll)
+	if err != nil {
+		return err
+	}
+	if info.State != service.JobDone {
+		return fmt.Errorf("job %s %s: %s", info.ID, info.State, info.Error)
+	}
+	var p report.ProbeJSON
+	if err := json.Unmarshal(info.Result, &p); err != nil {
+		return fmt.Errorf("decode job result: %w", err)
+	}
+	return emitProbe(&p, pa.jsonOut, stdout)
+}
+
+// emitProbe prints the probe outcome, as JSON or as the classic
+// summary — identical for local and -server runs.
+func emitProbe(p *report.ProbeJSON, jsonOut bool, stdout io.Writer) error {
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(p)
+	}
+	fmt.Fprintf(stdout, "configuration:        %s\n", p.Name)
+	fmt.Fprintf(stdout, "fully optimistic:     %v\n", p.FullyOptimistic)
+	fmt.Fprintf(stdout, "optimistic queries:   %d unique, %d cached\n", p.ORAQL.UniqueOptimistic, p.ORAQL.CachedOptimistic)
+	fmt.Fprintf(stdout, "pessimistic queries:  %d unique, %d cached\n", p.ORAQL.UniquePessimistic, p.ORAQL.CachedPessimistic)
+	fmt.Fprintf(stdout, "no-alias responses:   %d original -> %d ORAQL\n", p.NoAliasOrig, p.NoAliasORAQL)
+	fmt.Fprintf(stdout, "probing effort:       %d compiles, %d tests (+%d from exe cache)\n",
+		p.Compiles, p.TestsRun, p.TestsCached)
+	if p.TestsSpeculated > 0 {
+		fmt.Fprintf(stdout, "speculation:          %d tests prefetched, %d wasted\n",
+			p.TestsSpeculated, p.TestsWasted)
+	}
+	fmt.Fprintf(stdout, "aa query cache:       %d hits, %d misses (%.1f%% hit rate), %d flushes\n",
+		p.AA.CacheHits, p.AA.CacheMisses, 100*p.AA.CacheHitRate(), p.AA.CacheFlushes)
+	fmt.Fprintf(stdout, "instructions:         %d original -> %d ORAQL\n", p.InstrsOrig, p.InstrsORAQL)
+	if p.FinalSeq != "" {
+		fmt.Fprintf(stdout, "final -opt-aa-seq:    %s\n", p.FinalSeq)
 	}
 	return nil
 }
 
-func cmdReport(args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("report needs a config id")
+func cmdReport(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
+	if err := fs.Parse(args); err != nil {
+		return cliutil.WrapUsage(err)
 	}
-	cfg := apps.ByID(args[0])
+	if fs.NArg() < 1 {
+		return cliutil.Usagef("report needs a config id")
+	}
+	cfg := apps.ByID(fs.Arg(0))
 	if cfg == nil {
-		return fmt.Errorf("unknown configuration %q", args[0])
+		return fmt.Errorf("unknown configuration %q", fs.Arg(0))
 	}
 	e, err := report.Run(cfg, io.Discard)
 	if err != nil {
 		return err
 	}
-	fmt.Print(report.Fig3(e))
+	fmt.Fprint(stdout, report.Fig3(e))
 	return nil
 }
 
-func cmdRun(args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("run needs a config id")
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
+	if err := fs.Parse(args); err != nil {
+		return cliutil.WrapUsage(err)
 	}
-	cfg := apps.ByID(args[0])
+	if fs.NArg() < 1 {
+		return cliutil.Usagef("run needs a config id")
+	}
+	cfg := apps.ByID(fs.Arg(0))
 	if cfg == nil {
-		return fmt.Errorf("unknown configuration %q", args[0])
+		return fmt.Errorf("unknown configuration %q", fs.Arg(0))
 	}
 	cr, err := pipeline.Compile(pipeline.Config{
 		Name: cfg.ID, Source: cfg.Source, SourceFile: cfg.SourceName, Frontend: cfg.Frontend,
@@ -207,7 +326,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(rr.Stdout)
-	fmt.Fprintf(os.Stderr, "[%d instructions, %d cycles]\n", rr.Instrs, rr.Cycles)
+	fmt.Fprint(stdout, rr.Stdout)
+	fmt.Fprintf(stderr, "[%d instructions, %d cycles]\n", rr.Instrs, rr.Cycles)
 	return nil
 }

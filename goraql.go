@@ -23,6 +23,7 @@
 package goraql
 
 import (
+	"context"
 	"io"
 
 	"github.com/oraql/go-oraql/internal/aa"
@@ -79,6 +80,13 @@ func CompileSource(cfg CompileConfig) (*Compilation, error) {
 	return pipeline.Compile(cfg)
 }
 
+// CompileSourceContext is CompileSource with cancellation: ctx is
+// checked before the frontend, between pass executions, and before
+// codegen.
+func CompileSourceContext(ctx context.Context, cfg CompileConfig) (*Compilation, error) {
+	return pipeline.CompileContext(ctx, cfg)
+}
+
 // Execution types.
 type (
 	// RunOptions configures the simulated machine.
@@ -133,6 +141,12 @@ const (
 // Probe runs the full ORAQL workflow: baseline, fully-optimistic
 // attempt, and bisection to a locally maximal optimistic sequence.
 func Probe(spec *ProbeSpec) (*ProbeResult, error) { return driver.Probe(spec) }
+
+// ProbeContext is Probe with cancellation: the decision loop,
+// speculative workers, and every compilation observe ctx.
+func ProbeContext(ctx context.Context, spec *ProbeSpec) (*ProbeResult, error) {
+	return driver.ProbeContext(ctx, spec)
+}
 
 // Alias-analysis extension points.
 type (

@@ -17,30 +17,30 @@ import (
 // concurrent compilations can be read and Merge'd freely without
 // additional locking.
 type Stats struct {
-	Queries      int64
-	NoAlias      int64
-	MustAlias    int64
-	PartialAlias int64
-	MayAlias     int64
+	Queries      int64 `json:"queries"`
+	NoAlias      int64 `json:"no_alias"`
+	MustAlias    int64 `json:"must_alias"`
+	PartialAlias int64 `json:"partial_alias"`
+	MayAlias     int64 `json:"may_alias"`
 
 	// CacheHits / CacheMisses count lookups in the manager's memoized
 	// query cache (the AAQueryInfo analogue). Blocked queries bypass the
 	// cache and count in neither.
-	CacheHits   int64
-	CacheMisses int64
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 	// CacheFlushes counts module-wide invalidations that actually
 	// dropped entries; CacheScopedFlushes counts the per-function
 	// invalidations the analysis manager issues for the one function a
 	// pass changed, which leave every other function's entries intact.
-	CacheFlushes       int64
-	CacheScopedFlushes int64
+	CacheFlushes       int64 `json:"cache_flushes"`
+	CacheScopedFlushes int64 `json:"cache_scoped_flushes"`
 
 	// NoAliasByAnalysis counts definitive no-alias answers per analysis
 	// in the chain (including "oraql" when present).
-	NoAliasByAnalysis map[string]int64
+	NoAliasByAnalysis map[string]int64 `json:"no_alias_by_analysis"`
 
 	// QueriesByPass counts queries per requesting pass.
-	QueriesByPass map[string]int64
+	QueriesByPass map[string]int64 `json:"queries_by_pass"`
 }
 
 // NewStats returns an empty statistics accumulator.
@@ -77,6 +77,11 @@ func (s *Stats) Merge(other *Stats) {
 		s.QueriesByPass[k] += v
 	}
 }
+
+// CacheLookups is the total memoized-query-cache traffic (hits plus
+// misses); the serving layer exports it beside the hit counter so a
+// rate can be derived from two monotonic series.
+func (s *Stats) CacheLookups() int64 { return s.CacheHits + s.CacheMisses }
 
 // CacheHitRate returns the fraction of cache lookups served from the
 // memoized query cache, in [0, 1].

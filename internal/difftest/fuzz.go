@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,10 @@ import (
 
 // FuzzOptions configures one fuzzing campaign.
 type FuzzOptions struct {
+	// Ctx, when non-nil, cancels the campaign: workers stop picking up
+	// seeds and Fuzz returns the context error alongside the partial
+	// result. Used by the serving layer to drain fuzz jobs.
+	Ctx context.Context
 	// N is the number of programs; seeds run [Seed, Seed+N).
 	N    int
 	Seed int64
@@ -68,6 +73,9 @@ type FuzzResult struct {
 // Worker scheduling does not affect the outcome: results are collected
 // per seed and reported in seed order.
 func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
 	if opts.N <= 0 {
 		opts.N = 100
 	}
@@ -98,7 +106,7 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 		go func() {
 			defer wg.Done()
 			for seed := range seeds {
-				if found.Load() >= int64(opts.MaxDivergences) {
+				if found.Load() >= int64(opts.MaxDivergences) || opts.Ctx.Err() != nil {
 					continue // drain: stop doing work, keep the channel moving
 				}
 				p := progen.Generate(seed, opts.Gen)
@@ -146,6 +154,10 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 
 	sort.Slice(res.Divergences, func(i, j int) bool { return res.Divergences[i].Seed < res.Divergences[j].Seed })
 	sort.Strings(res.Errors)
+
+	if err := opts.Ctx.Err(); err != nil {
+		return res, err
+	}
 
 	if opts.CorpusDir != "" && len(res.Divergences) > 0 {
 		if err := writeCorpus(opts.CorpusDir, res.Divergences); err != nil {

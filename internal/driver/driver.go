@@ -18,6 +18,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -121,11 +122,21 @@ func (r *Result) GuiltyQueries() []*oraql.QueryRecord {
 
 // Probe runs the full ORAQL workflow on a benchmark.
 func Probe(spec *BenchSpec) (*Result, error) {
-	st := &state{spec: spec}
+	return ProbeContext(context.Background(), spec)
+}
+
+// ProbeContext is Probe with cancellation: ctx covers the whole
+// workflow — the sequential decision loop checks it before every
+// consumed test, speculative workers inherit it, and it is threaded
+// into every compilation (pipeline.CompileContext), so cancelling it
+// stops probing mid-pipeline, not only between tests.
+func ProbeContext(ctx context.Context, spec *BenchSpec) (*Result, error) {
+	st := &state{ctx: ctx, spec: spec}
 	return st.probe()
 }
 
 type state struct {
+	ctx     context.Context
 	spec    *BenchSpec
 	res     *Result
 	eng     *engine
@@ -145,7 +156,7 @@ func (st *state) execute(opts *oraql.Options) (*Outcome, error) {
 	cfg := st.spec.Compile
 	cfg.Name = st.spec.Name
 	cfg.ORAQL = opts
-	cr, err := pipeline.Compile(cfg)
+	cr, err := pipeline.CompileContext(st.ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +176,9 @@ func (st *state) execute(opts *oraql.Options) (*Outcome, error) {
 // consumed tests update the decision state (budget, counters, drift),
 // which keeps the probing decisions independent of worker count.
 func (st *state) test(seq oraql.Seq, specs ...oraql.Seq) (bool, error) {
+	if err := st.ctx.Err(); err != nil {
+		return false, fmt.Errorf("driver: probing cancelled: %w", err)
+	}
 	if st.spec.MaxTests > 0 && st.res.TestsRun+st.res.TestsCached >= st.spec.MaxTests {
 		return false, fmt.Errorf("driver: test budget (%d) exhausted", st.spec.MaxTests)
 	}
@@ -218,7 +232,7 @@ func (st *state) probe() (*Result, error) {
 
 	// The engine is created only after the verify references are
 	// recorded: workers verify concurrently against the frozen spec.
-	st.eng = newEngine(spec)
+	st.eng = newEngine(st.ctx, spec)
 	defer st.eng.shutdown()
 
 	// Step 2: fully optimistic attempt (empty sequence).

@@ -60,6 +60,10 @@ type exeEntry struct {
 // moment a consumed test succeeds (success flips decided bits, which
 // stales every candidate built from the previous decided state).
 type engine struct {
+	// ctx is the probe-wide context: consumed tests run directly under
+	// it, speculative tests under children of it, so cancelling the
+	// probe stops every in-flight compilation.
+	ctx     context.Context
 	spec    *BenchSpec
 	workers int
 	sem     chan struct{}
@@ -74,12 +78,16 @@ type engine struct {
 	specConsumed atomic.Int64
 }
 
-func newEngine(spec *BenchSpec) *engine {
+func newEngine(ctx context.Context, spec *BenchSpec) *engine {
 	w := spec.Workers
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &engine{
+		ctx:     ctx,
 		spec:    spec,
 		workers: w,
 		sem:     make(chan struct{}, w),
@@ -112,7 +120,7 @@ func (e *engine) get(seq oraql.Seq) testOutcome {
 		c := &testCall{key: key, done: make(chan struct{})}
 		e.calls[key] = c
 		e.mu.Unlock()
-		c.out = e.run(context.Background(), seq)
+		c.out = e.run(e.ctx, seq)
 		close(c.done)
 		e.consume(c)
 		return c.out
@@ -132,7 +140,7 @@ func (e *engine) prefetch(seq oraql.Seq) {
 		e.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(e.ctx)
 	c := &testCall{key: key, done: make(chan struct{}), speculative: true, cancel: cancel}
 	e.calls[key] = c
 	e.mu.Unlock()

@@ -14,6 +14,7 @@
 package passes
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -97,6 +98,12 @@ type Context struct {
 	Module *ir.Module
 	AA     *aa.Manager
 	Stats  *StatsRegistry
+
+	// Ctx, when non-nil, cancels the pipeline between pass executions:
+	// Pipeline.Run stops scheduling passes once it is done. Callers that
+	// need the cancellation surfaced as an error check Ctx.Err() after
+	// Run returns (pipeline.CompileContext does).
+	Ctx context.Context
 
 	// Timing, when non-nil, accumulates per-pass run counts and wall
 	// times — the -time-passes report. It is deliberately separate from
@@ -259,6 +266,10 @@ func (p *Pipeline) Run(ctx *Context) {
 	am := ctx.Analyses()
 	for _, pass := range p.Passes {
 		for _, fn := range ctx.Module.Funcs {
+			if ctx.Ctx != nil && ctx.Ctx.Err() != nil {
+				ctx.curPass = ""
+				return
+			}
 			if len(fn.Blocks) == 0 {
 				continue
 			}

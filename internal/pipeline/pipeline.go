@@ -10,6 +10,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"github.com/oraql/go-oraql/internal/aa"
@@ -176,6 +177,17 @@ func (r *CompileResult) Records() []*oraql.QueryRecord {
 
 // Compile runs the full compilation of a configuration.
 func Compile(cfg Config) (*CompileResult, error) {
+	return CompileContext(context.Background(), cfg)
+}
+
+// CompileContext is Compile with cancellation: ctx is checked before
+// the frontend, between pass executions inside the pipeline, and
+// before codegen, so a disconnected client or a draining server stops
+// a compilation mid-pipeline instead of only between compilations.
+func CompileContext(ctx context.Context, cfg Config) (*CompileResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	srcName := cfg.SourceFile
 	if srcName == "" {
 		srcName = cfg.Name + ".mc"
@@ -197,12 +209,12 @@ func Compile(cfg Config) (*CompileResult, error) {
 	// first, then device), each with its own pass instance but the
 	// same sequence.
 	var err error
-	res.Host, err = compileModule(cfg, host)
+	res.Host, err = compileModule(ctx, cfg, host)
 	if err != nil {
 		return nil, err
 	}
 	if device != nil {
-		res.Device, err = compileModule(cfg, device)
+		res.Device, err = compileModule(ctx, cfg, device)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +222,7 @@ func Compile(cfg Config) (*CompileResult, error) {
 	return res, nil
 }
 
-func compileModule(cfg Config, m *ir.Module) (*TargetStats, error) {
+func compileModule(cctx context.Context, cfg Config, m *ir.Module) (*TargetStats, error) {
 	var chain []aa.Analysis
 	if cfg.FullAAChain {
 		chain = aa.FullChain(m)
@@ -237,7 +249,7 @@ func compileModule(cfg Config, m *ir.Module) (*TargetStats, error) {
 		}
 	}
 	stats := passes.NewStats()
-	ctx := &passes.Context{Module: m, AA: mgr, Stats: stats,
+	ctx := &passes.Context{Module: m, AA: mgr, Stats: stats, Ctx: cctx,
 		Timing:               passes.NewTiming(),
 		DisableAnalysisCache: cfg.DisableAnalysisCache,
 		DebugPassExec:        cfg.DebugPassExec}
@@ -255,6 +267,11 @@ func compileModule(cfg Config, m *ir.Module) (*TargetStats, error) {
 		pipe = &passes.Pipeline{Passes: pipe.Passes[:cfg.StopAfter]}
 	}
 	pipe.Run(ctx)
+	if err := cctx.Err(); err != nil {
+		// The pipeline stopped early: surface the cancellation instead
+		// of verifying (and hashing) a half-optimized module.
+		return nil, fmt.Errorf("%s: %s: %w", cfg.Name, m.Name, err)
+	}
 	if err := ir.Verify(m); err != nil {
 		return nil, fmt.Errorf("%s: post-optimization verification of %s: %w", cfg.Name, m.Name, err)
 	}

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"time"
+
+	"github.com/oraql/go-oraql/internal/aa"
+	"github.com/oraql/go-oraql/internal/driver"
+	"github.com/oraql/go-oraql/internal/pipeline"
+)
+
+// This file is the JSON form of the paper tables: the same numbers
+// Fig3/Fig4/ProbingEffort render as text, encoded as structures the
+// oraql-serve API returns and the -server CLI mode decodes.
+
+// ORAQLStatsJSON is the pass-counter quadrant of Fig. 4.
+type ORAQLStatsJSON struct {
+	UniqueOptimistic  int `json:"unique_optimistic"`
+	CachedOptimistic  int `json:"cached_optimistic"`
+	UniquePessimistic int `json:"unique_pessimistic"`
+	CachedPessimistic int `json:"cached_pessimistic"`
+}
+
+// PassTimeJSON is one -time-passes row.
+type PassTimeJSON struct {
+	Pass    string  `json:"pass"`
+	Runs    int64   `json:"runs"`
+	Changed int64   `json:"changed"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// AnalysisStatsJSON is one analysis manager cache-counter row.
+type AnalysisStatsJSON struct {
+	Analysis      string `json:"analysis"`
+	Hits          int64  `json:"hits"`
+	Misses        int64  `json:"misses"`
+	Invalidations int64  `json:"invalidations"`
+}
+
+// TargetJSON is the per-module (host or device) compilation outcome.
+type TargetJSON struct {
+	Name          string `json:"name"`
+	IR            string `json:"ir,omitempty"`
+	MachineInstrs int    `json:"machine_instrs"`
+	Spills        int    `json:"spills"`
+}
+
+// CompileJSON is the API encoding of one pipeline.CompileResult.
+type CompileJSON struct {
+	ExeHash  string              `json:"exe_hash"`
+	Host     *TargetJSON         `json:"host"`
+	Device   *TargetJSON         `json:"device,omitempty"`
+	ORAQL    *ORAQLStatsJSON     `json:"oraql,omitempty"`
+	AA       *aa.Stats           `json:"aa"`
+	Timing   []PassTimeJSON      `json:"timing,omitempty"`
+	Analysis []AnalysisStatsJSON `json:"analysis,omitempty"`
+}
+
+// NewCompileJSON encodes a compilation; withIR additionally embeds the
+// optimized textual IR of every target (large, so opt-in per request).
+func NewCompileJSON(cr *pipeline.CompileResult, withIR bool, hadORAQL bool) *CompileJSON {
+	target := func(t *pipeline.TargetStats) *TargetJSON {
+		if t == nil {
+			return nil
+		}
+		out := &TargetJSON{Name: t.Module.Name,
+			MachineInstrs: t.Code.MachineInstrs, Spills: t.Code.Spills}
+		if withIR {
+			out.IR = t.Module.String()
+		}
+		return out
+	}
+	out := &CompileJSON{
+		ExeHash: cr.ExeHash(),
+		Host:    target(cr.Host),
+		Device:  target(cr.Device),
+		AA:      cr.AAStats(),
+	}
+	if hadORAQL {
+		s := cr.ORAQLStats()
+		out.ORAQL = &ORAQLStatsJSON{
+			UniqueOptimistic: s.UniqueOptimistic, CachedOptimistic: s.CachedOptimistic,
+			UniquePessimistic: s.UniquePessimistic, CachedPessimistic: s.CachedPessimistic,
+		}
+	}
+	for _, pt := range cr.Timing().Entries() {
+		out.Timing = append(out.Timing, PassTimeJSON{
+			Pass: pt.Pass, Runs: pt.Runs, Changed: pt.Changed,
+			WallMS: float64(pt.Wall) / float64(time.Millisecond),
+		})
+	}
+	for _, as := range cr.AnalysisStats() {
+		out.Analysis = append(out.Analysis, AnalysisStatsJSON{
+			Analysis: string(as.Key), Hits: as.Hits, Misses: as.Misses,
+			Invalidations: as.Invalidations,
+		})
+	}
+	return out
+}
+
+// QueryJSON is one Fig. 3 row: a pessimistically answered (guilty)
+// alias query of the final verified compilation.
+type QueryJSON struct {
+	Index     int    `json:"index"`
+	Pass      string `json:"pass"`
+	Func      string `json:"func"`
+	A         string `json:"a"`
+	B         string `json:"b"`
+	CacheHits int    `json:"cache_hits"`
+}
+
+// ProbeJSON is the API encoding of one driver.Result: the probing
+// outcome (Fig. 4 row), effort counters, runtime deltas, and the
+// Fig. 3 guilty-query dump.
+type ProbeJSON struct {
+	Name            string `json:"name"`
+	FullyOptimistic bool   `json:"fully_optimistic"`
+	FinalSeq        string `json:"final_seq"`
+
+	ORAQL *ORAQLStatsJSON `json:"oraql"`
+	AA    *aa.Stats       `json:"aa"`
+
+	NoAliasOrig  int64 `json:"no_alias_orig"`
+	NoAliasORAQL int64 `json:"no_alias_oraql"`
+	InstrsOrig   int64 `json:"instrs_orig"`
+	InstrsORAQL  int64 `json:"instrs_oraql"`
+
+	Compiles        int `json:"compiles"`
+	TestsRun        int `json:"tests_run"`
+	TestsCached     int `json:"tests_cached"`
+	TestsSpeculated int `json:"tests_speculated"`
+	TestsWasted     int `json:"tests_wasted"`
+
+	GuiltyQueries []QueryJSON `json:"guilty_queries,omitempty"`
+}
+
+// NewProbeJSON encodes a probing outcome.
+func NewProbeJSON(res *driver.Result) *ProbeJSON {
+	s := res.Final.Compile.ORAQLStats()
+	out := &ProbeJSON{
+		Name:            res.Spec.Name,
+		FullyOptimistic: res.FullyOptimistic,
+		FinalSeq:        res.FinalSeq.String(),
+		ORAQL: &ORAQLStatsJSON{
+			UniqueOptimistic: s.UniqueOptimistic, CachedOptimistic: s.CachedOptimistic,
+			UniquePessimistic: s.UniquePessimistic, CachedPessimistic: s.CachedPessimistic,
+		},
+		AA:              res.Final.Compile.AAStats(),
+		NoAliasOrig:     res.Baseline.Compile.NoAliasTotal(),
+		NoAliasORAQL:    res.Final.Compile.NoAliasTotal(),
+		InstrsOrig:      res.Baseline.Run.Instrs,
+		InstrsORAQL:     res.Final.Run.Instrs,
+		Compiles:        res.Compiles,
+		TestsRun:        res.TestsRun,
+		TestsCached:     res.TestsCached,
+		TestsSpeculated: res.TestsSpeculated,
+		TestsWasted:     res.TestsWasted,
+	}
+	for _, rec := range res.GuiltyQueries() {
+		a, b := rec.LocDescriptions()
+		out.GuiltyQueries = append(out.GuiltyQueries, QueryJSON{
+			Index: rec.Index, Pass: rec.Pass, Func: rec.Func,
+			A: a, B: b, CacheHits: rec.CacheHits,
+		})
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the cross-request compile-result store: an LRU map
+// from the (module-hash, config-hash) key to the encoded compile
+// response, so resubmitting an identical (program, configuration)
+// pair is served without running the pipeline again. It is shared by
+// every request and safe for concurrent use.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheItem struct {
+	key string
+	val *CompileResponse
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &resultCache{max: max, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the cached response for key and bumps its recency.
+func (c *resultCache) get(key string) (*CompileResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// put stores a response, evicting the least recently used entry when
+// the cache is full.
+func (c *resultCache) put(key string, v *CompileResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheItem).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, val: v})
+	for len(c.entries) > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheItem).key)
+	}
+}
+
+// counters returns (hits, misses, live entries).
+func (c *resultCache) counters() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,0 +1,207 @@
+// Package client is the Go client for the oraql-serve HTTP API: the
+// `oraql probe -server` mode and the serve-smoke/bench tooling talk to
+// the service through it.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/oraql/go-oraql/internal/service"
+)
+
+// Client talks to one oraql-serve instance.
+type Client struct {
+	// Base is the server address, e.g. "http://localhost:8347".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// New returns a client for the given base URL; a bare host:port is
+// taken as http.
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON reply into out,
+// translating non-2xx replies into the server's error envelope.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var envelope service.ErrorResponse
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", envelope.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Compile runs a synchronous compilation.
+func (c *Client) Compile(ctx context.Context, req *service.CompileRequest) (*service.CompileResponse, error) {
+	var out service.CompileResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/compile", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Probe submits a probe campaign and returns the queued job.
+func (c *Client) Probe(ctx context.Context, req *service.ProbeRequest) (*service.JobInfo, error) {
+	var out service.JobInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/probe", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Fuzz submits a fuzzing campaign and returns the queued job.
+func (c *Client) Fuzz(ctx context.Context, req *service.FuzzRequest) (*service.JobInfo, error) {
+	var out service.JobInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/fuzz", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*service.JobInfo, error) {
+	var out service.JobInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*service.JobInfo, error) {
+	var out service.JobInfo
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Wait polls a job until it reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*service.JobInfo, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if info.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return info, ctx.Err()
+		}
+	}
+}
+
+// Events streams a job's progress lines to w until the job finishes
+// or ctx is cancelled.
+func (c *Client) Events(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fmt.Fprintln(w, sc.Text())
+	}
+	return sc.Err()
+}
+
+// Metrics scrapes the Prometheus text endpoint.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Health polls /healthz.
+func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
+	var out service.HealthResponse
+	// /healthz answers 503 while draining but still encodes the body;
+	// decode manually to keep the info.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

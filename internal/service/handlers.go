@@ -1,0 +1,274 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/oraql/go-oraql/internal/difftest"
+	"github.com/oraql/go-oraql/internal/driver"
+	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/report"
+)
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/probe", s.handleProbe)
+	mux.HandleFunc("POST /v1/fuzz", s.handleFuzz)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func marshalResult(v any) (json.RawMessage, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("encode result: %w", err)
+	}
+	return json.RawMessage(data), nil
+}
+
+// handleCompile is the synchronous endpoint: compile under the request
+// deadline, serving repeats of the same (program, options) pair from
+// the cross-request result cache.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	var req CompileRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	moduleHash, configHash := cacheKeys(&req)
+	key := moduleHash + ":" + configHash
+	if cached, ok := s.cache.get(key); ok {
+		resp := *cached
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+
+	cfg, err := compileConfig(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+	cr, err := pipeline.CompileContext(ctx, cfg)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "compilation exceeded the request timeout: %v", err)
+		case errors.Is(err, context.Canceled):
+			// Client went away; the status is for the log line only.
+			writeError(w, 499, "request cancelled: %v", err)
+		default:
+			// The program did not compile: the request is at fault.
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	s.observeCompileResult(cr)
+
+	payload, err := marshalResult(report.NewCompileJSON(cr, req.Options.WithIR, cfg.ORAQL != nil))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := &CompileResponse{
+		ModuleHash: moduleHash,
+		ConfigHash: configHash,
+		CompileMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Result:     payload,
+	}
+	s.cache.put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// observeCompileResult lifts one compilation's AA and analysis cache
+// counters into the service metrics.
+func (s *Server) observeCompileResult(cr *pipeline.CompileResult) {
+	aas := cr.AAStats()
+	var anHits, anMisses int64
+	for _, as := range cr.AnalysisStats() {
+		anHits += as.Hits
+		anMisses += as.Misses
+	}
+	s.met.observeCompile(aas.CacheHits, aas.CacheLookups(), anHits, anMisses)
+}
+
+// handleProbe submits an asynchronous probe campaign.
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	var req ProbeRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := probeSpec(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.submit("probe", func(ctx context.Context, j *job) (any, error) {
+		spec.Log = j // driver progress lines become job events
+		res, perr := driver.ProbeContext(ctx, spec)
+		if perr != nil {
+			return nil, perr
+		}
+		s.observeCompileResult(res.Final.Compile)
+		return report.NewProbeJSON(res), nil
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+// handleFuzz submits an asynchronous differential-fuzzing campaign.
+func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
+	var req FuzzRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	opts := fuzzOptions(&req)
+	j, err := s.submit("fuzz", func(ctx context.Context, j *job) (any, error) {
+		opts.Ctx = ctx
+		opts.Log = j // campaign progress lines become job events
+		res, ferr := difftest.Fuzz(opts)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return res, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+// handleJobCancel cancels a queued or running job.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	switch j.info().State {
+	case JobQueued:
+		// Finish it now; the worker skips terminal jobs it dequeues.
+		if j.finish(JobCanceled, "canceled by client", nil) {
+			s.met.observeJob(j.kind, JobCanceled)
+		}
+	case JobRunning:
+		j.requestCancel() // the worker records the terminal state
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+// handleJobEvents streams the job's progress lines: the backlog first,
+// then live events until the job reaches a terminal state or the
+// client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	backlog, ch := j.subscribe()
+	defer j.unsubscribe(ch)
+	for _, line := range backlog {
+		fmt.Fprintln(w, line)
+	}
+	flush()
+	for {
+		select {
+		case line := <-ch:
+			fmt.Fprintln(w, line)
+			flush()
+		case <-j.done:
+			// Drain whatever was broadcast before the job finished.
+			for {
+				select {
+				case line := <-ch:
+					fmt.Fprintln(w, line)
+				default:
+					flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.root.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.met.render(s.cache, len(s.queue), cap(s.queue), s.inflight.Load()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.Draining()
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{
+		OK:           !draining,
+		Draining:     draining,
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		JobsInflight: s.inflight.Load(),
+	})
+}

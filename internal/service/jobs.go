@@ -1,0 +1,208 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// job is one asynchronous probe or fuzz campaign. The mutex guards
+// every mutable field; events are both buffered (for late pollers)
+// and broadcast to live /events subscribers.
+type job struct {
+	id   string
+	kind string
+	run  func(ctx context.Context, j *job) (any, error)
+
+	mu       sync.Mutex
+	state    string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	result   json.RawMessage
+	events   []string
+	subs     map[chan string]struct{}
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+func newJob(id, kind string, run func(ctx context.Context, j *job) (any, error)) *job {
+	return &job{
+		id: id, kind: kind, run: run,
+		state:   JobQueued,
+		created: time.Now(),
+		subs:    map[chan string]struct{}{},
+		done:    make(chan struct{}),
+	}
+}
+
+// info snapshots the job for the wire.
+func (j *job) info() *JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &JobInfo{
+		ID: j.id, Kind: j.kind, State: j.state,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		Error: j.errMsg, Result: j.result,
+	}
+}
+
+// eventf records a progress line and fans it out to subscribers.
+func (j *job) eventf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	j.mu.Lock()
+	j.events = append(j.events, line)
+	for ch := range j.subs {
+		select {
+		case ch <- line:
+		default: // slow subscriber: drop rather than stall the job
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Write lets the job double as the io.Writer behind driver/fuzz logs,
+// so their progress lines become streamed job events.
+func (j *job) Write(p []byte) (int, error) {
+	for _, line := range splitLines(string(p)) {
+		j.eventf("%s", line)
+	}
+	return len(p), nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// subscribe registers a live event channel and returns the backlog
+// recorded so far; the caller must unsubscribe.
+func (j *job) subscribe() (backlog []string, ch chan string) {
+	ch = make(chan string, 64)
+	j.mu.Lock()
+	backlog = append([]string(nil), j.events...)
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return backlog, ch
+}
+
+func (j *job) unsubscribe(ch chan string) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// start transitions queued -> running and installs the cancel func.
+// It reports false when the job was already cancelled while queued
+// (the worker then skips it).
+func (j *job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.eventf("job %s: started", j.id)
+	return true
+}
+
+// finish records the terminal state and closes the done channel; it
+// reports false when the job already was terminal (no transition).
+func (j *job) finish(state, errMsg string, result json.RawMessage) bool {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.result = result
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.eventf("job %s: %s", j.id, state)
+	close(j.done)
+	return true
+}
+
+// requestCancel cancels a running job's context (no-op otherwise).
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// jobStore is the id -> job registry. Finished jobs are kept (up to a
+// generous bound) so results can be polled after completion.
+type jobStore struct {
+	mu    sync.Mutex
+	next  int
+	byID  map[string]*job
+	order []string
+	max   int
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{byID: map[string]*job{}, max: 4096}
+}
+
+// add registers a new job under a fresh id.
+func (s *jobStore) add(kind string, run func(ctx context.Context, j *job) (any, error)) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := fmt.Sprintf("%s-%06d", kind, s.next)
+	j := newJob(id, kind, run)
+	s.byID[id] = j
+	s.order = append(s.order, id)
+	// Evict the oldest *terminal* jobs beyond the bound; never drop a
+	// queued or running job.
+	for len(s.byID) > s.max {
+		evicted := false
+		for i, old := range s.order {
+			oj := s.byID[old]
+			if oj == nil {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			st := oj.info().State
+			if st == JobDone || st == JobFailed || st == JobCanceled {
+				delete(s.byID, old)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	return j
+}
+
+func (s *jobStore) get(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics is a hand-rolled Prometheus-text registry: request counters
+// and latency histograms per route, queue/worker gauges, and the
+// compiler-level cache counters (result cache, AA query cache,
+// analysis cache) accumulated from every compilation the service
+// runs. Everything is rendered by render() in the text exposition
+// format; no external client library is involved.
+type metrics struct {
+	mu sync.Mutex
+
+	// requests[route][code] counts completed HTTP requests.
+	requests map[string]map[int]int64
+	// latency[route] is a fixed-bucket duration histogram.
+	latency map[string]*histogram
+
+	// jobs[kind][state] counts job transitions into terminal states
+	// plus submissions (state "queued").
+	jobs map[string]map[string]int64
+
+	// Compiler-level counters, summed over every compilation executed
+	// by the service (sync compiles and job compiles alike).
+	compiles         int64
+	aaCacheHits      int64
+	aaCacheLookups   int64
+	analysisHits     int64
+	analysisMisses   int64
+}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+type histogram struct {
+	counts []int64 // one per bucket, cumulative style computed at render
+	sum    float64
+	total  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]map[int]int64{},
+		latency:  map[string]*histogram{},
+		jobs:     map[string]map[string]int64{},
+	}
+}
+
+// observeRequest books one completed HTTP request.
+func (m *metrics) observeRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = map[int]int64{}
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+	h := m.latency[route]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(latencyBuckets))}
+		m.latency[route] = h
+	}
+	sec := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += sec
+	h.total++
+}
+
+// observeJob books a job state transition (queued and terminal states).
+func (m *metrics) observeJob(kind, state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byState := m.jobs[kind]
+	if byState == nil {
+		byState = map[string]int64{}
+		m.jobs[kind] = byState
+	}
+	byState[state]++
+}
+
+// observeCompile lifts one compilation's cache counters into the
+// service-wide series: AA query-cache hits/lookups from aa.Stats and
+// the analysis manager's hit/miss counters.
+func (m *metrics) observeCompile(aaHits, aaLookups, anHits, anMisses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compiles++
+	m.aaCacheHits += aaHits
+	m.aaCacheLookups += aaLookups
+	m.analysisHits += anHits
+	m.analysisMisses += anMisses
+}
+
+// render writes the registry in the Prometheus text exposition format,
+// with the live gauges passed in by the server.
+func (m *metrics) render(cache *resultCache, queueDepth, queueCap int, inflight int64) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	b.WriteString("# HELP oraql_requests_total Completed HTTP requests by route and status code.\n")
+	b.WriteString("# TYPE oraql_requests_total counter\n")
+	for _, route := range sortedKeys(m.requests) {
+		codes := make([]int, 0, len(m.requests[route]))
+		for c := range m.requests[route] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&b, "oraql_requests_total{route=%q,code=\"%d\"} %d\n", route, c, m.requests[route][c])
+		}
+	}
+
+	b.WriteString("# HELP oraql_request_duration_seconds Request latency by route.\n")
+	b.WriteString("# TYPE oraql_request_duration_seconds histogram\n")
+	for _, route := range sortedKeys(m.latency) {
+		h := m.latency[route]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "oraql_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n",
+				route, ub, cum)
+		}
+		fmt.Fprintf(&b, "oraql_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.total)
+		fmt.Fprintf(&b, "oraql_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(&b, "oraql_request_duration_seconds_count{route=%q} %d\n", route, h.total)
+	}
+
+	b.WriteString("# HELP oraql_jobs_total Job submissions and terminal transitions by kind and state.\n")
+	b.WriteString("# TYPE oraql_jobs_total counter\n")
+	for _, kind := range sortedKeys(m.jobs) {
+		for _, state := range sortedKeys(m.jobs[kind]) {
+			fmt.Fprintf(&b, "oraql_jobs_total{kind=%q,state=%q} %d\n", kind, state, m.jobs[kind][state])
+		}
+	}
+
+	b.WriteString("# HELP oraql_queue_depth Jobs waiting in the bounded queue.\n")
+	b.WriteString("# TYPE oraql_queue_depth gauge\n")
+	fmt.Fprintf(&b, "oraql_queue_depth %d\n", queueDepth)
+	b.WriteString("# HELP oraql_queue_capacity Queue capacity.\n")
+	b.WriteString("# TYPE oraql_queue_capacity gauge\n")
+	fmt.Fprintf(&b, "oraql_queue_capacity %d\n", queueCap)
+	b.WriteString("# HELP oraql_jobs_inflight Jobs currently executing on the worker pool.\n")
+	b.WriteString("# TYPE oraql_jobs_inflight gauge\n")
+	fmt.Fprintf(&b, "oraql_jobs_inflight %d\n", inflight)
+
+	hits, misses, entries := cache.counters()
+	b.WriteString("# HELP oraql_result_cache_hits_total Compile requests served from the cross-request result cache.\n")
+	b.WriteString("# TYPE oraql_result_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "oraql_result_cache_hits_total %d\n", hits)
+	b.WriteString("# HELP oraql_result_cache_misses_total Compile requests that ran the pipeline.\n")
+	b.WriteString("# TYPE oraql_result_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "oraql_result_cache_misses_total %d\n", misses)
+	b.WriteString("# HELP oraql_result_cache_entries Live result-cache entries.\n")
+	b.WriteString("# TYPE oraql_result_cache_entries gauge\n")
+	fmt.Fprintf(&b, "oraql_result_cache_entries %d\n", entries)
+
+	b.WriteString("# HELP oraql_compiles_total Pipeline compilations executed by the service.\n")
+	b.WriteString("# TYPE oraql_compiles_total counter\n")
+	fmt.Fprintf(&b, "oraql_compiles_total %d\n", m.compiles)
+	b.WriteString("# HELP oraql_aa_query_cache_hits_total Memoized AA query-cache hits over all service compilations.\n")
+	b.WriteString("# TYPE oraql_aa_query_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "oraql_aa_query_cache_hits_total %d\n", m.aaCacheHits)
+	b.WriteString("# HELP oraql_aa_query_cache_lookups_total Memoized AA query-cache lookups (hits + misses).\n")
+	b.WriteString("# TYPE oraql_aa_query_cache_lookups_total counter\n")
+	fmt.Fprintf(&b, "oraql_aa_query_cache_lookups_total %d\n", m.aaCacheLookups)
+	b.WriteString("# HELP oraql_analysis_cache_hits_total Analysis-manager cache hits over all service compilations.\n")
+	b.WriteString("# TYPE oraql_analysis_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "oraql_analysis_cache_hits_total %d\n", m.analysisHits)
+	b.WriteString("# HELP oraql_analysis_cache_misses_total Analysis-manager cache misses over all service compilations.\n")
+	b.WriteString("# TYPE oraql_analysis_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "oraql_analysis_cache_misses_total %d\n", m.analysisMisses)
+
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
