@@ -53,6 +53,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	stats := fs.Bool("stats", false, "print pass statistics (-mllvm -stats analogue)")
 	timePasses := fs.Bool("time-passes", false, "print per-pass wall time, run counts, and analysis cache counters")
 	noAnalysisCache := fs.Bool("disable-analysis-cache", false, "recompute every analysis on every pass run (force-invalidate mode)")
+	compileWorkers := fs.Int("compile-workers", 0, "per-function pass parallelism (0 = GOMAXPROCS, 1 = sequential; output is identical for every value)")
 	printIR := fs.Bool("print-ir", false, "print optimized IR")
 	debugPass := fs.Bool("debug-pass", false, "print pass executions (-debug-pass=Executions analogue)")
 	runProg := fs.Bool("run", false, "run the compiled program on the simulated machine")
@@ -90,6 +91,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		FullAAChain:          *full,
 		DebugPassExec:        *debugPass,
 		DisableAnalysisCache: *noAnalysisCache,
+		CompileWorkers:       *compileWorkers,
 	}
 	if strings.HasSuffix(file, ".ir") {
 		// Textual-IR input: bypass the frontend.

@@ -8,8 +8,9 @@
 //
 // Usage:
 //
-//	oraql-serve [-addr :8347] [-workers N] [-queue N]
-//	            [-cache-entries N] [-request-timeout 60s] [-quiet]
+//	oraql-serve [-addr :8347] [-workers N] [-compile-workers N]
+//	            [-queue N] [-cache-entries N] [-request-timeout 60s]
+//	            [-quiet]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, the
 // job queue drains (queued jobs are cancelled without running), and
@@ -46,6 +47,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "job worker pool size (0 = NumCPU)")
 	queue := fs.Int("queue", 64, "bounded job queue size")
 	cacheEntries := fs.Int("cache-entries", 128, "compile result cache capacity")
+	compileWorkers := fs.Int("compile-workers", 0, "per-function parallelism inside each compilation (0 = GOMAXPROCS split over the job workers)")
 	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "synchronous request deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	quiet := fs.Bool("quiet", false, "suppress the structured request log")
@@ -65,6 +67,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Workers:        *workers,
 		QueueSize:      *queue,
 		CacheEntries:   *cacheEntries,
+		CompileWorkers: *compileWorkers,
 		RequestTimeout: *reqTimeout,
 		Log:            logW,
 	})
@@ -76,8 +79,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(stderr, "oraql-serve: listening on %s (workers=%d queue=%d cache=%d)\n",
-		*addr, svc.Workers(), *queue, *cacheEntries)
+	fmt.Fprintf(stderr, "oraql-serve: listening on %s (workers=%d compile-workers=%d queue=%d cache=%d)\n",
+		*addr, svc.Workers(), svc.CompileWorkers(), *queue, *cacheEntries)
 
 	select {
 	case sig := <-sigCh:

@@ -1,0 +1,111 @@
+package goraql
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/pipeline"
+)
+
+// artifacts is everything the parallel scheduler promises to keep
+// byte-identical for every worker count: the executable hash, the
+// optimized IR text, the -stats registry output, the merged AA
+// statistics, and the deterministic half of the timing table (pass
+// order, run counts, changed counts — wall time is inherently noisy).
+type artifacts struct {
+	exeHash string
+	irText  string
+	stats   string
+	aaStats string
+	timing  string
+}
+
+func compileArtifacts(t *testing.T, c *apps.Config, workers int) artifacts {
+	t.Helper()
+	cfg := pipeline.Config{
+		Name:           c.ID,
+		Source:         c.Source,
+		SourceFile:     c.SourceName,
+		Frontend:       c.Frontend,
+		CompileWorkers: workers,
+	}
+	if cfg.SourceFile == "" {
+		cfg.SourceFile = c.SourceFiles + ".mc"
+	}
+	cr, err := pipeline.Compile(cfg)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", c.ID, workers, err)
+	}
+	var a artifacts
+	a.exeHash = cr.ExeHash()
+	var ir, stats strings.Builder
+	for _, ts := range []*pipeline.TargetStats{cr.Host, cr.Device} {
+		if ts == nil {
+			continue
+		}
+		ir.WriteString(ts.Module.String())
+		ts.Pass.Print(&stats)
+	}
+	a.irText = ir.String()
+	a.stats = stats.String()
+
+	aaJSON, err := json.Marshal(cr.AAStats()) // map keys marshal sorted
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.aaStats = string(aaJSON)
+
+	var tb strings.Builder
+	tm := cr.Timing()
+	for _, pass := range tm.Passes() {
+		pt := tm.Get(pass)
+		tb.WriteString(pass)
+		tb.WriteByte(' ')
+		tb.WriteString(strings.Repeat("r", int(pt.Runs)))
+		tb.WriteString(strings.Repeat("c", int(pt.Changed)))
+		tb.WriteByte('\n')
+	}
+	a.timing = tb.String()
+	return a
+}
+
+// TestCompileDeterministicAcrossWorkers is the determinism matrix:
+// every benchmark configuration, compiled with 1, 2, and 8 workers,
+// must produce byte-identical artifacts — the sequential compilation
+// is the specification, the parallel ones must be indistinguishable
+// from it.
+func TestCompileDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles every app config three times")
+	}
+	for _, c := range apps.All() {
+		c := c
+		t.Run(c.ID, func(t *testing.T) {
+			t.Parallel()
+			ref := compileArtifacts(t, c, 1)
+			for _, workers := range []int{2, 8} {
+				got := compileArtifacts(t, c, workers)
+				if got.exeHash != ref.exeHash {
+					t.Errorf("workers=%d: exe hash %s != sequential %s", workers, got.exeHash, ref.exeHash)
+				}
+				if got.irText != ref.irText {
+					t.Errorf("workers=%d: optimized IR text differs from sequential", workers)
+				}
+				if got.stats != ref.stats {
+					t.Errorf("workers=%d: -stats output differs from sequential:\n--- sequential\n%s\n--- workers=%d\n%s",
+						workers, ref.stats, workers, got.stats)
+				}
+				if got.aaStats != ref.aaStats {
+					t.Errorf("workers=%d: AA statistics differ from sequential:\n--- sequential\n%s\n--- workers=%d\n%s",
+						workers, ref.aaStats, workers, got.aaStats)
+				}
+				if got.timing != ref.timing {
+					t.Errorf("workers=%d: timing-table pass order or run counts differ:\n--- sequential\n%s\n--- workers=%d\n%s",
+						workers, ref.timing, workers, got.timing)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/oraql/go-oraql/internal/ir"
 )
@@ -215,6 +216,14 @@ type cacheEntry struct {
 // cannot stale another function's verdicts, and InvalidateFunc(f)
 // drops only f's bucket. Queries without a function context land in a
 // shared nil bucket that every scoped flush also drops.
+//
+// State is sharded by that same bucketing: each function owns a shard
+// holding its cache bucket and its statistics, guarded by its own
+// mutex. Concurrent queries from different functions — the parallel
+// pass manager runs one worker per function — touch disjoint shards
+// and never contend; Stats() merges the shard snapshots. All counters
+// of one query are booked in a single critical section, so a snapshot
+// can never observe a query whose outcome is missing (no torn reads).
 type Manager struct {
 	Module *ir.Module
 	chain  []Analysis
@@ -222,21 +231,72 @@ type Manager struct {
 	// Blocker, when non-nil, is consulted before the chain.
 	Blocker Blocker
 
-	mu      sync.Mutex
-	stats   *Stats
-	cache   map[*ir.Func]map[queryKey]cacheEntry
-	memoOff bool
+	memoOff atomic.Bool
+
+	// shardMu guards the shards map itself; the shards it holds are
+	// never removed, so a looked-up shard stays valid without it.
+	shardMu sync.RWMutex
+	shards  map[*ir.Func]*shard
+}
+
+// shard is the per-function slice of the manager's mutable state: the
+// memoized cache bucket and the statistics of queries issued from that
+// function. fn == nil (queries without a function context) has a shard
+// of its own.
+type shard struct {
+	mu    sync.Mutex
+	stats *Stats
+	cache map[queryKey]cacheEntry
+}
+
+func newShard() *shard {
+	return &shard{stats: NewStats(), cache: map[queryKey]cacheEntry{}}
 }
 
 // NewManager returns a manager over m with the given chain, queried in
-// order.
+// order. Shards for m's functions (and the nil bucket) are created
+// eagerly so the common query path is a read-lock map hit.
 func NewManager(m *ir.Module, chain ...Analysis) *Manager {
-	return &Manager{
+	mgr := &Manager{
 		Module: m,
 		chain:  chain,
-		stats:  NewStats(),
-		cache:  map[*ir.Func]map[queryKey]cacheEntry{},
+		shards: map[*ir.Func]*shard{nil: newShard()},
 	}
+	if m != nil {
+		for _, fn := range m.Funcs {
+			mgr.shards[fn] = newShard()
+		}
+	}
+	return mgr
+}
+
+// shardFor returns fn's shard, creating it for functions that did not
+// exist when the manager was built.
+func (mgr *Manager) shardFor(fn *ir.Func) *shard {
+	mgr.shardMu.RLock()
+	s := mgr.shards[fn]
+	mgr.shardMu.RUnlock()
+	if s != nil {
+		return s
+	}
+	mgr.shardMu.Lock()
+	defer mgr.shardMu.Unlock()
+	if s = mgr.shards[fn]; s == nil {
+		s = newShard()
+		mgr.shards[fn] = s
+	}
+	return s
+}
+
+// allShards snapshots the shard list.
+func (mgr *Manager) allShards() []*shard {
+	mgr.shardMu.RLock()
+	defer mgr.shardMu.RUnlock()
+	out := make([]*shard, 0, len(mgr.shards))
+	for _, s := range mgr.shards {
+		out = append(out, s)
+	}
+	return out
 }
 
 // DefaultChain builds the analyses enabled in the default -O3 pipeline,
@@ -268,23 +328,34 @@ func (mgr *Manager) Append(a Analysis) { mgr.chain = append(mgr.chain, a) }
 // Chain returns the analyses in query order.
 func (mgr *Manager) Chain() []Analysis { return mgr.chain }
 
-// Stats returns a snapshot of the accumulated query statistics.
+// Stats returns a snapshot of the accumulated query statistics, merged
+// over all shards. Each shard is snapshotted under its own lock, and
+// every shard books all counters of a query atomically, so the merged
+// snapshot always satisfies the per-query invariants (every counted
+// query has a counted outcome, every cacheable query a counted
+// hit-or-miss) even while queries are in flight.
 func (mgr *Manager) Stats() *Stats {
-	mgr.mu.Lock()
-	defer mgr.mu.Unlock()
-	return mgr.stats.Clone()
+	out := NewStats()
+	for _, s := range mgr.allShards() {
+		s.mu.Lock()
+		out.Merge(s.stats)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // SetQueryCache enables or disables the memoized query cache (enabled
 // by default); disabling flushes it. Used by the cache-ablation
 // benchmarks.
 func (mgr *Manager) SetQueryCache(enabled bool) {
-	mgr.mu.Lock()
-	mgr.memoOff = !enabled
+	mgr.memoOff.Store(!enabled)
 	if !enabled {
-		mgr.cache = map[*ir.Func]map[queryKey]cacheEntry{}
+		for _, s := range mgr.allShards() {
+			s.mu.Lock()
+			s.cache = map[queryKey]cacheEntry{}
+			s.mu.Unlock()
+		}
 	}
-	mgr.mu.Unlock()
 }
 
 // Invalidate flushes the entire memoized query cache across all
@@ -292,36 +363,47 @@ func (mgr *Manager) SetQueryCache(enabled bool) {
 // prefers the scoped InvalidateFunc; the full flush remains for
 // callers without a function context.
 func (mgr *Manager) Invalidate() {
-	mgr.mu.Lock()
-	if mgr.cachedEntries() > 0 {
-		mgr.cache = map[*ir.Func]map[queryKey]cacheEntry{}
-		mgr.stats.CacheFlushes++
+	dropped := 0
+	shards := mgr.allShards()
+	for _, s := range shards {
+		s.mu.Lock()
+		if len(s.cache) > 0 {
+			dropped += len(s.cache)
+			s.cache = map[queryKey]cacheEntry{}
+		}
+		s.mu.Unlock()
 	}
-	mgr.mu.Unlock()
+	if dropped > 0 {
+		nilShard := mgr.shardFor(nil)
+		nilShard.mu.Lock()
+		nilShard.stats.CacheFlushes++
+		nilShard.mu.Unlock()
+	}
 }
 
 // InvalidateFunc drops the memoized verdicts of one function — the
 // analysis manager calls this for exactly the function a pass changed,
 // leaving every other function's entries hot. The shared nil bucket
 // (queries without a function context) is dropped too, since those
-// cannot be attributed.
+// cannot be attributed. The flush counter reflects only the function's
+// own bucket, which keeps it deterministic when scoped flushes of
+// different functions run concurrently.
 func (mgr *Manager) InvalidateFunc(fn *ir.Func) {
-	mgr.mu.Lock()
-	if len(mgr.cache[fn]) > 0 || len(mgr.cache[nil]) > 0 {
-		delete(mgr.cache, fn)
-		delete(mgr.cache, nil)
-		mgr.stats.CacheScopedFlushes++
+	s := mgr.shardFor(fn)
+	s.mu.Lock()
+	if len(s.cache) > 0 {
+		s.cache = map[queryKey]cacheEntry{}
+		s.stats.CacheScopedFlushes++
 	}
-	mgr.mu.Unlock()
-}
-
-// cachedEntries counts entries over all buckets; callers hold mgr.mu.
-func (mgr *Manager) cachedEntries() int {
-	n := 0
-	for _, bucket := range mgr.cache {
-		n += len(bucket)
+	s.mu.Unlock()
+	if fn != nil {
+		nilShard := mgr.shardFor(nil)
+		nilShard.mu.Lock()
+		if len(nilShard.cache) > 0 {
+			nilShard.cache = map[queryKey]cacheEntry{}
+		}
+		nilShard.mu.Unlock()
 	}
-	return n
 }
 
 // cachePrefixLen returns the length of the chain prefix whose answers
@@ -335,32 +417,61 @@ func (mgr *Manager) cachePrefixLen() int {
 	return len(mgr.chain)
 }
 
-// countQuery books the per-pass attribution of a new query.
-func (mgr *Manager) countQuery(q *QueryCtx) {
-	mgr.mu.Lock()
-	mgr.stats.Queries++
-	if q != nil && q.Pass != "" {
-		mgr.stats.QueriesByPass[q.Pass]++
+// OrderDependent reports whether query answers can depend on the
+// cross-function order in which queries are issued: true when a
+// Blocker is installed or an Uncacheable analysis (the ORAQL
+// responder, whose replies consume a response sequence in query order)
+// sits in the chain. The pass manager falls back to sequential
+// function scheduling for order-dependent managers, since reordering
+// their query stream would change compilation results.
+func (mgr *Manager) OrderDependent() bool {
+	if mgr.Blocker != nil {
+		return true
 	}
-	mgr.mu.Unlock()
+	return mgr.cachePrefixLen() < len(mgr.chain)
 }
 
-// countResult books a query outcome, attributing no-alias answers to
-// the producing analysis (empty name: chain exhausted or blocked).
-func (mgr *Manager) countResult(r Result, analysis string) {
-	mgr.mu.Lock()
+// cacheTraffic tags how a query interacted with the memoized cache.
+type cacheTraffic int
+
+const (
+	trafficNone cacheTraffic = iota // blocked or memoization off
+	trafficHit
+	trafficMiss
+)
+
+// book records every counter of one query in a single critical section
+// of the function's shard: attribution, cache traffic, and outcome.
+// Booking atomically is what makes Stats() snapshots tear-free.
+func (s *shard) book(q *QueryCtx, r Result, analysis string, traffic cacheTraffic) {
+	s.mu.Lock()
+	s.bookLocked(q, r, analysis, traffic)
+	s.mu.Unlock()
+}
+
+func (s *shard) bookLocked(q *QueryCtx, r Result, analysis string, traffic cacheTraffic) {
+	st := s.stats
+	st.Queries++
+	if q != nil && q.Pass != "" {
+		st.QueriesByPass[q.Pass]++
+	}
+	switch traffic {
+	case trafficHit:
+		st.CacheHits++
+	case trafficMiss:
+		st.CacheMisses++
+	}
 	switch r {
 	case NoAlias:
-		mgr.stats.NoAlias++
-		mgr.stats.NoAliasByAnalysis[analysis]++
+		st.NoAlias++
+		st.NoAliasByAnalysis[analysis]++
 	case MustAlias:
-		mgr.stats.MustAlias++
+		st.MustAlias++
 	case PartialAlias:
-		mgr.stats.PartialAlias++
+		st.PartialAlias++
 	default:
-		mgr.stats.MayAlias++
+		st.MayAlias++
 	}
-	mgr.mu.Unlock()
 }
 
 // walk consults chain[from:to] in order and returns the first
@@ -375,65 +486,54 @@ func (mgr *Manager) walk(from, to int, a, b MemLoc, q *QueryCtx) (Result, string
 }
 
 // Alias answers an alias query by walking the chain, serving the
-// cacheable prefix from the memoized query cache when possible.
+// cacheable prefix from the memoized query cache when possible. All
+// statistics of the query are booked in one critical section of the
+// issuing function's shard, after the answer is known.
 func (mgr *Manager) Alias(a, b MemLoc, q *QueryCtx) Result {
-	mgr.countQuery(q)
-	if mgr.Blocker != nil && mgr.Blocker.Block(a, b, q) {
-		mgr.countResult(MayAlias, "")
-		return MayAlias
-	}
-	prefix := mgr.cachePrefixLen()
-
-	mgr.mu.Lock()
-	memoOff := mgr.memoOff
-	mgr.mu.Unlock()
-	if memoOff || prefix == 0 {
-		r, name := mgr.walk(0, len(mgr.chain), a, b, q)
-		mgr.countResult(r, name)
-		return r
-	}
-
 	var fn *ir.Func
 	if q != nil {
 		fn = q.Func
 	}
-	key := queryKeyOf(a, b)
-	mgr.mu.Lock()
-	ent, hit := mgr.cache[fn][key]
-	if hit {
-		mgr.stats.CacheHits++
-	} else {
-		mgr.stats.CacheMisses++
-	}
-	mgr.mu.Unlock()
+	s := mgr.shardFor(fn)
 
-	if hit {
-		if ent.result.Definitive() {
-			mgr.countResult(ent.result, ent.analysis)
-			return ent.result
-		}
-		// The cacheable prefix is known to be inconclusive: consult
-		// only the uncacheable tail (e.g. the ORAQL responder).
-		r, name := mgr.walk(prefix, len(mgr.chain), a, b, q)
-		mgr.countResult(r, name)
+	if mgr.Blocker != nil && mgr.Blocker.Block(a, b, q) {
+		s.book(q, MayAlias, "", trafficNone)
+		return MayAlias
+	}
+	prefix := mgr.cachePrefixLen()
+	if mgr.memoOff.Load() || prefix == 0 {
+		r, name := mgr.walk(0, len(mgr.chain), a, b, q)
+		s.book(q, r, name, trafficNone)
 		return r
 	}
 
-	r, name := mgr.walk(0, prefix, a, b, q)
-	mgr.mu.Lock()
-	if !mgr.memoOff {
-		bucket := mgr.cache[fn]
-		if bucket == nil {
-			bucket = map[queryKey]cacheEntry{}
-			mgr.cache[fn] = bucket
+	key := queryKeyOf(a, b)
+	s.mu.Lock()
+	ent, hit := s.cache[key]
+	s.mu.Unlock()
+
+	if hit {
+		r, name := ent.result, ent.analysis
+		if !r.Definitive() {
+			// The cacheable prefix is known to be inconclusive: consult
+			// only the uncacheable tail (e.g. the ORAQL responder).
+			r, name = mgr.walk(prefix, len(mgr.chain), a, b, q)
 		}
-		bucket[key] = cacheEntry{result: r, analysis: name}
+		s.book(q, r, name, trafficHit)
+		return r
 	}
-	mgr.mu.Unlock()
+
+	pr, pname := mgr.walk(0, prefix, a, b, q)
+	r, name := pr, pname
 	if !r.Definitive() {
 		r, name = mgr.walk(prefix, len(mgr.chain), a, b, q)
 	}
-	mgr.countResult(r, name)
+	s.mu.Lock()
+	if !mgr.memoOff.Load() {
+		s.cache[key] = cacheEntry{result: pr, analysis: pname}
+	}
+	s.bookLocked(q, r, name, trafficMiss)
+	s.mu.Unlock()
 	return r
 }
 

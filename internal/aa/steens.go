@@ -8,9 +8,13 @@ import "github.com/oraql/go-oraql/internal/ir"
 // points-to edge, and assignments unify. Two pointers cannot alias if
 // their points-to classes differ after the fixpoint.
 type SteensgaardAA struct {
-	u *unifier
-	// node maps values to unifier node indices.
-	node map[ir.Value]int
+	// derefRep maps each value seen during constraint generation to the
+	// representative of the class its points-to edge resolves to,
+	// computed once after the fixpoint. The union-find itself (lazy
+	// deref materialization, path compression) mutates on access, so it
+	// is frozen into this map at construction and Alias is a pure map
+	// read — safe for concurrent queries from parallel pass workers.
+	derefRep map[ir.Value]int
 }
 
 type unifier struct {
@@ -58,20 +62,29 @@ func (u *unifier) union(a, b int) {
 	}
 }
 
+// steensBuilder holds the mutable unification state while constraints
+// are generated; it is discarded once the result is frozen into the
+// read-only SteensgaardAA.
+type steensBuilder struct {
+	u *unifier
+	// node maps values to unifier node indices.
+	node map[ir.Value]int
+}
+
 // NewSteensgaardAA runs the unification over m and returns the analysis.
 func NewSteensgaardAA(m *ir.Module) *SteensgaardAA {
-	s := &SteensgaardAA{u: &unifier{}, node: map[ir.Value]int{}}
+	sb := &steensBuilder{u: &unifier{}, node: map[ir.Value]int{}}
 	get := func(v ir.Value) int {
-		if n, ok := s.node[v]; ok {
+		if n, ok := sb.node[v]; ok {
 			return n
 		}
-		n := s.u.fresh()
-		s.node[v] = n
+		n := sb.u.fresh()
+		sb.node[v] = n
 		return n
 	}
 	retNode := map[string]int{}
 	for _, f := range m.Funcs {
-		retNode[f.Name] = s.u.fresh()
+		retNode[f.Name] = sb.u.fresh()
 	}
 	for _, f := range m.Funcs {
 		for _, b := range f.Blocks {
@@ -79,14 +92,22 @@ func NewSteensgaardAA(m *ir.Module) *SteensgaardAA {
 				if in.Dead() {
 					continue
 				}
-				s.constrain(m, f, in, get, retNode)
+				sb.constrain(m, f, in, get, retNode)
 			}
 		}
+	}
+	// Freeze: resolve every value's deref class to its representative.
+	// Lazily created deref nodes are fresh singletons never unified
+	// afterwards, so the equality structure (all Alias ever compares)
+	// does not depend on the map iteration order here.
+	s := &SteensgaardAA{derefRep: make(map[ir.Value]int, len(sb.node))}
+	for v, n := range sb.node {
+		s.derefRep[v] = sb.u.find(sb.u.derefOf(n))
 	}
 	return s
 }
 
-func (s *SteensgaardAA) constrain(m *ir.Module, f *ir.Func, in *ir.Instr, get func(ir.Value) int, retNode map[string]int) {
+func (s *steensBuilder) constrain(m *ir.Module, f *ir.Func, in *ir.Instr, get func(ir.Value) int, retNode map[string]int) {
 	u := s.u
 	// Every pointer value gets a node, so fresh objects (mallocs,
 	// allocas) with no further constraints keep distinct classes and
@@ -130,7 +151,7 @@ func (s *SteensgaardAA) constrain(m *ir.Module, f *ir.Func, in *ir.Instr, get fu
 	}
 }
 
-func (s *SteensgaardAA) constrainCall(m *ir.Module, in *ir.Instr, get func(ir.Value) int, retNode map[string]int) {
+func (s *steensBuilder) constrainCall(m *ir.Module, in *ir.Instr, get func(ir.Value) int, retNode map[string]int) {
 	u := s.u
 	switch in.Callee {
 	case "__malloc":
@@ -191,14 +212,14 @@ func (*SteensgaardAA) Name() string { return "cfl-steens-aa" }
 
 // Alias implements Analysis.
 func (s *SteensgaardAA) Alias(a, b MemLoc, _ *QueryCtx) Result {
-	na, ok1 := s.node[a.Ptr]
-	nb, ok2 := s.node[b.Ptr]
+	ra, ok1 := s.derefRep[a.Ptr]
+	rb, ok2 := s.derefRep[b.Ptr]
 	if !ok1 || !ok2 {
 		// Globals/args appear in the map only if an instruction used
 		// them; unseen values have no constraints, so stay safe.
 		return MayAlias
 	}
-	if s.u.find(s.u.derefOf(na)) != s.u.find(s.u.derefOf(nb)) {
+	if ra != rb {
 		return NoAlias
 	}
 	return MayAlias

@@ -16,6 +16,8 @@ package analysis
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/oraql/go-oraql/internal/ir"
 )
@@ -124,22 +126,53 @@ type Stats struct {
 	Invalidations int64
 }
 
+// counters is the internal, atomically-updated form of Stats.
+type counters struct {
+	hits, misses, invalidations atomic.Int64
+}
+
+func (c *counters) snapshot(k Key) Stats {
+	return Stats{Key: k, Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Invalidations: c.invalidations.Load()}
+}
+
+// funcEntries is one function's cached results. Each function has its
+// own lock: the parallel pass manager runs at most one worker per
+// function, so entries of different functions are accessed without
+// contention, while Invalidate of one function cannot block queries of
+// another. The lock is never held across a Build call, because builds
+// re-enter Get for their dependencies (MemorySSA fetches the CFG).
+type funcEntries struct {
+	mu   sync.Mutex
+	vals map[Key]any
+}
+
 // Manager lazily computes and caches analyses per function.
-// It is not safe for concurrent use; each compilation owns one.
+//
+// Registration (Register, SetCaching) is setup-time configuration and
+// must happen before analyses are queried. Get and Invalidate are safe
+// for concurrent use across functions; per function they assume the
+// single-writer discipline of the pass manager (one worker owns a
+// function at a time, pass barriers establish happens-before between
+// owners).
 type Manager struct {
 	regs     []*Registration
 	byKey    map[Key]*Registration
-	cache    map[*ir.Func]map[Key]any
-	stats    map[Key]*Stats
-	cacheOff bool
+	stats    map[Key]*counters
+	cacheOff atomic.Bool
+
+	// mu guards the entries map itself; the funcEntries it holds are
+	// never removed, so a looked-up value stays valid without it.
+	mu      sync.RWMutex
+	entries map[*ir.Func]*funcEntries
 }
 
 // NewManager returns an empty manager.
 func NewManager() *Manager {
 	return &Manager{
-		byKey: map[Key]*Registration{},
-		cache: map[*ir.Func]map[Key]any{},
-		stats: map[Key]*Stats{},
+		byKey:   map[Key]*Registration{},
+		entries: map[*ir.Func]*funcEntries{},
+		stats:   map[Key]*counters{},
 	}
 }
 
@@ -153,7 +186,7 @@ func (m *Manager) Register(r Registration) {
 	reg := &r
 	m.regs = append(m.regs, reg)
 	m.byKey[r.Key] = reg
-	m.stats[r.Key] = &Stats{Key: r.Key}
+	m.stats[r.Key] = &counters{}
 }
 
 // SetCaching enables or disables result caching. Disabled, every Get
@@ -161,14 +194,33 @@ func (m *Manager) Register(r Registration) {
 // None — the force-invalidate mode the transparency tests compare
 // against.
 func (m *Manager) SetCaching(enabled bool) {
-	m.cacheOff = !enabled
+	m.cacheOff.Store(!enabled)
 	if !enabled {
-		m.cache = map[*ir.Func]map[Key]any{}
+		m.mu.Lock()
+		m.entries = map[*ir.Func]*funcEntries{}
+		m.mu.Unlock()
 	}
 }
 
 // Caching reports whether results are being cached.
-func (m *Manager) Caching() bool { return !m.cacheOff }
+func (m *Manager) Caching() bool { return !m.cacheOff.Load() }
+
+// entriesFor returns fn's entry set, creating it on first use.
+func (m *Manager) entriesFor(fn *ir.Func) *funcEntries {
+	m.mu.RLock()
+	e := m.entries[fn]
+	m.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e = m.entries[fn]; e == nil {
+		e = &funcEntries{vals: map[Key]any{}}
+		m.entries[fn] = e
+	}
+	return e
+}
 
 // Get returns the analysis k for fn, computing and caching it on a
 // miss. It panics on an unregistered key or a marker registration
@@ -179,21 +231,24 @@ func (m *Manager) Get(k Key, fn *ir.Func) any {
 		panic("analysis: Get of unregistered or marker analysis " + string(k))
 	}
 	st := m.stats[k]
-	if !m.cacheOff {
-		if res, ok := m.cache[fn][k]; ok {
-			st.Hits++
+	cacheOff := m.cacheOff.Load()
+	var e *funcEntries
+	if !cacheOff {
+		e = m.entriesFor(fn)
+		e.mu.Lock()
+		res, ok := e.vals[k]
+		e.mu.Unlock()
+		if ok {
+			st.hits.Add(1)
 			return res
 		}
 	}
-	st.Misses++
+	st.misses.Add(1)
 	res := reg.Build(m, fn)
-	if !m.cacheOff {
-		bucket := m.cache[fn]
-		if bucket == nil {
-			bucket = map[Key]any{}
-			m.cache[fn] = bucket
-		}
-		bucket[k] = res
+	if !cacheOff {
+		e.mu.Lock()
+		e.vals[k] = res
+		e.mu.Unlock()
 	}
 	return res
 }
@@ -223,15 +278,18 @@ func (m *Manager) Invalidate(fn *ir.Func, pa PreservedAnalyses) {
 	if pa.PreservesAll() {
 		return
 	}
+	cacheOff := m.cacheOff.Load()
+	e := m.entriesFor(fn)
 	for _, reg := range m.regs {
-		if !m.cacheOff && preserved(reg, pa) {
+		if !cacheOff && preserved(reg, pa) {
 			continue
 		}
-		if bucket := m.cache[fn]; bucket != nil {
-			if _, had := bucket[reg.Key]; had {
-				delete(bucket, reg.Key)
-				m.stats[reg.Key].Invalidations++
-			}
+		e.mu.Lock()
+		_, had := e.vals[reg.Key]
+		delete(e.vals, reg.Key)
+		e.mu.Unlock()
+		if had {
+			m.stats[reg.Key].invalidations.Add(1)
 		}
 		if reg.OnInvalidate != nil {
 			reg.OnInvalidate(fn)
@@ -243,7 +301,7 @@ func (m *Manager) Invalidate(fn *ir.Func, pa PreservedAnalyses) {
 // never registered).
 func (m *Manager) StatsFor(k Key) Stats {
 	if s, ok := m.stats[k]; ok {
-		return *s
+		return s.snapshot(k)
 	}
 	return Stats{Key: k}
 }
@@ -256,7 +314,7 @@ func (m *Manager) Snapshot() []Stats {
 		if r.Build == nil {
 			continue
 		}
-		out = append(out, *m.stats[r.Key])
+		out = append(out, m.stats[r.Key].snapshot(r.Key))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out

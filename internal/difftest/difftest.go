@@ -128,14 +128,20 @@ func (d *Divergence) String() string {
 type CheckOptions struct {
 	Run      irinterp.Options
 	Variants []Variant
+	// CompileWorkers is the per-function parallelism of every
+	// compilation the oracle runs (0 = GOMAXPROCS, 1 = sequential).
+	// The oracle's verdict is identical for every value — the fuzz
+	// target draws random worker counts to enforce exactly that.
+	CompileWorkers int
 }
 
 // reference compiles src unoptimized under the model and returns its
 // output, which by the generator's UB-freedom is the ground truth.
-func reference(name, file, src string, model minic.Model, run irinterp.Options) (string, error) {
+func reference(name, file, src string, model minic.Model, run irinterp.Options, workers int) (string, error) {
 	cr, err := pipeline.Compile(pipeline.Config{
 		Name: name, Source: src, SourceFile: file,
 		Frontend: minic.Options{Model: model}, OptLevel: -1,
+		CompileWorkers: workers,
 	})
 	if err != nil {
 		return "", fmt.Errorf("reference compile: %w", err)
@@ -161,7 +167,7 @@ func Check(p *progen.Program, opts CheckOptions) (*Divergence, error) {
 	for _, v := range variants {
 		spec := refs[v.Model]
 		if spec == nil {
-			out, err := reference(fmt.Sprintf("seed%d-ref", p.Seed), p.FileName, p.Source, v.Model, opts.Run)
+			out, err := reference(fmt.Sprintf("seed%d-ref", p.Seed), p.FileName, p.Source, v.Model, opts.Run, opts.CompileWorkers)
 			if err != nil {
 				return nil, fmt.Errorf("seed %d model %d: %w", p.Seed, v.Model, err)
 			}
@@ -171,7 +177,9 @@ func Check(p *progen.Program, opts CheckOptions) (*Divergence, error) {
 			}
 			refs[v.Model] = spec
 		}
-		cr, err := pipeline.Compile(v.config(fmt.Sprintf("seed%d-%s", p.Seed, v.Name), p.FileName, p.Source, 0))
+		vcfg := v.config(fmt.Sprintf("seed%d-%s", p.Seed, v.Name), p.FileName, p.Source, 0)
+		vcfg.CompileWorkers = opts.CompileWorkers
+		cr, err := pipeline.Compile(vcfg)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d variant %s: compile: %w", p.Seed, v.Name, err)
 		}

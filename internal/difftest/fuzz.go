@@ -27,6 +27,10 @@ type FuzzOptions struct {
 	Seed int64
 	// Workers bounds the worker pool (0 = GOMAXPROCS).
 	Workers int
+	// CompileWorkers is the per-function parallelism inside each
+	// compilation (0 = one global budget: GOMAXPROCS split over the
+	// campaign workers, so outer x inner stays within the machine).
+	CompileWorkers int
 	// Gen tunes the program generator.
 	Gen progen.Options
 	// Run configures the simulated machine.
@@ -82,6 +86,14 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.NumCPU()
 	}
+	if opts.CompileWorkers <= 0 {
+		// Split one machine budget between campaign and intra-compile
+		// parallelism instead of multiplying them.
+		opts.CompileWorkers = runtime.GOMAXPROCS(0) / opts.Workers
+		if opts.CompileWorkers < 1 {
+			opts.CompileWorkers = 1
+		}
+	}
 	if opts.MaxDivergences <= 0 {
 		opts.MaxDivergences = 3
 	}
@@ -110,7 +122,7 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 					continue // drain: stop doing work, keep the channel moving
 				}
 				p := progen.Generate(seed, opts.Gen)
-				div, err := Check(p, CheckOptions{Run: opts.Run, Variants: variants})
+				div, err := Check(p, CheckOptions{Run: opts.Run, Variants: variants, CompileWorkers: opts.CompileWorkers})
 				mu.Lock()
 				res.Programs++
 				mu.Unlock()

@@ -78,6 +78,19 @@ type engine struct {
 	specConsumed atomic.Int64
 }
 
+// innerWorkers splits the machine between outer (probe) and inner
+// (intra-compile) parallelism: with outer workers already saturating
+// cores, each compilation gets GOMAXPROCS/outer workers, at least one.
+func innerWorkers(outer int) int {
+	if outer <= 0 {
+		outer = 1
+	}
+	if w := runtime.GOMAXPROCS(0) / outer; w > 1 {
+		return w
+	}
+	return 1
+}
+
 func newEngine(ctx context.Context, spec *BenchSpec) *engine {
 	w := spec.Workers
 	if w <= 0 {
@@ -192,8 +205,8 @@ func (e *engine) consume(c *testCall) {
 }
 
 // run compiles and verifies one candidate on a worker slot. ctx is
-// checked before compiling and again before executing, the two
-// cancellation points of a speculative test.
+// threaded into the compilation and checked again before executing, so
+// a cancelled speculative test stops mid-pipeline.
 func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
@@ -205,7 +218,14 @@ func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
 	cfg := e.spec.Compile
 	cfg.Name = e.spec.Name
 	cfg.ORAQL = &opts
-	cr, err := pipeline.Compile(cfg)
+	if cfg.CompileWorkers == 0 {
+		// One global budget: outer probe workers x inner compile
+		// workers should not exceed the machine. ORAQL compiles run
+		// sequentially regardless (the responder is order-dependent);
+		// the split covers blocking-mode and future non-ORAQL tests.
+		cfg.CompileWorkers = innerWorkers(e.workers)
+	}
+	cr, err := pipeline.CompileContext(ctx, cfg)
 	if err != nil {
 		return testOutcome{err: err}
 	}

@@ -22,9 +22,15 @@ func (*SLPVectorize) Name() string { return "SLP Vectorizer" }
 // Run implements Pass.
 func (p *SLPVectorize) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses {
 	changed := false
+	// attempted remembers store groups that failed legality within this
+	// Run invocation, so the group finder can skip them. It must be
+	// local: Run executes concurrently for different functions (and
+	// different compilations), and sharing it would both race and leak
+	// verdicts across functions.
+	attempted := map[*ir.Instr]bool{}
 	for _, b := range fn.Blocks {
 		for {
-			group := findStoreGroup(b)
+			group := findStoreGroup(b, attempted)
 			if group == nil {
 				break
 			}
@@ -36,9 +42,6 @@ func (p *SLPVectorize) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses
 			changed = true
 		}
 	}
-	for k := range attempted {
-		delete(attempted, k)
-	}
 	if !changed {
 		return analysis.All()
 	}
@@ -47,14 +50,11 @@ func (p *SLPVectorize) Run(fn *ir.Func, ctx *Context) analysis.PreservedAnalyses
 	return analysis.CFGOnly() // rewrites instructions within blocks
 }
 
-// attempted remembers store groups that failed legality within one
-// Run invocation, so the group finder can skip them.
-var attempted = map[*ir.Instr]bool{}
-
 // findStoreGroup locates four stores of the same scalar type to
 // consecutive addresses (stride 8) off one base, in ascending offset
-// order, with no duplicate offsets.
-func findStoreGroup(b *ir.Block) []*ir.Instr {
+// order, with no duplicate offsets, skipping groups whose lead store
+// already failed legality this Run (attempted).
+func findStoreGroup(b *ir.Block, attempted map[*ir.Instr]bool) []*ir.Instr {
 	type cand struct {
 		in  *ir.Instr
 		off int64

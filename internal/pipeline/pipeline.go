@@ -54,6 +54,13 @@ type Config struct {
 	DisableAnalysisCache bool
 	// ORAQL, when non-nil, appends the ORAQL pass to the AA chain.
 	ORAQL *oraql.Options
+	// CompileWorkers bounds the per-function parallelism of the pass
+	// pipeline (0 = GOMAXPROCS, 1 = strictly sequential). Compilation
+	// output — exe hash, IR text, -stats, timing-table rows — is
+	// byte-identical for every value. ORAQL-active and -debug-pass
+	// compilations always execute sequentially: the responder consumes
+	// its sequence in global query order.
+	CompileWorkers int
 	// DebugPassExec and DumpOut mirror -debug-pass=Executions.
 	DebugPassExec bool
 	DumpOut       *bytes.Buffer
@@ -252,7 +259,8 @@ func compileModule(cctx context.Context, cfg Config, m *ir.Module) (*TargetStats
 	ctx := &passes.Context{Module: m, AA: mgr, Stats: stats, Ctx: cctx,
 		Timing:               passes.NewTiming(),
 		DisableAnalysisCache: cfg.DisableAnalysisCache,
-		DebugPassExec:        cfg.DebugPassExec}
+		DebugPassExec:        cfg.DebugPassExec,
+		Workers:              cfg.CompileWorkers}
 	if cfg.DumpOut != nil {
 		ctx.Out = cfg.DumpOut
 	}

@@ -68,18 +68,51 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	moduleHash, configHash := cacheKeys(&req)
 	key := moduleHash + ":" + configHash
-	if cached, ok := s.cache.get(key); ok {
-		resp := *cached
-		resp.Cached = true
-		writeJSON(w, http.StatusOK, &resp)
-		return
+	// Single-flight: the first request for this key compiles, identical
+	// concurrent requests wait for its response instead of running the
+	// pipeline once each.
+	var fl *flight
+	for {
+		cached, f, leader := s.cache.begin(key)
+		if cached != nil {
+			resp := *cached
+			resp.Cached = true
+			writeJSON(w, http.StatusOK, &resp)
+			return
+		}
+		if leader {
+			fl = f
+			break
+		}
+		if v, ok := s.cache.wait(r.Context(), f); ok {
+			resp := *v
+			resp.Cached = true
+			writeJSON(w, http.StatusOK, &resp)
+			return
+		}
+		if err := r.Context().Err(); err != nil {
+			writeError(w, 499, "request cancelled: %v", err)
+			return
+		}
+		// The leader failed; loop to compete for the next flight.
 	}
+	completed := false
+	defer func() {
+		if !completed {
+			// Every early return below is a failure: wake the followers
+			// empty-handed so they retry rather than hang.
+			s.cache.complete(key, fl, nil)
+		}
+	}()
 
 	cfg, err := compileConfig(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Server-level tuning, deliberately not part of the wire format (or
+	// the cache key): output is byte-identical for every worker count.
+	cfg.CompileWorkers = s.cfg.CompileWorkers
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	start := time.Now()
@@ -110,7 +143,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		CompileMS:  float64(time.Since(start).Microseconds()) / 1000,
 		Result:     payload,
 	}
-	s.cache.put(key, resp)
+	s.cache.complete(key, fl, resp)
+	completed = true
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -138,6 +172,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	spec.Compile.CompileWorkers = s.cfg.CompileWorkers
 	j, err := s.submit("probe", func(ctx context.Context, j *job) (any, error) {
 		spec.Log = j // driver progress lines become job events
 		res, perr := driver.ProbeContext(ctx, spec)
@@ -162,6 +197,7 @@ func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := fuzzOptions(&req)
+	opts.CompileWorkers = s.cfg.CompileWorkers
 	j, err := s.submit("fuzz", func(ctx context.Context, j *job) (any, error) {
 		opts.Ctx = ctx
 		opts.Log = j // campaign progress lines become job events
@@ -255,7 +291,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(s.cache, len(s.queue), cap(s.queue), s.inflight.Load()))
+	fmt.Fprint(w, s.met.render(s.cache, len(s.queue), cap(s.queue), s.inflight.Load(), s.cfg.Workers, s.cfg.CompileWorkers))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -28,11 +28,11 @@ type metrics struct {
 
 	// Compiler-level counters, summed over every compilation executed
 	// by the service (sync compiles and job compiles alike).
-	compiles         int64
-	aaCacheHits      int64
-	aaCacheLookups   int64
-	analysisHits     int64
-	analysisMisses   int64
+	compiles       int64
+	aaCacheHits    int64
+	aaCacheLookups int64
+	analysisHits   int64
+	analysisMisses int64
 }
 
 // latencyBuckets are the histogram upper bounds in seconds.
@@ -105,7 +105,7 @@ func (m *metrics) observeCompile(aaHits, aaLookups, anHits, anMisses int64) {
 
 // render writes the registry in the Prometheus text exposition format,
 // with the live gauges passed in by the server.
-func (m *metrics) render(cache *resultCache, queueDepth, queueCap int, inflight int64) string {
+func (m *metrics) render(cache *resultCache, queueDepth, queueCap int, inflight int64, workers, compileWorkers int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -155,6 +155,12 @@ func (m *metrics) render(cache *resultCache, queueDepth, queueCap int, inflight 
 	b.WriteString("# HELP oraql_jobs_inflight Jobs currently executing on the worker pool.\n")
 	b.WriteString("# TYPE oraql_jobs_inflight gauge\n")
 	fmt.Fprintf(&b, "oraql_jobs_inflight %d\n", inflight)
+	b.WriteString("# HELP oraql_workers Job worker pool size.\n")
+	b.WriteString("# TYPE oraql_workers gauge\n")
+	fmt.Fprintf(&b, "oraql_workers %d\n", workers)
+	b.WriteString("# HELP oraql_compile_workers Per-function parallelism inside each compilation.\n")
+	b.WriteString("# TYPE oraql_compile_workers gauge\n")
+	fmt.Fprintf(&b, "oraql_compile_workers %d\n", compileWorkers)
 
 	hits, misses, entries := cache.counters()
 	b.WriteString("# HELP oraql_result_cache_hits_total Compile requests served from the cross-request result cache.\n")

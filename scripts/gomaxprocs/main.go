@@ -1,0 +1,13 @@
+// Command gomaxprocs prints the runtime's GOMAXPROCS — the bound on
+// any wall-clock speedup the parallel pass scheduler can show, which
+// scripts/bench_compile.sh records beside the benchmark numbers.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Println(runtime.GOMAXPROCS(0))
+}
