@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-compile bench-serve serve-smoke fuzz fuzz-smoke check
+.PHONY: tier1 vet build test race bench bench-compile bench-serve bench-diskcache serve-smoke fuzz fuzz-smoke check
 
 # tier1 is the gate the roadmap pins: it must stay green.
 tier1: build test
@@ -37,6 +37,14 @@ bench-compile:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'Serve_Compile' -benchtime=1x .
 
+# bench-diskcache records BENCH_diskcache.json and doubles as the CI
+# cross-process warm-start smoke: cold/warm `oraql sweep` from two
+# processes over one -cache-dir (byte-identical, >=5x), then the
+# seeded reprobe of an edited program (strictly fewer compiles, same
+# convictions).
+bench-diskcache:
+	scripts/bench_diskcache.sh
+
 # serve-smoke mirrors the CI serve job: build the server, drive every
 # endpoint with the checked-in example, assert the cache hit on
 # /metrics, and check the SIGTERM drain.
@@ -59,4 +67,4 @@ SEED ?= 1
 fuzz:
 	$(GO) run ./cmd/oraql-fuzz -n $(N) -seed $(SEED) -v $(ARGS)
 
-check: vet tier1 race bench bench-compile bench-serve serve-smoke
+check: vet tier1 race bench bench-compile bench-serve bench-diskcache serve-smoke

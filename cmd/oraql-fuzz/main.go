@@ -9,7 +9,13 @@
 // Usage:
 //
 //	oraql-fuzz [-n N] [-seed S] [-j N] [-stmts N] [-corpus dir] [-json file]
+//	           [-cache-dir DIR] [-cache-max-mb N]
 //	oraql-fuzz -inject [-n N] ...   # fault-injection self-test
+//
+// With -cache-dir, every oracle compilation is backed by the shared
+// persistent store: re-running a seed range (or sharing the directory
+// with oraql/oraql-opt/oraql-serve) starts warm. The oracle's verdict
+// is unaffected — ORAQL-active variants bypass the cache.
 //
 // In the default (clean) mode the exit status is 0 only when the whole
 // campaign is divergence-free: any hit means the compiler at head
@@ -49,6 +55,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 	stmts := fs.Int("stmts", 0, "statements per generated program (0 = generator default)")
 	corpus := fs.String("corpus", "", "directory receiving diverging sources, reproducers, and JSON reports")
+	cacheDir := fs.String("cache-dir", "", "persistent compile cache directory shared across campaigns and processes (empty = no persistence)")
+	cacheMaxMB := fs.Int("cache-max-mb", 0, "size cap for -cache-dir in MiB (0 = 512)")
 	jsonOut := fs.String("json", "", "write the campaign summary as JSON to this file (- = stdout)")
 	inject := fs.Bool("inject", false, "fault-injection mode: run the unsound fully-optimistic responder and demand a triaged divergence")
 	triage := fs.Bool("triage", true, "triage divergences (reduce source, bisect pipeline and queries)")
@@ -61,10 +69,15 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return cliutil.Usagef("unexpected arguments: %v", fs.Args())
 	}
 
+	cache, err := cliutil.OpenCache(*cacheDir, *cacheMaxMB)
+	if err != nil {
+		return err
+	}
 	opts := difftest.FuzzOptions{
 		N:              *n,
 		Seed:           *seed,
 		Workers:        *workers,
+		Cache:          cache,
 		Gen:            progen.Options{Stmts: *stmts},
 		Triage:         *triage,
 		MaxDivergences: *maxDiv,

@@ -8,6 +8,7 @@
 //	oraql-opt prog.mc [-opt-aa-seq "1 0 1"] [-opt-aa-seq @file]
 //	         [-opt-aa-target gpu] [-opt-aa-dump-pessimistic ...]
 //	         [-stats] [-time-passes] [-print-ir] [-debug-pass] [-run] [-O1]
+//	         [-cache-dir DIR] [-cache-max-mb N]
 //
 // Exit codes: 0 success, 1 operational failure, 2 usage error. With
 // -json, failures are printed as the shared JSON error envelope.
@@ -54,6 +55,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	timePasses := fs.Bool("time-passes", false, "print per-pass wall time, run counts, and analysis cache counters")
 	noAnalysisCache := fs.Bool("disable-analysis-cache", false, "recompute every analysis on every pass run (force-invalidate mode)")
 	compileWorkers := fs.Int("compile-workers", 0, "per-function pass parallelism (0 = GOMAXPROCS, 1 = sequential; output is identical for every value)")
+	cacheDir := fs.String("cache-dir", "", "persistent compile cache directory shared across processes (empty = no persistence; output is byte-identical warm or cold)")
+	cacheMaxMB := fs.Int("cache-max-mb", 0, "size cap for -cache-dir in MiB before GC evicts cold entries (0 = 512)")
 	printIR := fs.Bool("print-ir", false, "print optimized IR")
 	debugPass := fs.Bool("debug-pass", false, "print pass executions (-debug-pass=Executions analogue)")
 	runProg := fs.Bool("run", false, "run the compiled program on the simulated machine")
@@ -107,6 +110,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if *o0 {
 		cfg.OptLevel = -1
 	}
+	cache, err := cliutil.OpenCache(*cacheDir, *cacheMaxMB)
+	if err != nil {
+		return err
+	}
+	cfg.DiskCache = cache
 	dump := oraql.DumpFlags{First: *dumpFirst, Cached: *dumpCached, Optimistic: *dumpOpt, Pessimistic: *dumpPess}
 	if *useORAQL || *seqStr != "" || dump.Any() {
 		seq, err := oraql.ParseSeq(*seqStr)
@@ -151,6 +159,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		cr.Timing().Print(stdout, cr.AnalysisStats())
 	}
 	fmt.Fprintf(stderr, "exe hash: %s\n", cr.ExeHash())
+	if cache != nil {
+		c := cache.Counters()
+		fmt.Fprintf(stderr, "disk cache: %d function hits, %d store hits / %d misses, %d puts\n",
+			cr.DiskHits(), c.Hits, c.Misses, c.Puts)
+	}
 	if *runProg {
 		rr, err := irinterp.Run(cr.Program, irinterp.Options{NumRanks: *ranks})
 		if err != nil {

@@ -10,7 +10,12 @@
 //
 //	oraql-serve [-addr :8347] [-workers N] [-compile-workers N]
 //	            [-queue N] [-cache-entries N] [-request-timeout 60s]
-//	            [-quiet]
+//	            [-cache-dir DIR] [-cache-max-mb N] [-quiet]
+//
+// With -cache-dir, compile results and probe campaign state persist in
+// a content-addressed store shared safely by any number of serve
+// instances (and the oraql/oraql-opt CLIs) pointing at the same
+// directory: restarts and sibling instances start warm.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, the
 // job queue drains (queued jobs are cancelled without running), and
@@ -49,6 +54,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	cacheEntries := fs.Int("cache-entries", 128, "compile result cache capacity")
 	compileWorkers := fs.Int("compile-workers", 0, "per-function parallelism inside each compilation (0 = GOMAXPROCS split over the job workers)")
 	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "synchronous request deadline")
+	cacheDir := fs.String("cache-dir", "", "persistent cache directory shared across instances and restarts (empty = memory-only)")
+	cacheMaxMB := fs.Int("cache-max-mb", 0, "size cap for -cache-dir in MiB before GC evicts cold entries (0 = 512)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	quiet := fs.Bool("quiet", false, "suppress the structured request log")
 	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
@@ -63,12 +70,17 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if *quiet {
 		logW = nil
 	}
+	cache, err := cliutil.OpenCache(*cacheDir, *cacheMaxMB)
+	if err != nil {
+		return err
+	}
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
 		CacheEntries:   *cacheEntries,
 		CompileWorkers: *compileWorkers,
 		RequestTimeout: *reqTimeout,
+		Cache:          cache,
 		Log:            logW,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}

@@ -59,6 +59,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return cmdReport(args, stdout)
 	case "run":
 		return cmdRun(args, stdout, stderr)
+	case "sweep":
+		return cmdSweep(args, stdout, stderr)
 	default:
 		usage(stderr)
 		return cliutil.Usagef("unknown subcommand %q", cmd)
@@ -72,7 +74,8 @@ func usage(w io.Writer) {
   oraql probe -file prog.mc [-model seq|openmp|tasks|mpi|offload] [-fortran] [-views] [-target sub]
   oraql probe ... -server http://host:8347 [-poll 250ms]
   oraql report <config-id>
-  oraql run <config-id>`)
+  oraql run <config-id>
+  oraql sweep [config-id ...] [-cache-dir DIR] [-json]`)
 }
 
 func cmdList(stdout io.Writer) error {
@@ -97,6 +100,7 @@ type probeArgs struct {
 	strategy string
 	workers  int
 	noCache  bool
+	cacheDir string
 	ranks    int
 	verbose  bool
 	jsonOut  bool
@@ -117,6 +121,7 @@ func parseProbeArgs(args []string) (*probeArgs, error) {
 	fs.StringVar(&pa.strategy, "strategy", "chunked", "bisection strategy (chunked|freq)")
 	fs.IntVar(&pa.workers, "j", 0, "probing worker pool size (0 = NumCPU, 1 = sequential)")
 	fs.BoolVar(&pa.noCache, "no-exe-cache", false, "disable the executable-hash test cache")
+	fs.StringVar(&pa.cacheDir, "cache-dir", "", "persistent cache directory: compile artifacts and campaign state survive across processes (local mode only)")
 	fs.IntVar(&pa.ranks, "ranks", 1, "simulated MPI ranks")
 	fs.BoolVar(&pa.verbose, "v", false, "verbose driver log")
 	fs.BoolVar(&pa.jsonOut, "json", false, "print the probe result as JSON (and failures as the JSON envelope)")
@@ -180,6 +185,13 @@ func (pa *probeArgs) spec() (*driver.BenchSpec, error) {
 	}
 	spec.Workers = pa.workers
 	spec.DisableExeCache = pa.noCache
+	if pa.cacheDir != "" {
+		cache, err := cliutil.OpenCache(pa.cacheDir, 0)
+		if err != nil {
+			return nil, err
+		}
+		spec.Cache = cache
+	}
 	return spec, nil
 }
 
@@ -267,6 +279,9 @@ func emitProbe(p *report.ProbeJSON, jsonOut bool, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "no-alias responses:   %d original -> %d ORAQL\n", p.NoAliasOrig, p.NoAliasORAQL)
 	fmt.Fprintf(stdout, "probing effort:       %d compiles, %d tests (+%d from exe cache)\n",
 		p.Compiles, p.TestsRun, p.TestsCached)
+	if p.TestsDisk > 0 {
+		fmt.Fprintf(stdout, "persistent campaign:  %d test verdicts replayed from disk\n", p.TestsDisk)
+	}
 	if p.TestsSpeculated > 0 {
 		fmt.Fprintf(stdout, "speculation:          %d tests prefetched, %d wasted\n",
 			p.TestsSpeculated, p.TestsWasted)

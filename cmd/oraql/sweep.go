@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/cliutil"
+	"github.com/oraql/go-oraql/internal/diskcache"
+	"github.com/oraql/go-oraql/internal/pipeline"
+)
+
+// sweepEntry is one configuration's compile outcome.
+type sweepEntry struct {
+	ID        string  `json:"id"`
+	ExeHash   string  `json:"exe_hash"`
+	CompileMS float64 `json:"compile_ms"`
+	DiskHits  int     `json:"disk_hits"`
+}
+
+// sweepResult is the `oraql sweep` JSON document: one process's
+// compile pass over the benchmark matrix, with the persistent-store
+// counters when a cache dir was used. The cross-process benchmark
+// (scripts/bench_diskcache.sh) diffs two of these — one cold, one warm
+// from a separate process — on exe hashes and total time.
+type sweepResult struct {
+	Configs  []sweepEntry        `json:"configs"`
+	TotalMS  float64             `json:"total_ms"`
+	CacheDir string              `json:"cache_dir,omitempty"`
+	Disk     *diskcache.Counters `json:"disk,omitempty"`
+}
+
+// cmdSweep compiles every benchmark configuration (or the ones named
+// as arguments) in-process and reports per-config exe hashes and
+// timings.
+func cmdSweep(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	cacheDir := fs.String("cache-dir", "", "persistent compile cache directory (empty = cold every time)")
+	cacheMaxMB := fs.Int("cache-max-mb", 0, "size cap for -cache-dir in MiB (0 = 512)")
+	workers := fs.Int("compile-workers", 0, "per-function parallelism per compilation (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "print the sweep result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return cliutil.WrapUsage(err)
+	}
+
+	cache, err := cliutil.OpenCache(*cacheDir, *cacheMaxMB)
+	if err != nil {
+		return err
+	}
+
+	configs := apps.All()
+	if fs.NArg() > 0 {
+		configs = configs[:0:0]
+		for _, id := range fs.Args() {
+			cfg := apps.ByID(id)
+			if cfg == nil {
+				return fmt.Errorf("unknown configuration %q (try `oraql list`)", id)
+			}
+			configs = append(configs, cfg)
+		}
+	}
+
+	res := sweepResult{CacheDir: *cacheDir}
+	start := time.Now()
+	for _, app := range configs {
+		cfg := pipeline.Config{
+			Name: app.ID, Source: app.Source, SourceFile: app.SourceName,
+			Frontend: app.Frontend, CompileWorkers: *workers, DiskCache: cache,
+		}
+		t0 := time.Now()
+		cr, err := pipeline.Compile(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.ID, err)
+		}
+		res.Configs = append(res.Configs, sweepEntry{
+			ID:        app.ID,
+			ExeHash:   cr.ExeHash(),
+			CompileMS: float64(time.Since(t0).Microseconds()) / 1000,
+			DiskHits:  cr.DiskHits(),
+		})
+	}
+	res.TotalMS = float64(time.Since(start).Microseconds()) / 1000
+	if cache != nil {
+		c := cache.Counters()
+		res.Disk = &c
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&res)
+	}
+	fmt.Fprintf(stdout, "%-22s %-18s %10s %10s\n", "ID", "EXE HASH", "MS", "DISK HITS")
+	for _, e := range res.Configs {
+		hash := e.ExeHash
+		if len(hash) > 16 {
+			hash = hash[:16]
+		}
+		fmt.Fprintf(stdout, "%-22s %-18s %10.2f %10d\n", e.ID, hash, e.CompileMS, e.DiskHits)
+	}
+	fmt.Fprintf(stdout, "total: %.2fms over %d configs\n", res.TotalMS, len(res.Configs))
+	if res.Disk != nil {
+		fmt.Fprintf(stderr, "disk cache: %d hits / %d misses, %d puts, %d evictions\n",
+			res.Disk.Hits, res.Disk.Misses, res.Disk.Puts, res.Disk.Evictions)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package cliutil
+
+import (
+	"fmt"
+
+	"github.com/oraql/go-oraql/internal/diskcache"
+)
+
+// OpenCache opens the shared persistent compile cache for a -cache-dir
+// flag value. An empty dir disables caching (nil store, nil error);
+// maxMB caps the directory size in MiB (0 = the store default).
+func OpenCache(dir string, maxMB int) (*diskcache.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	var opts []diskcache.Option
+	if maxMB > 0 {
+		opts = append(opts, diskcache.WithMaxBytes(int64(maxMB)<<20))
+	}
+	store, err := diskcache.Open(dir, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("open cache dir %s: %w", dir, err)
+	}
+	return store, nil
+}

@@ -23,6 +23,7 @@ package difftest
 import (
 	"fmt"
 
+	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/minic"
 	"github.com/oraql/go-oraql/internal/oraql"
@@ -133,20 +134,26 @@ type CheckOptions struct {
 	// The oracle's verdict is identical for every value — the fuzz
 	// target draws random worker counts to enforce exactly that.
 	CompileWorkers int
+	// Cache, when non-nil, backs every oracle compilation with the
+	// persistent store: re-checking a seed already compiled by a prior
+	// campaign (or another process) reuses its artifacts. Compilations
+	// with an active ORAQL responder bypass the cache by construction,
+	// so the oracle's verdict is identical with or without it.
+	Cache *diskcache.Store
 }
 
 // reference compiles src unoptimized under the model and returns its
 // output, which by the generator's UB-freedom is the ground truth.
-func reference(name, file, src string, model minic.Model, run irinterp.Options, workers int) (string, error) {
+func reference(name, file, src string, model minic.Model, opts CheckOptions) (string, error) {
 	cr, err := pipeline.Compile(pipeline.Config{
 		Name: name, Source: src, SourceFile: file,
 		Frontend: minic.Options{Model: model}, OptLevel: -1,
-		CompileWorkers: workers,
+		CompileWorkers: opts.CompileWorkers, DiskCache: opts.Cache,
 	})
 	if err != nil {
 		return "", fmt.Errorf("reference compile: %w", err)
 	}
-	res, err := irinterp.Run(cr.Program, run)
+	res, err := irinterp.Run(cr.Program, opts.Run)
 	if err != nil {
 		return "", fmt.Errorf("reference run: %w", err)
 	}
@@ -167,7 +174,7 @@ func Check(p *progen.Program, opts CheckOptions) (*Divergence, error) {
 	for _, v := range variants {
 		spec := refs[v.Model]
 		if spec == nil {
-			out, err := reference(fmt.Sprintf("seed%d-ref", p.Seed), p.FileName, p.Source, v.Model, opts.Run, opts.CompileWorkers)
+			out, err := reference(fmt.Sprintf("seed%d-ref", p.Seed), p.FileName, p.Source, v.Model, opts)
 			if err != nil {
 				return nil, fmt.Errorf("seed %d model %d: %w", p.Seed, v.Model, err)
 			}
@@ -179,6 +186,7 @@ func Check(p *progen.Program, opts CheckOptions) (*Divergence, error) {
 		}
 		vcfg := v.config(fmt.Sprintf("seed%d-%s", p.Seed, v.Name), p.FileName, p.Source, 0)
 		vcfg.CompileWorkers = opts.CompileWorkers
+		vcfg.DiskCache = opts.Cache
 		cr, err := pipeline.Compile(vcfg)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d variant %s: compile: %w", p.Seed, v.Name, err)

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/progen"
 )
@@ -31,6 +32,10 @@ type FuzzOptions struct {
 	// compilation (0 = one global budget: GOMAXPROCS split over the
 	// campaign workers, so outer x inner stays within the machine).
 	CompileWorkers int
+	// Cache, when non-nil, is threaded into every oracle compilation
+	// (see CheckOptions.Cache): re-fuzzing a seed range warm-starts
+	// from artifacts persisted by earlier campaigns or other processes.
+	Cache *diskcache.Store
 	// Gen tunes the program generator.
 	Gen progen.Options
 	// Run configures the simulated machine.
@@ -122,7 +127,8 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 					continue // drain: stop doing work, keep the channel moving
 				}
 				p := progen.Generate(seed, opts.Gen)
-				div, err := Check(p, CheckOptions{Run: opts.Run, Variants: variants, CompileWorkers: opts.CompileWorkers})
+				div, err := Check(p, CheckOptions{Run: opts.Run, Variants: variants,
+					CompileWorkers: opts.CompileWorkers, Cache: opts.Cache})
 				mu.Lock()
 				res.Programs++
 				mu.Unlock()

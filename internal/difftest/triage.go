@@ -62,7 +62,7 @@ type scenario struct {
 // on src; any compile or reference failure counts as "not
 // interesting", which is exactly what the reducer needs.
 func (sc *scenario) divergesSource(src string) bool {
-	ref, err := reference("triage-ref", sc.file, src, sc.v.Model, sc.run, 0)
+	ref, err := reference("triage-ref", sc.file, src, sc.v.Model, CheckOptions{Run: sc.run})
 	if err != nil {
 		return false
 	}
@@ -114,7 +114,7 @@ func TriageDivergence(d *Divergence, run irinterp.Options) (*Triage, error) {
 	// Step 2: bisect the pipeline on the reduced program. The prefix
 	// of zero passes equals the reference by construction, the full
 	// pipeline diverges; binary-search the first diverging prefix.
-	ref, err := reference("triage-ref", sc.file, t.Reproducer, sc.v.Model, sc.run, 0)
+	ref, err := reference("triage-ref", sc.file, t.Reproducer, sc.v.Model, CheckOptions{Run: sc.run})
 	if err != nil {
 		return nil, fmt.Errorf("triage: reduced reference: %w", err)
 	}

@@ -1,0 +1,107 @@
+package diskcache
+
+import "encoding/json"
+
+// Campaign state: the probe driver persists two artifact families so a
+// later process (or a reprobe of an edited program) can skip work.
+//
+//   - Test outcomes, keyed by the campaign identity plus the exact
+//     response sequence: "did the program compiled under this sequence
+//     pass its check?" These make a repeated campaign replay from disk.
+//
+//   - Per-query verdicts, keyed by the *function* content hash: for
+//     each alias query a function asked (identified by a stable
+//     descriptor, not a sequence index), how often the optimistic
+//     answer survived or was convicted. Functions untouched by an edit
+//     keep their hash, so their verdicts seed the next bisection.
+
+// TestOutcome is one persisted probe-test result.
+type TestOutcome struct {
+	OK     bool `json:"ok"`
+	Unique int  `json:"unique"` // unique optimistic queries the run consumed
+}
+
+// TestOutcomeKey derives the store key for one (campaign, sequence)
+// test. campaignID must capture everything that determines the test:
+// program content, pipeline configuration, check command.
+func TestOutcomeKey(campaignID, seq string) string {
+	return Key("test", campaignID, seq)
+}
+
+// LoadTestOutcome fetches a persisted test result.
+func (s *Store) LoadTestOutcome(key string) (TestOutcome, bool) {
+	data, ok := s.Get(key)
+	if !ok {
+		return TestOutcome{}, false
+	}
+	var o TestOutcome
+	if json.Unmarshal(data, &o) != nil {
+		return TestOutcome{}, false
+	}
+	return o, true
+}
+
+// StoreTestOutcome persists a test result.
+func (s *Store) StoreTestOutcome(key string, o TestOutcome) {
+	data, err := json.Marshal(o)
+	if err != nil {
+		return
+	}
+	s.Put(key, data)
+}
+
+// VerdictCounts accumulates how one alias query fared across probes.
+type VerdictCounts struct {
+	Optimistic  int64 `json:"opt"`  // optimistic answer survived the campaign
+	Pessimistic int64 `json:"pess"` // optimistic answer was convicted (guilty)
+}
+
+// FuncVerdicts maps a stable query descriptor to its running counts.
+type FuncVerdicts map[string]VerdictCounts
+
+// funcVerdictsKey: one entry per (function content, campaign check).
+func funcVerdictsKey(funcHash, checkID string) string {
+	return Key("verdicts", funcHash, checkID)
+}
+
+// LoadFuncVerdicts fetches the verdict history for one function
+// content hash (nil when none recorded).
+func (s *Store) LoadFuncVerdicts(funcHash, checkID string) FuncVerdicts {
+	data, ok := s.Get(funcVerdictsKey(funcHash, checkID))
+	if !ok {
+		return nil
+	}
+	var v FuncVerdicts
+	if json.Unmarshal(data, &v) != nil {
+		return nil
+	}
+	return v
+}
+
+// MergeFuncVerdicts folds one campaign's observations (descriptor →
+// optimistic-survived) into the persisted history. The read-merge-
+// write is not atomic across processes; a lost update only costs
+// hint quality, never correctness.
+func (s *Store) MergeFuncVerdicts(funcHash, checkID string, obs map[string]bool) {
+	if len(obs) == 0 {
+		return
+	}
+	v := s.LoadFuncVerdicts(funcHash, checkID)
+	if v == nil {
+		v = FuncVerdicts{}
+	}
+	for desc, optimistic := range obs {
+		c := v[desc]
+		if optimistic {
+			c.Optimistic++
+		} else {
+			c.Pessimistic++
+		}
+		v[desc] = c
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	s.Put(funcVerdictsKey(funcHash, checkID), data)
+}

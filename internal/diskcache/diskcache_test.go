@@ -1,0 +1,261 @@
+package diskcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, opts ...Option) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := open(t)
+	key := Key("fn", "module", "pipeline", "chain", "", "f", "define ...")
+	payload := []byte("optimized function body")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit before put")
+	}
+	s.Put(key, payload)
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Puts != 1 || c.Corrupt != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestKeyDerivation(t *testing.T) {
+	// Different splits of the same bytes must not collide.
+	if Key("d", "ab", "c") == Key("d", "a", "bc") {
+		t.Fatal("length prefixing failed: split collision")
+	}
+	if Key("d1", "x") == Key("d2", "x") {
+		t.Fatal("domains collide")
+	}
+	if Key("d", "x") != Key("d", "x") {
+		t.Fatal("key not deterministic")
+	}
+}
+
+// A truncated entry must read as a miss, never an error or torn data.
+func TestTruncatedEntryIsMiss(t *testing.T) {
+	s := open(t)
+	key := Key("fn", "content")
+	s.Put(key, []byte("a payload long enough to truncate meaningfully"))
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, 8, 15, len(data) / 2, len(data) - 1} {
+		if err := os.WriteFile(p, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get(key); ok {
+			t.Fatalf("truncation to %d bytes served %q", n, got)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("truncated entry (%d bytes) not removed", n)
+		}
+		// Restore for the next truncation point.
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := s.Counters(); c.Corrupt == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+// A bit flip anywhere in the payload must fail the checksum.
+func TestCorruptPayloadIsMiss(t *testing.T) {
+	s := open(t)
+	key := Key("fn", "content2")
+	s.Put(key, []byte("payload under checksum"))
+	p := s.path(key)
+	data, _ := os.ReadFile(p)
+	data[len(data)-40] ^= 0x01 // inside the payload region
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt payload served")
+	}
+}
+
+// An entry written under a different schema version must be invisible.
+func TestSchemaBumpInvalidates(t *testing.T) {
+	s := open(t)
+	key := Key("fn", "content3")
+	s.Put(key, []byte("old world"))
+	p := s.path(key)
+	data, _ := os.ReadFile(p)
+	binary.LittleEndian.PutUint32(data[4:8], SchemaVersion+1)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("foreign-schema entry served")
+	}
+	// And the key itself changes with the version (simulated via domain).
+	if Key("fn", "x") == Key("fn2", "x") {
+		t.Fatal("unexpected collision")
+	}
+}
+
+// An entry stored under one key must not answer for another (hash
+// sharding puts colliding prefixes in the same directory).
+func TestKeyMismatchIsMiss(t *testing.T) {
+	s := open(t)
+	k1 := Key("fn", "a")
+	k2 := Key("fn", "b")
+	s.Put(k1, []byte("for k1"))
+	// Copy k1's file into k2's slot, simulating a mixed-up entry.
+	data, _ := os.ReadFile(s.path(k1))
+	if err := os.MkdirAll(filepath.Dir(s.path(k2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k2); ok {
+		t.Fatal("entry with mismatched embedded key served")
+	}
+}
+
+// Two stores (standing in for two processes) hammering the same
+// directory must never serve a torn entry: every successful Get
+// returns one of the complete payloads.
+func TestConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 8
+	payload := func(k, gen int) []byte {
+		return bytes.Repeat([]byte(fmt.Sprintf("k%d-g%d;", k, gen)), 100)
+	}
+	valid := func(k int, got []byte) bool {
+		for gen := 0; gen < 4; gen++ {
+			if bytes.Equal(got, payload(k, gen)) {
+				return true
+			}
+		}
+		return false
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for _, s := range []*Store{s1, s2} {
+		wg.Add(2)
+		go func(s *Store) { // writer
+			defer wg.Done()
+			for gen := 0; gen < 4; gen++ {
+				for k := 0; k < keys; k++ {
+					s.Put(Key("race", fmt.Sprint(k)), payload(k, gen))
+				}
+			}
+		}(s)
+		go func(s *Store) { // reader
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := i % keys
+				if got, ok := s.Get(Key("race", fmt.Sprint(k))); ok && !valid(k, got) {
+					errc <- fmt.Errorf("torn read for key %d: %q...", k, got[:20])
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// GC under size pressure must evict cold entries and keep hot ones.
+func TestGCKeepsHotEntries(t *testing.T) {
+	s := open(t, WithMaxBytes(8*1024))
+	payload := bytes.Repeat([]byte("x"), 1024)
+	old := time.Now().Add(-time.Hour)
+	var cold []string
+	for i := 0; i < 12; i++ {
+		k := Key("gc", fmt.Sprintf("cold%d", i))
+		s.Put(k, payload)
+		// Age the entry so mtime ordering is unambiguous.
+		if err := os.Chtimes(s.path(k), old, old); err != nil {
+			t.Fatal(err)
+		}
+		cold = append(cold, k)
+	}
+	hot := Key("gc", "hot")
+	s.Put(hot, payload)
+	s.GCNow()
+	if _, ok := s.Get(hot); !ok {
+		t.Fatal("hot entry evicted")
+	}
+	evicted := 0
+	for _, k := range cold {
+		if _, ok := s.Get(k); !ok {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("no cold entries evicted under size pressure")
+	}
+	if c := s.Counters(); c.Evictions == 0 {
+		t.Fatalf("evictions not counted: %+v", c)
+	}
+	if _, bytes := s.Usage(); bytes > 8*1024 {
+		t.Fatalf("usage %d still above budget", bytes)
+	}
+}
+
+func TestCampaignState(t *testing.T) {
+	s := open(t)
+	key := TestOutcomeKey("campaign", "1101")
+	if _, ok := s.LoadTestOutcome(key); ok {
+		t.Fatal("outcome hit before store")
+	}
+	s.StoreTestOutcome(key, TestOutcome{OK: true, Unique: 7})
+	o, ok := s.LoadTestOutcome(key)
+	if !ok || !o.OK || o.Unique != 7 {
+		t.Fatalf("outcome = %+v, %v", o, ok)
+	}
+
+	s.MergeFuncVerdicts("fhash", "check", map[string]bool{"q1": true, "q2": false})
+	s.MergeFuncVerdicts("fhash", "check", map[string]bool{"q1": true})
+	v := s.LoadFuncVerdicts("fhash", "check")
+	if v["q1"].Optimistic != 2 || v["q1"].Pessimistic != 0 {
+		t.Fatalf("q1 = %+v", v["q1"])
+	}
+	if v["q2"].Pessimistic != 1 {
+		t.Fatalf("q2 = %+v", v["q2"])
+	}
+	if s.LoadFuncVerdicts("other", "check") != nil {
+		t.Fatal("verdicts leak across function hashes")
+	}
+}

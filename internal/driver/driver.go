@@ -21,7 +21,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 
+	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/oraql"
 	"github.com/oraql/go-oraql/internal/pipeline"
@@ -60,6 +62,14 @@ type BenchSpec struct {
 	// MaxTests bounds probing effort (0 = no bound). The budget counts
 	// consumed tests only; speculative tests are free.
 	MaxTests int
+	// Cache, when non-nil, persists campaign state across processes:
+	// test outcomes keyed by the baseline content identity (a repeated
+	// campaign replays from disk) and per-query verdicts keyed by
+	// function content hashes (a campaign on an edited program seeds
+	// its bisection from the unchanged functions' history — see
+	// persist.go). The store is also installed as the pipeline's
+	// compile cache for the non-ORAQL baseline/final compilations.
+	Cache *diskcache.Store
 	// Log receives progress lines when non-nil.
 	Log io.Writer
 }
@@ -93,6 +103,9 @@ type Result struct {
 	Compiles    int
 	TestsRun    int
 	TestsCached int
+	// TestsDisk is the subset of TestsCached whose outcome was replayed
+	// from the persistent campaign state (BenchSpec.Cache).
+	TestsDisk int
 	// TestsSpeculated counts speculative tests launched by the parallel
 	// driver; TestsWasted is the subset whose outcome was never
 	// consumed by the decision loop (cancelled losers included).
@@ -142,6 +155,12 @@ type state struct {
 	eng     *engine
 	padLen  int // generous pessimistic padding length
 	maxSeen int // highest unique-query count observed
+
+	// Persistent-campaign state (nil/empty without BenchSpec.Cache).
+	campID  string    // test-outcome identity: content hashes + checkID
+	checkID string    // check identity: spec config sans module content
+	pins    []int8    // per-index persisted verdict: +1 opt, -1 pess, 0 unknown
+	priors  []float64 // per-index P(must stay pessimistic), 0.5 unknown
 }
 
 func (st *state) logf(format string, args ...any) {
@@ -211,6 +230,15 @@ func (st *state) probe() (*Result, error) {
 	if err := spec.Verify.Compile(); err != nil {
 		return nil, fmt.Errorf("driver: verify spec: %w", err)
 	}
+	if spec.Cache != nil {
+		// The shared store serves the compile cache for the non-ORAQL
+		// baseline/final compilations; content hashes identify the
+		// campaign and key the per-function verdict history.
+		if spec.Compile.DiskCache == nil {
+			spec.Compile.DiskCache = spec.Cache
+		}
+		spec.Compile.WantContentHashes = true
+	}
 
 	// Step 1: baseline compile and run without ORAQL.
 	base, err := st.execute(nil)
@@ -229,10 +257,11 @@ func (st *state) probe() (*Result, error) {
 	}
 	st.res.Baseline = base
 	st.logf("%s: baseline verified (%d instrs)", spec.Name, base.Run.Instrs)
+	st.campaignKeys()
 
 	// The engine is created only after the verify references are
 	// recorded: workers verify concurrently against the frozen spec.
-	st.eng = newEngine(st.ctx, spec)
+	st.eng = newEngine(st.ctx, spec, st.campID)
 	defer st.eng.shutdown()
 
 	// Step 2: fully optimistic attempt (empty sequence).
@@ -247,6 +276,7 @@ func (st *state) probe() (*Result, error) {
 		return st.finalize(nil)
 	}
 	st.logf("%s: fully optimistic failed; bisecting %d unique queries", spec.Name, st.maxSeen)
+	st.seedFromDisk()
 
 	// Step 3: bisection. The padding keeps undecided queries
 	// pessimistic; it adapts as query counts drift.
@@ -255,9 +285,11 @@ func (st *state) probe() (*Result, error) {
 		n := st.maxSeen
 		st.padLen = 2*n + 64
 		var decided oraql.Seq
-		switch spec.Strategy {
-		case FreqSpace:
+		switch {
+		case spec.Strategy == FreqSpace:
 			decided, err = st.freqSolve(n)
+		case round == 0 && st.pins != nil:
+			decided, err = st.seededSolve(n)
 		default:
 			decided, err = st.chunkSolve(n)
 		}
@@ -303,10 +335,12 @@ func (st *state) finalize(seq oraql.Seq) (*Result, error) {
 	st.res.Compiles += int(st.eng.compiles.Load())
 	st.res.TestsSpeculated = int(st.eng.specLaunched.Load())
 	st.res.TestsWasted = st.res.TestsSpeculated - int(st.eng.specConsumed.Load())
+	st.res.TestsDisk = int(st.eng.diskTests.Load())
+	st.persistVerdicts(fin.Compile)
 	s := fin.Compile.ORAQLStats()
-	st.logf("%s: done: %d opt (%d cached), %d pess (%d cached); %d compiles, %d tests (+%d cached, %d speculated, %d wasted)",
+	st.logf("%s: done: %d opt (%d cached), %d pess (%d cached); %d compiles, %d tests (+%d cached, %d from disk, %d speculated, %d wasted)",
 		st.spec.Name, s.UniqueOptimistic, s.CachedOptimistic, s.UniquePessimistic, s.CachedPessimistic,
-		st.res.Compiles, st.res.TestsRun, st.res.TestsCached, st.res.TestsSpeculated, st.res.TestsWasted)
+		st.res.Compiles, st.res.TestsRun, st.res.TestsCached, st.res.TestsDisk, st.res.TestsSpeculated, st.res.TestsWasted)
 	// -time-passes style summary of the final compilation.
 	tm := fin.Compile.Timing()
 	var runs int64
@@ -390,18 +424,28 @@ func (st *state) chunkSolve(n int) (oraql.Seq, error) {
 // Decided bits only ever flip to optimistic on a success — and every
 // success cancels outstanding speculation — so candidates built from
 // the current decided state stay exact until consumed or cancelled.
+//
+// When persisted verdict priors are available, candidates are ordered
+// by estimated consumption probability — the product of each
+// ancestor's failure probability along the path that reaches the
+// candidate's test — so the engine's bounded speculation depth is
+// spent on the tests most likely to be consumed.
 func (st *state) chunkSpecs(decided oraql.Seq, lo, hi int) []oraql.Seq {
 	if st.eng.workers <= 1 || hi-lo <= 1 {
 		return nil
 	}
 	var specs []oraql.Seq
+	var scores []float64
+	prob := 1.0 // P(every ancestor range test failed)
 	for l, h := lo, hi; h-l > 1 && len(specs) < st.eng.workers-1; {
 		m := (l + h) / 2
 		cand := decided.Clone()
 		for i := l; i < m; i++ {
 			cand[i] = true
 		}
+		prob *= st.pFail(l, h)
 		specs = append(specs, st.pad(cand[:m], st.padLen))
+		scores = append(scores, prob)
 		h = m
 	}
 	if mid := (lo + hi) / 2; len(specs) < st.eng.workers-1 {
@@ -410,6 +454,21 @@ func (st *state) chunkSpecs(decided oraql.Seq, lo, hi int) []oraql.Seq {
 			cand[i] = true
 		}
 		specs = append(specs, st.pad(cand[:hi], st.padLen))
+		// Consumed when [lo,hi) failed and its left half failed too
+		// (leftAll skips the right's whole-range test otherwise).
+		scores = append(scores, st.pFail(lo, hi)*st.pFail(lo, mid))
+	}
+	if st.priors != nil {
+		ord := make([]int, len(specs))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.SliceStable(ord, func(a, b int) bool { return scores[ord[a]] > scores[ord[b]] })
+		sorted := make([]oraql.Seq, len(specs))
+		for i, j := range ord {
+			sorted[i] = specs[j]
+		}
+		specs = sorted
 	}
 	return specs
 }

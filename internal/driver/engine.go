@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/oraql"
 	"github.com/oraql/go-oraql/internal/pipeline"
@@ -66,16 +67,27 @@ type engine struct {
 	ctx     context.Context
 	spec    *BenchSpec
 	workers int
+	campID  string // persistent campaign identity ("" = no disk outcomes)
 	sem     chan struct{}
 	wg      sync.WaitGroup
 
-	mu    sync.Mutex
-	calls map[string]*testCall
-	exe   map[string]*exeEntry
+	mu         sync.Mutex
+	calls      map[string]*testCall
+	exe        map[string]*exeEntry
+	optRecords []*oraql.QueryRecord // query stream of the empty-seq compile
 
 	compiles     atomic.Int64
 	specLaunched atomic.Int64
 	specConsumed atomic.Int64
+	diskTests    atomic.Int64
+
+	// specDepth bounds in-flight speculation, adapting to the observed
+	// hit/waste rate: it starts at min(workers-1, cores-1) — zero on a
+	// single-core host, where speculative compiles only steal cycles
+	// from the consumed test — shrinks when speculation is cancelled
+	// unconsumed, and grows (up to workers-1) when it is consumed.
+	specDepth  atomic.Int64
+	specActive atomic.Int64
 }
 
 // innerWorkers splits the machine between outer (probe) and inner
@@ -91,7 +103,7 @@ func innerWorkers(outer int) int {
 	return 1
 }
 
-func newEngine(ctx context.Context, spec *BenchSpec) *engine {
+func newEngine(ctx context.Context, spec *BenchSpec, campID string) *engine {
 	w := spec.Workers
 	if w <= 0 {
 		w = runtime.NumCPU()
@@ -99,14 +111,52 @@ func newEngine(ctx context.Context, spec *BenchSpec) *engine {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &engine{
+	e := &engine{
 		ctx:     ctx,
 		spec:    spec,
 		workers: w,
+		campID:  campID,
 		sem:     make(chan struct{}, w),
 		calls:   map[string]*testCall{},
 		exe:     map[string]*exeEntry{},
 	}
+	depth := int64(w - 1)
+	if c := int64(runtime.GOMAXPROCS(0) - 1); c < depth {
+		depth = c
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	e.specDepth.Store(depth)
+	return e
+}
+
+// adjustDepth moves the speculation depth by delta within [0, workers-1].
+func (e *engine) adjustDepth(delta int64) {
+	max := int64(e.workers - 1)
+	for {
+		cur := e.specDepth.Load()
+		next := cur + delta
+		if next < 0 {
+			next = 0
+		}
+		if next > max {
+			next = max
+		}
+		if next == cur || e.specDepth.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// takeOptRecords hands the empty-sequence compile's query records to
+// the driver (once) for verdict seeding.
+func (e *engine) takeOptRecords() []*oraql.QueryRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.optRecords
+	e.optRecords = nil
+	return r
 }
 
 // get returns the outcome for a candidate, joining an in-flight or
@@ -127,6 +177,7 @@ func (e *engine) get(seq oraql.Seq) testOutcome {
 			e.consume(c)
 			if c.speculative {
 				e.specConsumed.Add(1)
+				e.adjustDepth(1) // speculation paid off: widen
 			}
 			return c.out
 		}
@@ -141,10 +192,12 @@ func (e *engine) get(seq oraql.Seq) testOutcome {
 }
 
 // prefetch speculatively launches a candidate test on the worker pool.
-// It is a no-op when probing sequentially or when the candidate is
-// already in flight.
+// It is a no-op when probing sequentially, when the adaptive depth
+// bound is reached, or when the candidate is already in flight. The
+// driver passes candidates in descending consumption-probability
+// order, so depth throttling drops the least promising ones first.
 func (e *engine) prefetch(seq oraql.Seq) {
-	if e.workers <= 1 {
+	if e.workers <= 1 || e.specActive.Load() >= e.specDepth.Load() {
 		return
 	}
 	key := seq.String()
@@ -158,9 +211,11 @@ func (e *engine) prefetch(seq oraql.Seq) {
 	e.calls[key] = c
 	e.mu.Unlock()
 	e.specLaunched.Add(1)
+	e.specActive.Add(1)
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
+		defer e.specActive.Add(-1)
 		out := e.run(ctx, seq)
 		e.mu.Lock()
 		if errors.Is(out.err, context.Canceled) {
@@ -171,6 +226,9 @@ func (e *engine) prefetch(seq oraql.Seq) {
 		}
 		c.out = out
 		e.mu.Unlock()
+		if c.canceled {
+			e.adjustDepth(-1) // cancelled unconsumed: wasted work, narrow
+		}
 		close(c.done)
 	}()
 }
@@ -206,8 +264,19 @@ func (e *engine) consume(c *testCall) {
 
 // run compiles and verifies one candidate on a worker slot. ctx is
 // threaded into the compilation and checked again before executing, so
-// a cancelled speculative test stops mid-pipeline.
+// a cancelled speculative test stops mid-pipeline. With a persistent
+// campaign (BenchSpec.Cache + content-hash identity), outcomes are
+// consulted on disk first — a warm campaign replays every test without
+// compiling — and persisted after each fresh verdict.
 func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
+	var dkey string
+	if e.spec.Cache != nil && e.campID != "" {
+		dkey = diskcache.TestOutcomeKey(e.campID, seq.String())
+		if o, ok := e.spec.Cache.LoadTestOutcome(dkey); ok {
+			e.diskTests.Add(1)
+			return testOutcome{ok: o.OK, unique: o.Unique}
+		}
+	}
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 	if ctx.Err() != nil {
@@ -230,6 +299,13 @@ func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
 		return testOutcome{err: err}
 	}
 	e.compiles.Add(1)
+	if len(seq) == 0 && e.spec.Cache != nil {
+		e.mu.Lock()
+		if e.optRecords == nil {
+			e.optRecords = cr.Records()
+		}
+		e.mu.Unlock()
+	}
 	out := testOutcome{unique: cr.ORAQLStats().Unique()}
 	if e.spec.DisableExeCache {
 		if ctx.Err() != nil {
@@ -237,6 +313,7 @@ func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
 		}
 		out.ok = e.verifyRun(cr)
 		out.didRun = true
+		e.storeOutcome(dkey, out)
 		return out
 	}
 
@@ -257,6 +334,7 @@ func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
 				continue // owner was cancelled mid-flight; re-claim
 			}
 			out.ok = ent.v.OK
+			e.storeOutcome(dkey, out)
 			return out
 		}
 		if ctx.Err() != nil {
@@ -273,8 +351,17 @@ func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
 		close(ent.done)
 		out.ok = ent.v.OK
 		out.didRun = true
+		e.storeOutcome(dkey, out)
 		return out
 	}
+}
+
+// storeOutcome persists a fresh test verdict into the campaign state.
+func (e *engine) storeOutcome(dkey string, out testOutcome) {
+	if dkey == "" || out.err != nil {
+		return
+	}
+	e.spec.Cache.StoreTestOutcome(dkey, diskcache.TestOutcome{OK: out.ok, Unique: out.unique})
 }
 
 // verifyRun executes the compiled program and checks its output.

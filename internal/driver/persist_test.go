@@ -1,0 +1,135 @@
+package driver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/diskcache"
+	"github.com/oraql/go-oraql/internal/pipeline"
+)
+
+// helloEditedSrc is helloSrc with an extra, alias-hazard-free helper
+// function appended after main: main's body — including its !dbg line
+// numbers, hence its content hash — is unchanged, so a reprobe should
+// inherit main's per-query verdicts from the first campaign.
+const helloEditedSrc = `
+int main() {
+	double a[64];
+	for (int i = 0; i < 64; i++) {
+		a[i] = (double)i * 2.0;
+	}
+	for (int i = 0; i < 63; i++) {
+		a[i+1] = a[i] * 0.5 + a[i+1];
+	}
+	double s = 0.0;
+	for (int i = 0; i < 64; i++) {
+		s = s + a[i];
+	}
+	print("sum=", s, "\n");
+	return 0;
+}
+double scale(double x) {
+	return x * 3.0;
+}
+`
+
+func probeWithCache(t *testing.T, src string, cache *diskcache.Store) *Result {
+	t.Helper()
+	var log bytes.Buffer
+	spec := &BenchSpec{
+		Name:    "hello",
+		Compile: pipeline.Config{Source: src},
+		Cache:   cache,
+		Log:     &log,
+	}
+	res, err := Probe(spec)
+	if err != nil {
+		t.Fatalf("probe: %v\n%s", err, log.String())
+	}
+	t.Logf("\n%s", log.String())
+	return res
+}
+
+// A repeated campaign on an unchanged program must replay every test
+// verdict from the persistent campaign state: zero tests actually run,
+// same final sequence.
+func TestWarmCampaignReplaysFromDisk(t *testing.T) {
+	cache, err := diskcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := probeWithCache(t, helloSrc, cache)
+	if cold.TestsDisk != 0 {
+		t.Fatalf("cold campaign claims %d disk tests", cold.TestsDisk)
+	}
+	warm := probeWithCache(t, helloSrc, cache)
+	if warm.TestsRun != 0 {
+		t.Fatalf("warm campaign ran %d tests; want 0 (all from disk)", warm.TestsRun)
+	}
+	if warm.TestsDisk == 0 {
+		t.Fatal("warm campaign consumed no disk outcomes")
+	}
+	if got, want := warm.FinalSeq.String(), cold.FinalSeq.String(); got != want {
+		t.Fatalf("warm final seq %q != cold %q", got, want)
+	}
+	if warm.Final.Run.Stdout != cold.Final.Run.Stdout {
+		t.Fatalf("warm output %q != cold %q", warm.Final.Run.Stdout, cold.Final.Run.Stdout)
+	}
+}
+
+// guiltySet renders a program-independent view of the convicted
+// queries (pass + function + both location dumps).
+func guiltySet(res *Result) map[string]int {
+	out := map[string]int{}
+	for _, rec := range res.GuiltyQueries() {
+		a, b := rec.LocDescriptions()
+		out[rec.Pass+"|"+rec.Func+"|"+a+"|"+b]++
+	}
+	return out
+}
+
+// Reprobing an edited program must seed its bisection from the
+// unchanged functions' persisted verdicts: strictly fewer tests and
+// compiles than probing the edit from scratch, with the same final
+// guilty-query set.
+func TestIncrementalReprobeOfEditedProgram(t *testing.T) {
+	cache, err := diskcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Campaign 1 populates the verdict history for main's content hash.
+	probeWithCache(t, helloSrc, cache)
+
+	// Scratch probe of the edited program (separate store: no history).
+	scratchCache, err := diskcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := probeWithCache(t, helloEditedSrc, scratchCache)
+
+	// Seeded reprobe of the edited program against the shared store.
+	seeded := probeWithCache(t, helloEditedSrc, cache)
+
+	if seeded.Compiles >= scratch.Compiles {
+		t.Fatalf("seeded reprobe compiles %d, want < scratch %d", seeded.Compiles, scratch.Compiles)
+	}
+	if st, sc := seeded.TestsRun+seeded.TestsCached, scratch.TestsRun+scratch.TestsCached; st >= sc {
+		t.Fatalf("seeded reprobe consumed %d tests, want < scratch %d", st, sc)
+	}
+	sg, cg := guiltySet(seeded), guiltySet(scratch)
+	if len(sg) != len(cg) {
+		t.Fatalf("guilty sets differ: seeded %v vs scratch %v", sg, cg)
+	}
+	for k, n := range cg {
+		if sg[k] != n {
+			t.Fatalf("guilty sets differ at %q: seeded %d vs scratch %d", k, sg[k], n)
+		}
+	}
+	if seeded.Final.Run.Stdout != scratch.Final.Run.Stdout {
+		t.Fatalf("seeded output %q != scratch %q", seeded.Final.Run.Stdout, scratch.Final.Run.Stdout)
+	}
+	if !strings.Contains(seeded.Final.Run.Stdout, "sum=") {
+		t.Fatalf("unexpected output %q", seeded.Final.Run.Stdout)
+	}
+}

@@ -39,7 +39,7 @@ func (m *Module) String() string {
 				if i > 0 {
 					sb.WriteString(", ")
 				}
-				fmt.Fprintf(&sb, "%g", v)
+				sb.WriteString(FormatF64(v))
 			}
 			sb.WriteString("}")
 		}

@@ -1,6 +1,10 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Value is anything that can appear as an instruction operand: constants,
 // globals, function arguments, and instructions themselves.
@@ -58,10 +62,24 @@ func (c *Const) Ident() string {
 	case c.Str != "":
 		return fmt.Sprintf("%q", c.Str)
 	case c.Ty == F64:
-		return fmt.Sprintf("%g", c.F)
+		return FormatF64(c.F)
 	default:
 		return fmt.Sprintf("%d", c.I)
 	}
+}
+
+// FormatF64 renders a float constant so the text itself carries the
+// type: integral values get a ".0" suffix ("3.0", not "3"), keeping
+// print→parse round-trips from silently retyping a float constant as
+// an integer in contexts without an explicit type (vsplat, select,
+// call arguments). The shortest-unique rendering is preserved
+// otherwise, so parsing recovers the exact bit pattern.
+func FormatF64(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eEnN") { // Inf/NaN keep their letters
+		s += ".0"
+	}
+	return s
 }
 
 // VID implements Value. Constants are identified by their payload so

@@ -1,0 +1,56 @@
+package irtext
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/ir"
+)
+
+// ParseFuncInto parses the textual form of one function (a single
+// "define ... { ... }" extent, as printed by ir.Func.String) against
+// an existing module, resolving globals and TBAA tags from it. The
+// parsed function is returned detached: it references m (its globals,
+// its parent pointer) but is NOT in m.Funcs — the caller decides
+// whether to swap it over an existing function or append it.
+//
+// This is the disk-cache load path: a persisted optimized body is
+// re-materialized against the module it was compiled in.
+func ParseFuncInto(m *ir.Module, src string) (*ir.Func, error) {
+	lines := strings.Split(src, "\n")
+	head := -1
+	end := -1
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
+		switch {
+		case head < 0 && strings.HasPrefix(line, "define "):
+			head = i
+		case head >= 0 && line == "}":
+			end = i
+		}
+	}
+	if head < 0 || end <= head {
+		return nil, fmt.Errorf("irtext: no 'define ... { ... }' extent in function text")
+	}
+	fp := &funcParser{m: m, values: map[string]ir.Value{}, blocks: map[string]*ir.Block{}}
+	if err := fp.header(strings.TrimSpace(lines[head])); err != nil {
+		return nil, fmt.Errorf("irtext: %w", err)
+	}
+	// header appended the function to m.Funcs (NewFunc's module
+	// registration); detach it again — the caller owns placement.
+	m.Funcs = m.Funcs[:len(m.Funcs)-1]
+	if err := fp.body(lines[head+1:end], head+1); err != nil {
+		return nil, fmt.Errorf("irtext: %w", err)
+	}
+	return fp.fn, nil
+}
+
+// ReplaceFunc swaps new over the function at m.Funcs[i], preserving
+// the slot's identity (ID and module order). Calls link by name, so
+// call sites in other functions resolve to the replacement through
+// Module.FuncByName.
+func ReplaceFunc(m *ir.Module, i int, newFn *ir.Func) {
+	newFn.ID = m.Funcs[i].ID
+	newFn.Parent = m
+	m.Funcs[i] = newFn
+}

@@ -1,0 +1,51 @@
+package irtext_test
+
+import (
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/ir"
+	"github.com/oraql/go-oraql/internal/irtext"
+	"github.com/oraql/go-oraql/internal/minic"
+)
+
+// A function printed, re-parsed against its module, and swapped back
+// in must leave the module text unchanged and verifying.
+func TestParseFuncIntoRoundTrip(t *testing.T) {
+	cfg := apps.ByID("lulesh-seq")
+	host, _, err := minic.Compile(cfg.SourceName, cfg.Source, cfg.Frontend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := host.String()
+	for i, fn := range host.Funcs {
+		text := fn.String()
+		parsed, err := irtext.ParseFuncInto(host, text)
+		if err != nil {
+			t.Fatalf("%s: %v", fn.Name, err)
+		}
+		if got := parsed.String(); got != text {
+			t.Fatalf("%s: reprint differs\n--- printed\n%s\n--- reparsed\n%s", fn.Name, text, got)
+		}
+		irtext.ReplaceFunc(host, i, parsed)
+		if parsed.ID != i || parsed.Parent != host {
+			t.Fatalf("%s: replacement identity ID=%d parent=%p", fn.Name, parsed.ID, parsed.Parent)
+		}
+	}
+	if after := host.String(); after != before {
+		t.Fatal("module text changed after full function replacement")
+	}
+	if err := ir.Verify(host); err != nil {
+		t.Fatalf("module does not verify after replacement: %v", err)
+	}
+}
+
+func TestParseFuncIntoRejectsGarbage(t *testing.T) {
+	m := ir.NewModule("m")
+	if _, err := irtext.ParseFuncInto(m, "not a function"); err == nil {
+		t.Fatal("want error for non-function text")
+	}
+	if len(m.Funcs) != 0 {
+		t.Fatal("failed parse leaked a function into the module")
+	}
+}

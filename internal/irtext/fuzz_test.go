@@ -1,9 +1,10 @@
-package irtext
+package irtext_test
 
 import (
 	"strings"
 	"testing"
 
+	"github.com/oraql/go-oraql/internal/irtext"
 	"github.com/oraql/go-oraql/internal/minic"
 )
 
@@ -37,12 +38,12 @@ func FuzzIRTextRoundtrip(f *testing.F) {
 		if len(src) > 1<<16 {
 			t.Skip()
 		}
-		m, err := Parse(src)
+		m, err := irtext.Parse(src)
 		if err != nil {
 			t.Skip()
 		}
 		txt := m.String()
-		m2, err := Parse(txt)
+		m2, err := irtext.Parse(txt)
 		if err != nil {
 			t.Fatalf("printed module does not reparse: %v\n%s", err, txt)
 		}
@@ -64,7 +65,7 @@ func FuzzParseNoPanic(f *testing.F) {
 		if len(src) > 1<<16 {
 			t.Skip()
 		}
-		m, err := Parse(src)
+		m, err := irtext.Parse(src)
 		_ = m
 		_ = err
 	})

@@ -1,4 +1,4 @@
-package irtext
+package irtext_test
 
 import (
 	"strings"
@@ -7,6 +7,7 @@ import (
 	"github.com/oraql/go-oraql/internal/apps"
 	"github.com/oraql/go-oraql/internal/ir"
 	"github.com/oraql/go-oraql/internal/irinterp"
+	"github.com/oraql/go-oraql/internal/irtext"
 	"github.com/oraql/go-oraql/internal/minic"
 	"github.com/oraql/go-oraql/internal/pipeline"
 )
@@ -41,7 +42,7 @@ func TestRoundTripAllApps(t *testing.T) {
 func roundTrip(t *testing.T, cfg *apps.Config, host, dev *ir.Module) {
 	t.Helper()
 	hostTxt := host.String()
-	host2, err := Parse(hostTxt)
+	host2, err := irtext.Parse(hostTxt)
 	if err != nil {
 		t.Fatalf("parse host: %v", err)
 	}
@@ -51,7 +52,7 @@ func roundTrip(t *testing.T, cfg *apps.Config, host, dev *ir.Module) {
 	prog := &irinterp.Program{Host: host2}
 	if dev != nil {
 		devTxt := dev.String()
-		dev2, err := Parse(devTxt)
+		dev2, err := irtext.Parse(devTxt)
 		if err != nil {
 			t.Fatalf("parse device: %v", err)
 		}
@@ -108,7 +109,7 @@ func TestSemanticEquivalenceAfterReparse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	host2, err := Parse(cr.Program.Host.String())
+	host2, err := irtext.Parse(cr.Program.Host.String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestParserErrors(t *testing.T) {
 		"; module x target=t\ndefine void @f() {\nentry:\n  %x = load i64, %missing\n  ret void\n}\n", // undefined value
 	}
 	for _, src := range cases {
-		if _, err := Parse(src); err == nil {
+		if _, err := irtext.Parse(src); err == nil {
 			t.Errorf("expected error for %q", src)
 		}
 	}

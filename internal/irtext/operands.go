@@ -296,7 +296,14 @@ func (fp *funcParser) operands(r rawInstr) error {
 		in.Ty = in.Operands[1].Type()
 
 	case ir.OpVSplat:
-		v, err := fp.valueInferred(rest, ir.F64)
+		// Constant splats carry their element type in the token itself
+		// ("vsplat 3" is an i64 splat, "vsplat 3.0" a double one); %refs
+		// resolve by lookup, so the hint only decides bare constants.
+		hint := ir.F64
+		if t := strings.TrimSpace(rest); !strings.HasPrefix(t, "%") && !looksFloat(t) {
+			hint = ir.I64
+		}
+		v, err := fp.valueInferred(rest, hint)
 		if err != nil {
 			return err
 		}

@@ -226,7 +226,10 @@ func (fp *funcParser) value(tok string, hint *ir.Type) (ir.Value, error) {
 		}
 		return ir.ConstStr(s), nil
 	default:
-		if hint == ir.F64 || hint == ir.V4F64 {
+		// A float-looking token ("3.0", "1e9") is a float constant no
+		// matter the positional hint: the printer renders every float
+		// constant distinguishably, so the token itself is the type.
+		if hint == ir.F64 || hint == ir.V4F64 || looksFloat(tok) {
 			f, err := strconv.ParseFloat(tok, 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad float constant %q", tok)

@@ -1,0 +1,177 @@
+package passes
+
+import (
+	"encoding/json"
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/diskcache"
+	"github.com/oraql/go-oraql/internal/ir"
+	"github.com/oraql/go-oraql/internal/irtext"
+)
+
+// The pipeline-level disk cache persists one artifact per function:
+// its fully optimized body plus the per-pipeline-position accounting
+// (statistics deltas, changed flags) the pass manager would have
+// produced by running the passes. A warm compilation swaps the cached
+// body in and replays the accounting at the exact (pass, function)
+// visit the cold pipeline would have executed, so -stats totals and
+// the -time-passes row order are byte-identical warm and cold.
+//
+// Key derivation: the function key folds in the hash of the pristine
+// module text, not just the function's own text, because the AA chain
+// contains module-level analyses (Andersen, Steensgaard, Globals)
+// that read every function and global — a change anywhere in the
+// module can change alias answers inside an untouched function. This
+// is conservative (no cross-module sharing of identical functions)
+// but sound.
+//
+// ORAQL-active, blocking-mode and -debug-pass compilations never use
+// this cache: the responder consumes its sequence in global query
+// order, so per-function results are not independent artifacts there.
+// The probe driver persists whole-test outcomes for those instead.
+
+// fnEntry is the persisted per-function artifact.
+type fnEntry struct {
+	IR   string    `json:"ir"`   // optimized function text
+	Runs []passRun `json:"runs"` // one per pipeline position
+}
+
+// passRun is one (pass, function) execution's replayable accounting.
+type passRun struct {
+	Stats   []Entry `json:"stats,omitempty"` // in insertion order
+	Changed bool    `json:"changed,omitempty"`
+	Ran     bool    `json:"ran,omitempty"` // false: function was skipped (no blocks)
+}
+
+// DiskPlan is one compilation's view of the per-function disk cache:
+// which functions hit (their parsed bodies wait to be swapped in) and
+// which missed (their pass runs are captured for persisting). Built
+// by PlanDisk against the pristine module, before AA chain
+// construction; bodies are swapped by Apply after the chain is built,
+// so module-level analyses always see the pristine module.
+type DiskPlan struct {
+	store   *diskcache.Store
+	nPasses int
+	keys    []string   // per function index; "" = uncacheable (no blocks)
+	parsed  []*ir.Func // hit: parsed replacement body (nil = miss)
+	replay  [][]passRun
+	records [][]passRun // miss: captured runs, indexed [fn][pass]
+}
+
+// PlanDisk looks every cacheable function up in the store and decodes
+// (including parsing the optimized body) hits eagerly, so the hit/miss
+// split is final when it returns. Must be called on the pristine
+// module, before any pass has run.
+func PlanDisk(store *diskcache.Store, m *ir.Module, p *Pipeline, configKey string) *DiskPlan {
+	moduleCtx := diskcache.HashText(m.String())
+	names := make([]string, len(p.Passes))
+	for i, ps := range p.Passes {
+		names[i] = ps.Name()
+	}
+	pipeID := strings.Join(names, ",")
+	dp := &DiskPlan{
+		store:   store,
+		nPasses: len(p.Passes),
+		keys:    make([]string, len(m.Funcs)),
+		parsed:  make([]*ir.Func, len(m.Funcs)),
+		replay:  make([][]passRun, len(m.Funcs)),
+		records: make([][]passRun, len(m.Funcs)),
+	}
+	for i, fn := range m.Funcs {
+		if len(fn.Blocks) == 0 {
+			continue // declarations never run passes; nothing to cache
+		}
+		key := diskcache.Key("fn", moduleCtx, configKey, pipeID, fn.Name)
+		dp.keys[i] = key
+		if data, ok := store.Get(key); ok {
+			var e fnEntry
+			if json.Unmarshal(data, &e) == nil && len(e.Runs) == dp.nPasses {
+				if parsed, err := irtext.ParseFuncInto(m, e.IR); err == nil && parsed.Name == fn.Name {
+					dp.parsed[i] = parsed
+					dp.replay[i] = e.Runs
+					continue
+				}
+			}
+			// Undecodable entry (stale format, bad parse): treat as a miss.
+		}
+		dp.records[i] = make([]passRun, dp.nPasses)
+	}
+	return dp
+}
+
+// AllHit reports whether every cacheable function hit — the caller may
+// then skip AA chain construction entirely, since no pass will run.
+func (dp *DiskPlan) AllHit() bool {
+	for i, k := range dp.keys {
+		if k != "" && dp.parsed[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Hits returns the number of functions served from disk.
+func (dp *DiskPlan) Hits() int {
+	n := 0
+	for _, f := range dp.parsed {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply swaps the cached optimized bodies over their module slots.
+// Call after the AA chain is constructed: module-level analyses must
+// be built from the pristine module a cold compilation would see.
+func (dp *DiskPlan) Apply(m *ir.Module) {
+	for i, fn := range dp.parsed {
+		if fn != nil {
+			irtext.ReplaceFunc(m, i, fn)
+		}
+	}
+}
+
+// isHit reports whether function index i is served from the cache.
+func (dp *DiskPlan) isHit(i int) bool { return dp.parsed[i] != nil }
+
+// capturing reports whether function index i's runs should be recorded
+// for persisting.
+func (dp *DiskPlan) capturing(i int) bool { return dp.keys[i] != "" && dp.parsed[i] == nil }
+
+// replayRun merges the persisted accounting of (pass pi, function fi)
+// into the shared registries, at the same visit position the cold
+// pipeline would have executed the pass.
+func (dp *DiskPlan) replayRun(ctx *Context, pi, fi int, passName string) {
+	r := dp.replay[fi][pi]
+	if !r.Ran {
+		return
+	}
+	for _, e := range r.Stats {
+		ctx.Stats.Add(e.Pass, e.Stat, e.Value)
+	}
+	if ctx.Timing != nil {
+		ctx.Timing.Record(passName, 0, r.Changed)
+	}
+}
+
+// recordRun captures one executed (pass, function) run of a miss.
+func (dp *DiskPlan) recordRun(fi, pi int, local *StatsRegistry, changed bool) {
+	dp.records[fi][pi] = passRun{Stats: local.Ordered(), Changed: changed, Ran: true}
+}
+
+// Persist publishes every miss function's artifact. Call only after
+// the pipeline ran to completion and the module verified: partial
+// captures from a cancelled pipeline must not be published.
+func (dp *DiskPlan) Persist(m *ir.Module) {
+	for i, fn := range m.Funcs {
+		if !dp.capturing(i) {
+			continue
+		}
+		data, err := json.Marshal(fnEntry{IR: fn.String(), Runs: dp.records[i]})
+		if err != nil {
+			continue
+		}
+		dp.store.Put(dp.keys[i], data)
+	}
+}

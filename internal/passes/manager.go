@@ -86,6 +86,17 @@ type Entry struct {
 	Value int64
 }
 
+// Ordered returns all counters in insertion order — the order Merge
+// reproduces, which the disk cache persists so replayed counters enter
+// a warm registry exactly as the cold pipeline inserted them.
+func (s *StatsRegistry) Ordered() []Entry {
+	out := make([]Entry, len(s.order))
+	for i, k := range s.order {
+		out[i] = Entry{k.Pass, k.Stat, s.counters[k]}
+	}
+	return out
+}
+
 // Entries returns all counters sorted by pass then statistic name.
 func (s *StatsRegistry) Entries() []Entry {
 	keys := append([]statKey(nil), s.order...)
@@ -142,6 +153,13 @@ type Context struct {
 	// paper uses to attribute queries to passes (Fig. 3).
 	DebugPassExec bool
 	Out           io.Writer
+
+	// Disk, when non-nil, is the per-function disk-cache plan: hit
+	// functions carry cached optimized bodies (already swapped in by
+	// DiskPlan.Apply) and have their pass accounting replayed instead
+	// of executed; miss functions run normally with their accounting
+	// captured for persisting. See diskplan.go.
+	Disk *DiskPlan
 
 	// Workers bounds the per-function parallelism of Pipeline.Run:
 	// each function pass fans out over Module.Funcs on a pool of this
@@ -334,11 +352,18 @@ func (c *Context) effectiveWorkers() int {
 // pre-parallel behaviour.
 func (p *Pipeline) runSequential(ctx *Context) {
 	am := ctx.Analyses()
-	for _, pass := range p.Passes {
-		for _, fn := range ctx.Module.Funcs {
+	dp := ctx.Disk
+	for pi, pass := range p.Passes {
+		for fi, fn := range ctx.Module.Funcs {
 			if ctx.Ctx != nil && ctx.Ctx.Err() != nil {
 				ctx.curPass = ""
 				return
+			}
+			if dp != nil && dp.isHit(fi) {
+				// Body already swapped in from disk: replay this visit's
+				// accounting instead of executing the pass.
+				dp.replayRun(ctx, pi, fi, pass.Name())
+				continue
 			}
 			if len(fn.Blocks) == 0 {
 				continue
@@ -347,11 +372,25 @@ func (p *Pipeline) runSequential(ctx *Context) {
 			if ctx.DebugPassExec && ctx.Out != nil {
 				fmt.Fprintf(ctx.Out, "Executing Pass '%s' on Function '%s'...\n", pass.Name(), fn.Name)
 			}
+			capture := dp != nil && dp.capturing(fi)
+			shared := ctx.Stats
+			if capture {
+				// Book this run privately so the captured artifact holds
+				// exactly this (pass, function) delta; merging back into
+				// the shared registry preserves key insertion order.
+				ctx.Stats = NewStats()
+			}
 			start := time.Now()
 			pa := pass.Run(fn, ctx)
 			elapsed := time.Since(start)
 			fn.Compact()
 			am.Invalidate(fn, pa)
+			if capture {
+				local := ctx.Stats
+				ctx.Stats = shared
+				shared.Merge(local)
+				dp.recordRun(fi, pi, local, !pa.PreservesAll())
+			}
 			if ctx.Timing != nil {
 				ctx.Timing.Record(pass.Name(), elapsed, !pa.PreservesAll())
 			}
@@ -386,8 +425,9 @@ func (p *Pipeline) runParallel(ctx *Context, workers int) {
 		p.runSequential(ctx)
 		return
 	}
+	dp := ctx.Disk
 	runs := make([]fnRun, len(funcs))
-	for _, pass := range p.Passes {
+	for pi, pass := range p.Passes {
 		if ctx.Ctx != nil && ctx.Ctx.Err() != nil {
 			return
 		}
@@ -413,6 +453,9 @@ func (p *Pipeline) runParallel(ctx *Context, workers int) {
 					}
 					fn := funcs[i]
 					runs[i] = fnRun{}
+					if dp != nil && dp.isHit(i) {
+						continue // replayed at the barrier, in function order
+					}
 					if len(fn.Blocks) == 0 {
 						continue
 					}
@@ -434,6 +477,10 @@ func (p *Pipeline) runParallel(ctx *Context, workers int) {
 		// have inserted them, and timing rows accumulate per pass in
 		// pipeline order.
 		for i := range runs {
+			if dp != nil && dp.isHit(i) {
+				dp.replayRun(ctx, pi, i, pass.Name())
+				continue
+			}
 			r := &runs[i]
 			if !r.done {
 				continue
@@ -441,6 +488,9 @@ func (p *Pipeline) runParallel(ctx *Context, workers int) {
 			ctx.Stats.Merge(r.stats)
 			if ctx.Timing != nil {
 				ctx.Timing.Record(pass.Name(), r.wall, r.changed)
+			}
+			if dp != nil && dp.capturing(i) {
+				dp.recordRun(i, pi, r.stats, r.changed)
 			}
 		}
 	}

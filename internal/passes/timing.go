@@ -49,6 +49,30 @@ func (t *Timing) Record(pass string, d time.Duration, changed bool) {
 	pt.Wall += d
 }
 
+// Seed inserts one pre-accounted row, used by the disk cache to
+// replay a persisted compilation's deterministic timing columns (Runs,
+// Changed, row order) with zero wall time.
+func (t *Timing) Seed(pass string, runs, changed int64) {
+	pt := t.byPass[pass]
+	if pt == nil {
+		pt = &PassTime{Pass: pass}
+		t.byPass[pass] = pt
+		t.order = append(t.order, pass)
+	}
+	pt.Runs += runs
+	pt.Changed += changed
+}
+
+// Rows returns the per-pass accounting in insertion order (the
+// deterministic order Seed must replay).
+func (t *Timing) Rows() []PassTime {
+	out := make([]PassTime, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.byPass[name])
+	}
+	return out
+}
+
 // Merge adds other's accounting into t (host + device totals).
 func (t *Timing) Merge(other *Timing) {
 	if other == nil {

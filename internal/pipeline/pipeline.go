@@ -16,6 +16,7 @@ import (
 	"github.com/oraql/go-oraql/internal/aa"
 	"github.com/oraql/go-oraql/internal/analysis"
 	"github.com/oraql/go-oraql/internal/codegen"
+	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/ir"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/minic"
@@ -64,6 +65,29 @@ type Config struct {
 	// DebugPassExec and DumpOut mirror -debug-pass=Executions.
 	DebugPassExec bool
 	DumpOut       *bytes.Buffer
+	// DiskCache, when non-nil, consults the persistent per-function
+	// artifact store before running function passes and persists the
+	// results afterwards, making repeat compilations warm-startable
+	// across processes. Output — exe hash, IR text, -stats, timing-row
+	// order — is byte-identical warm vs cold. ORAQL-active and
+	// -debug-pass compilations bypass the cache (the responder consumes
+	// its sequence in global query order); the probe driver layers its
+	// own campaign-state persistence on the same store instead.
+	DiskCache *diskcache.Store
+	// WantContentHashes asks for ModuleHash/FuncHashes on TargetStats:
+	// sha256 identities of the pristine (pre-optimization) module and
+	// each of its functions. The probe driver keys persisted per-query
+	// verdicts by these.
+	WantContentHashes bool
+}
+
+// diskConfigKey folds every output-affecting configuration knob into
+// the per-function cache key. Transparent knobs (worker counts, the
+// AA query and analysis caches, which the transparency tests prove
+// output-neutral) are deliberately excluded so their ablation modes
+// share entries.
+func (c Config) diskConfigKey() string {
+	return fmt.Sprintf("opt=%d|stop=%d|full=%t", c.OptLevel, c.StopAfter, c.FullAAChain)
 }
 
 // TargetStats bundles per-module compilation outputs.
@@ -77,6 +101,13 @@ type TargetStats struct {
 	Timing *passes.Timing
 	// Analysis is the analysis manager's cache-counter snapshot.
 	Analysis []analysis.Stats
+	// ModuleHash and FuncHashes are pristine-content identities
+	// (Config.WantContentHashes); empty/nil when not requested.
+	ModuleHash string
+	FuncHashes map[string]string
+	// DiskHits counts functions whose optimized bodies came from the
+	// persistent cache (0 when Config.DiskCache is nil or bypassed).
+	DiskHits int
 }
 
 // CompileResult is the outcome of compiling a benchmark configuration.
@@ -93,6 +124,33 @@ func (r *CompileResult) ExeHash() string {
 		h += ":" + r.Device.Code.HashString()
 	}
 	return h
+}
+
+// DiskHits sums the per-function disk-cache hits over all targets.
+func (r *CompileResult) DiskHits() int {
+	n := r.Host.DiskHits
+	if r.Device != nil {
+		n += r.Device.DiskHits
+	}
+	return n
+}
+
+// ContentFuncHashes merges the pristine per-function content hashes of
+// all targets (Config.WantContentHashes); nil when not requested.
+func (r *CompileResult) ContentFuncHashes() map[string]string {
+	if r.Host.FuncHashes == nil {
+		return nil
+	}
+	out := make(map[string]string, len(r.Host.FuncHashes))
+	for _, t := range []*TargetStats{r.Host, r.Device} {
+		if t == nil {
+			continue
+		}
+		for k, v := range t.FuncHashes {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // ORAQLStats sums the ORAQL counters over all targets.
@@ -199,6 +257,15 @@ func CompileContext(ctx context.Context, cfg Config) (*CompileResult, error) {
 	if srcName == "" {
 		srcName = cfg.Name + ".mc"
 	}
+	// Translation-unit layer: a whole-compilation hit skips the
+	// frontend, the AA chain, the pipeline, and codegen.
+	var tuKey string
+	if cfg.tuCacheable() {
+		tuKey = cfg.tuKey(srcName)
+		if res, ok := loadTU(cfg, tuKey); ok {
+			return res, nil
+		}
+	}
 	var host, device *ir.Module
 	if cfg.Module != nil {
 		host = cfg.Module
@@ -226,15 +293,55 @@ func CompileContext(ctx context.Context, cfg Config) (*CompileResult, error) {
 			return nil, err
 		}
 	}
+	if tuKey != "" {
+		storeTU(cfg, tuKey, res)
+	}
 	return res, nil
 }
 
 func compileModule(cctx context.Context, cfg Config, m *ir.Module) (*TargetStats, error) {
+	pipe := passes.O3Pipeline()
+	switch cfg.OptLevel {
+	case 1:
+		pipe = passes.O1Pipeline()
+	case -1:
+		pipe = &passes.Pipeline{} // -O0: frontend output only
+	}
+	if cfg.StopAfter > 0 && cfg.StopAfter < len(pipe.Passes) {
+		pipe = &passes.Pipeline{Passes: pipe.Passes[:cfg.StopAfter]}
+	}
+
+	// Pristine-content identities and the disk-cache plan must both be
+	// taken before any pass mutates the module.
+	// Hashes are computed whenever the cache is active, not just on
+	// request: a persisted translation unit must carry them, because a
+	// warm load never sees the pristine module to recompute them.
+	var moduleHash string
+	var funcHashes map[string]string
+	if cfg.WantContentHashes || (cfg.DiskCache != nil && cfg.ORAQL == nil && !cfg.DebugPassExec) {
+		moduleHash = diskcache.HashText(m.String())
+		funcHashes = make(map[string]string, len(m.Funcs))
+		for _, fn := range m.Funcs {
+			funcHashes[fn.Name] = diskcache.HashText(fn.String())
+		}
+	}
+	var plan *passes.DiskPlan
+	if cfg.DiskCache != nil && cfg.ORAQL == nil && !cfg.DebugPassExec && len(pipe.Passes) > 0 {
+		plan = passes.PlanDisk(cfg.DiskCache, m, pipe, cfg.diskConfigKey())
+	}
+
+	// A full hit means no pass will execute, so the (potentially
+	// expensive, module-level) AA chain is never queried: skip building
+	// it. Otherwise the chain is built from the pristine module —
+	// cached bodies are swapped in only afterwards (plan.Apply), so
+	// module-level analyses see exactly what a cold compilation sees.
 	var chain []aa.Analysis
-	if cfg.FullAAChain {
-		chain = aa.FullChain(m)
-	} else {
-		chain = aa.DefaultChain(m)
+	if plan == nil || !plan.AllHit() {
+		if cfg.FullAAChain {
+			chain = aa.FullChain(m)
+		} else {
+			chain = aa.DefaultChain(m)
+		}
 	}
 	mgr := aa.NewManager(m, chain...)
 	if cfg.DisableAAQueryCache {
@@ -255,24 +362,18 @@ func compileModule(cctx context.Context, cfg Config, m *ir.Module) (*TargetStats
 			mgr.Append(op)
 		}
 	}
+	if plan != nil {
+		plan.Apply(m)
+	}
 	stats := passes.NewStats()
 	ctx := &passes.Context{Module: m, AA: mgr, Stats: stats, Ctx: cctx,
 		Timing:               passes.NewTiming(),
 		DisableAnalysisCache: cfg.DisableAnalysisCache,
 		DebugPassExec:        cfg.DebugPassExec,
-		Workers:              cfg.CompileWorkers}
+		Workers:              cfg.CompileWorkers,
+		Disk:                 plan}
 	if cfg.DumpOut != nil {
 		ctx.Out = cfg.DumpOut
-	}
-	pipe := passes.O3Pipeline()
-	switch cfg.OptLevel {
-	case 1:
-		pipe = passes.O1Pipeline()
-	case -1:
-		pipe = &passes.Pipeline{} // -O0: frontend output only
-	}
-	if cfg.StopAfter > 0 && cfg.StopAfter < len(pipe.Passes) {
-		pipe = &passes.Pipeline{Passes: pipe.Passes[:cfg.StopAfter]}
 	}
 	pipe.Run(ctx)
 	if err := cctx.Err(); err != nil {
@@ -286,6 +387,15 @@ func compileModule(cctx context.Context, cfg Config, m *ir.Module) (*TargetStats
 	code := codegen.Compile(m)
 	stats.Add("asm printer", "# machine instructions generated", int64(code.MachineInstrs))
 	stats.Add("register allocation", "# register spills inserted", int64(code.Spills))
-	return &TargetStats{Module: m, AA: mgr.Stats(), Pass: stats, ORAQL: op, Code: code,
-		Timing: ctx.Timing, Analysis: ctx.Analyses().Snapshot()}, nil
+	ts := &TargetStats{Module: m, AA: mgr.Stats(), Pass: stats, ORAQL: op, Code: code,
+		Timing: ctx.Timing, Analysis: ctx.Analyses().Snapshot(),
+		ModuleHash: moduleHash, FuncHashes: funcHashes}
+	if plan != nil {
+		// Persist only now — after the pipeline ran to completion and
+		// the module verified — so partial or unverified captures are
+		// never published.
+		plan.Persist(m)
+		ts.DiskHits = plan.Hits()
+	}
+	return ts, nil
 }

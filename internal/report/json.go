@@ -127,6 +127,7 @@ type ProbeJSON struct {
 	Compiles        int `json:"compiles"`
 	TestsRun        int `json:"tests_run"`
 	TestsCached     int `json:"tests_cached"`
+	TestsDisk       int `json:"tests_disk,omitempty"`
 	TestsSpeculated int `json:"tests_speculated"`
 	TestsWasted     int `json:"tests_wasted"`
 
@@ -152,6 +153,7 @@ func NewProbeJSON(res *driver.Result) *ProbeJSON {
 		Compiles:        res.Compiles,
 		TestsRun:        res.TestsRun,
 		TestsCached:     res.TestsCached,
+		TestsDisk:       res.TestsDisk,
 		TestsSpeculated: res.TestsSpeculated,
 		TestsWasted:     res.TestsWasted,
 	}

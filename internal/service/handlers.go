@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/oraql/go-oraql/internal/difftest"
+	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/driver"
 	"github.com/oraql/go-oraql/internal/pipeline"
 	"github.com/oraql/go-oraql/internal/report"
@@ -105,14 +106,28 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	// Second level: the shared persistent store. A response another
+	// process (or a previous life of this one) computed is promoted
+	// into the in-memory cache and served as a hit.
+	if resp, ok := s.loadDiskResponse(key); ok {
+		s.cache.complete(key, fl, resp)
+		completed = true
+		hit := *resp
+		hit.Cached = true
+		writeJSON(w, http.StatusOK, &hit)
+		return
+	}
+
 	cfg, err := compileConfig(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Server-level tuning, deliberately not part of the wire format (or
-	// the cache key): output is byte-identical for every worker count.
+	// the cache key): output is byte-identical for every worker count,
+	// and the disk cache only shortcuts work without changing output.
 	cfg.CompileWorkers = s.cfg.CompileWorkers
+	cfg.DiskCache = s.cfg.Cache
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	start := time.Now()
@@ -143,9 +158,45 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		CompileMS:  float64(time.Since(start).Microseconds()) / 1000,
 		Result:     payload,
 	}
+	s.storeDiskResponse(key, resp)
 	s.cache.complete(key, fl, resp)
 	completed = true
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// diskResponseKey derives the persistent key for one compile response.
+// The LRU key pair already content-hashes the program and the full
+// option set (response shape included), so it is the disk identity too.
+func diskResponseKey(key string) string {
+	return diskcache.Key("svc-compile", key)
+}
+
+// loadDiskResponse fetches a persisted compile response ("" = none).
+func (s *Server) loadDiskResponse(key string) (*CompileResponse, bool) {
+	if s.cfg.Cache == nil {
+		return nil, false
+	}
+	data, ok := s.cfg.Cache.Get(diskResponseKey(key))
+	if !ok {
+		return nil, false
+	}
+	var resp CompileResponse
+	if json.Unmarshal(data, &resp) != nil || resp.Result == nil {
+		return nil, false
+	}
+	return &resp, true
+}
+
+// storeDiskResponse persists a freshly computed compile response.
+func (s *Server) storeDiskResponse(key string, resp *CompileResponse) {
+	if s.cfg.Cache == nil {
+		return
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	s.cfg.Cache.Put(diskResponseKey(key), data)
 }
 
 // observeCompileResult lifts one compilation's AA and analysis cache
@@ -173,6 +224,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec.Compile.CompileWorkers = s.cfg.CompileWorkers
+	spec.Cache = s.cfg.Cache
 	j, err := s.submit("probe", func(ctx context.Context, j *job) (any, error) {
 		spec.Log = j // driver progress lines become job events
 		res, perr := driver.ProbeContext(ctx, spec)
@@ -291,7 +343,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(s.cache, len(s.queue), cap(s.queue), s.inflight.Load(), s.cfg.Workers, s.cfg.CompileWorkers))
+	fmt.Fprint(w, s.met.render(s.cache, s.cfg.Cache, len(s.queue), cap(s.queue), s.inflight.Load(), s.cfg.Workers, s.cfg.CompileWorkers))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

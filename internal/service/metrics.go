@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/oraql/go-oraql/internal/diskcache"
 )
 
 // metrics is a hand-rolled Prometheus-text registry: request counters
@@ -104,8 +106,9 @@ func (m *metrics) observeCompile(aaHits, aaLookups, anHits, anMisses int64) {
 }
 
 // render writes the registry in the Prometheus text exposition format,
-// with the live gauges passed in by the server.
-func (m *metrics) render(cache *resultCache, queueDepth, queueCap int, inflight int64, workers, compileWorkers int) string {
+// with the live gauges passed in by the server. disk is the shared
+// persistent store (nil when the service runs memory-only).
+func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, queueCap int, inflight int64, workers, compileWorkers int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -172,6 +175,32 @@ func (m *metrics) render(cache *resultCache, queueDepth, queueCap int, inflight 
 	b.WriteString("# HELP oraql_result_cache_entries Live result-cache entries.\n")
 	b.WriteString("# TYPE oraql_result_cache_entries gauge\n")
 	fmt.Fprintf(&b, "oraql_result_cache_entries %d\n", entries)
+
+	if disk != nil {
+		c := disk.Counters()
+		entries, bytes := disk.Usage()
+		b.WriteString("# HELP oraql_disk_cache_hits_total Persistent-store lookups served from disk.\n")
+		b.WriteString("# TYPE oraql_disk_cache_hits_total counter\n")
+		fmt.Fprintf(&b, "oraql_disk_cache_hits_total %d\n", c.Hits)
+		b.WriteString("# HELP oraql_disk_cache_misses_total Persistent-store lookups that found nothing.\n")
+		b.WriteString("# TYPE oraql_disk_cache_misses_total counter\n")
+		fmt.Fprintf(&b, "oraql_disk_cache_misses_total %d\n", c.Misses)
+		b.WriteString("# HELP oraql_disk_cache_corrupt_total Torn/truncated/foreign entries discarded as misses.\n")
+		b.WriteString("# TYPE oraql_disk_cache_corrupt_total counter\n")
+		fmt.Fprintf(&b, "oraql_disk_cache_corrupt_total %d\n", c.Corrupt)
+		b.WriteString("# HELP oraql_disk_cache_puts_total Entries published to the persistent store.\n")
+		b.WriteString("# TYPE oraql_disk_cache_puts_total counter\n")
+		fmt.Fprintf(&b, "oraql_disk_cache_puts_total %d\n", c.Puts)
+		b.WriteString("# HELP oraql_disk_cache_evictions_total Entries removed by size-capped GC.\n")
+		b.WriteString("# TYPE oraql_disk_cache_evictions_total counter\n")
+		fmt.Fprintf(&b, "oraql_disk_cache_evictions_total %d\n", c.Evictions)
+		b.WriteString("# HELP oraql_disk_cache_entries Live entries in the shared cache directory.\n")
+		b.WriteString("# TYPE oraql_disk_cache_entries gauge\n")
+		fmt.Fprintf(&b, "oraql_disk_cache_entries %d\n", entries)
+		b.WriteString("# HELP oraql_disk_cache_bytes Bytes used by the shared cache directory.\n")
+		b.WriteString("# TYPE oraql_disk_cache_bytes gauge\n")
+		fmt.Fprintf(&b, "oraql_disk_cache_bytes %d\n", bytes)
+	}
 
 	b.WriteString("# HELP oraql_compiles_total Pipeline compilations executed by the service.\n")
 	b.WriteString("# TYPE oraql_compiles_total counter\n")

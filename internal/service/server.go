@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/oraql/go-oraql/internal/diskcache"
 )
 
 // Config tunes the service.
@@ -31,6 +33,13 @@ type Config struct {
 	// with client disconnection, whichever fires first cancels the
 	// compilation mid-pipeline (default 60s).
 	RequestTimeout time.Duration
+	// Cache, when non-nil, backs the in-memory result cache with the
+	// shared persistent store (-cache-dir): compile responses are
+	// served across restarts and across N serve instances sharing one
+	// directory, the pipeline's translation-unit/function layers are
+	// enabled for every service compilation, and probe campaigns
+	// persist their state. Nil keeps the service memory-only.
+	Cache *diskcache.Store
 	// Log receives one structured line per request and per job
 	// transition (nil = silent).
 	Log io.Writer
