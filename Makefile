@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-compile bench-serve bench-diskcache serve-smoke fuzz fuzz-smoke check
+.PHONY: tier1 vet build test race bench bench-compile bench-serve bench-diskcache serve-smoke campaign-smoke fuzz fuzz-smoke check
 
 # tier1 is the gate the roadmap pins: it must stay green.
 tier1: build test
@@ -51,6 +51,13 @@ bench-diskcache:
 serve-smoke:
 	scripts/serve_smoke.sh
 
+# campaign-smoke mirrors the CI campaign job: every example campaign
+# through `oraql run` (cross-worker byte-identity for the scripted
+# default probe), the -max-steps sandbox, and one campaign through a
+# live oraql-serve with -cache-dir via POST /v1/campaign.
+campaign-smoke:
+	scripts/campaign_smoke.sh
+
 # fuzz-smoke mirrors the CI fuzz job: a 200-program differential
 # campaign, the fault-injection triage self-test, and 30s of each
 # native fuzz target.
@@ -67,4 +74,4 @@ SEED ?= 1
 fuzz:
 	$(GO) run ./cmd/oraql-fuzz -n $(N) -seed $(SEED) -v $(ARGS)
 
-check: vet tier1 race bench bench-compile bench-serve bench-diskcache serve-smoke
+check: vet tier1 race bench bench-compile bench-serve bench-diskcache serve-smoke campaign-smoke

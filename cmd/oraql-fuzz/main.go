@@ -39,6 +39,10 @@ import (
 	"github.com/oraql/go-oraql/internal/cliutil"
 	"github.com/oraql/go-oraql/internal/difftest"
 	"github.com/oraql/go-oraql/internal/progen"
+
+	// Registered for -list: app configs (and, transitively, the probing
+	// strategies); the fuzzing path itself does not consume them.
+	_ "github.com/oraql/go-oraql/internal/apps"
 )
 
 func main() {
@@ -54,6 +58,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "first generator seed; programs use [seed, seed+n)")
 	workers := fs.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 	stmts := fs.Int("stmts", 0, "statements per generated program (0 = generator default)")
+	grammar := fs.String("grammar", "default", "registered grammar profile (see -list)")
+	list := fs.Bool("list", false, "list registered grammar profiles, strategies, AA chains, and app configs, then exit")
 	corpus := fs.String("corpus", "", "directory receiving diverging sources, reproducers, and JSON reports")
 	cacheDir := fs.String("cache-dir", "", "persistent compile cache directory shared across campaigns and processes (empty = no persistence)")
 	cacheMaxMB := fs.Int("cache-max-mb", 0, "size cap for -cache-dir in MiB (0 = 512)")
@@ -68,6 +74,14 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return cliutil.Usagef("unexpected arguments: %v", fs.Args())
 	}
+	if *list {
+		cliutil.PrintRegistries(stdout)
+		return nil
+	}
+	gen, err := progen.GrammarByName(*grammar, *stmts)
+	if err != nil {
+		return cliutil.WrapUsage(err)
+	}
 
 	cache, err := cliutil.OpenCache(*cacheDir, *cacheMaxMB)
 	if err != nil {
@@ -78,7 +92,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Seed:           *seed,
 		Workers:        *workers,
 		Cache:          cache,
-		Gen:            progen.Options{Stmts: *stmts},
+		Gen:            gen,
 		Triage:         *triage,
 		MaxDivergences: *maxDiv,
 		CorpusDir:      *corpus,

@@ -27,6 +27,11 @@ import (
 	"github.com/oraql/go-oraql/internal/minic"
 	"github.com/oraql/go-oraql/internal/oraql"
 	"github.com/oraql/go-oraql/internal/pipeline"
+
+	// Registered for -list: app configs + strategies and grammar
+	// profiles; single compilations only consume the AA registries.
+	_ "github.com/oraql/go-oraql/internal/apps"
+	_ "github.com/oraql/go-oraql/internal/progen"
 )
 
 func main() {
@@ -50,7 +55,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	views := fs.Bool("views", false, "boxed heap arrays (Kokkos/Thrust views)")
 	o1 := fs.Bool("O1", false, "use the reduced O1 pipeline")
 	o0 := fs.Bool("O0", false, "frontend output only (no optimization)")
-	full := fs.Bool("full-aa", false, "enable the CFL points-to analyses in the chain")
+	full := fs.Bool("full-aa", false, "enable the CFL points-to analyses in the chain (same as -aa-chain full)")
+	aaChain := fs.String("aa-chain", "", `alias-analysis chain: a registered name ("default", "full") or a comma-separated analysis list (see -list)`)
 	stats := fs.Bool("stats", false, "print pass statistics (-mllvm -stats analogue)")
 	timePasses := fs.Bool("time-passes", false, "print per-pass wall time, run counts, and analysis cache counters")
 	noAnalysisCache := fs.Bool("disable-analysis-cache", false, "recompute every analysis on every pass run (force-invalidate mode)")
@@ -63,9 +69,13 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	ranks := fs.Int("ranks", 1, "simulated MPI ranks for -run")
 	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
 
+	if len(argv) >= 1 && argv[0] == "-list" {
+		cliutil.PrintRegistries(stdout)
+		return nil
+	}
 	if len(argv) < 1 {
 		fs.Usage()
-		return cliutil.Usagef("missing input file")
+		return cliutil.Usagef("missing input file (or -list)")
 	}
 	file := argv[0]
 	if err := fs.Parse(argv[1:]); err != nil {
@@ -92,6 +102,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Name: file, Source: string(src), SourceFile: file,
 		Frontend:             minic.Options{Dialect: d, Model: m, Views: *views},
 		FullAAChain:          *full,
+		AAChain:              *aaChain,
 		DebugPassExec:        *debugPass,
 		DisableAnalysisCache: *noAnalysisCache,
 		CompileWorkers:       *compileWorkers,

@@ -1,16 +1,23 @@
 // Command oraql-serve runs the compile-and-probe service: an
 // HTTP/JSON server exposing the repo's workloads — synchronous
 // compilation (POST /v1/compile, cached across requests), and
-// asynchronous probe and differential-fuzzing campaigns (POST
-// /v1/probe, POST /v1/fuzz, polled via GET /v1/jobs/{id} and streamed
-// via GET /v1/jobs/{id}/events) — with Prometheus-text metrics on
-// GET /metrics and a health probe on GET /healthz.
+// asynchronous probe, differential-fuzzing, and scripted campaigns
+// (POST /v1/probe, POST /v1/fuzz, POST /v1/campaign, polled via GET
+// /v1/jobs/{id} and streamed via GET /v1/jobs/{id}/events) — with
+// registry introspection on GET /v1/registry, Prometheus-text metrics
+// on GET /metrics, and a health probe on GET /healthz.
+//
+// Campaign scripts run sandboxed: the interpreter has no filesystem,
+// exec, or network bindings, and every job is bounded by
+// -campaign-max-steps and -campaign-timeout (requests may lower the
+// step budget, never raise it).
 //
 // Usage:
 //
 //	oraql-serve [-addr :8347] [-workers N] [-compile-workers N]
 //	            [-queue N] [-cache-entries N] [-request-timeout 60s]
 //	            [-cache-dir DIR] [-cache-max-mb N] [-quiet]
+//	            [-campaign-max-steps N] [-campaign-timeout 10m]
 //
 // With -cache-dir, compile results and probe campaign state persist in
 // a content-addressed store shared safely by any number of serve
@@ -57,6 +64,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	cacheDir := fs.String("cache-dir", "", "persistent cache directory shared across instances and restarts (empty = memory-only)")
 	cacheMaxMB := fs.Int("cache-max-mb", 0, "size cap for -cache-dir in MiB before GC evicts cold entries (0 = 512)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	campaignSteps := fs.Int64("campaign-max-steps", 0, "instruction budget per campaign script (0 = package default; requests can lower it, never raise it)")
+	campaignTimeout := fs.Duration("campaign-timeout", 0, "wall-clock limit per campaign script (0 = 10m)")
 	quiet := fs.Bool("quiet", false, "suppress the structured request log")
 	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
 	if err := fs.Parse(argv); err != nil {
@@ -82,6 +91,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		RequestTimeout: *reqTimeout,
 		Cache:          cache,
 		Log:            logW,
+
+		CampaignMaxSteps: *campaignSteps,
+		CampaignTimeout:  *campaignTimeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 

@@ -12,6 +12,7 @@
 //	oraql probe <config-id> -server http://localhost:8347   # same probe, remotely
 //	oraql report <config-id>        # Fig. 3-style pessimistic dump
 //	oraql run <config-id>           # baseline compile+run only
+//	oraql run <script.oraql>        # scripted campaign (see internal/campaign)
 //
 // Exit codes: 0 success, 1 operational failure, 2 usage error. With
 // -json, failures are printed as the shared JSON error envelope.
@@ -24,9 +25,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/campaign"
 	"github.com/oraql/go-oraql/internal/cliutil"
 	"github.com/oraql/go-oraql/internal/driver"
 	"github.com/oraql/go-oraql/internal/irinterp"
@@ -36,6 +39,9 @@ import (
 	"github.com/oraql/go-oraql/internal/report"
 	"github.com/oraql/go-oraql/internal/service"
 	"github.com/oraql/go-oraql/internal/service/client"
+
+	// Registered for `list -grammars`; probing does not consume it.
+	_ "github.com/oraql/go-oraql/internal/progen"
 )
 
 func main() {
@@ -52,7 +58,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	cmd, args := argv[0], argv[1:]
 	switch cmd {
 	case "list":
-		return cmdList(stdout)
+		return cmdList(args, stdout)
 	case "probe":
 		return cmdProbe(args, stdout, stderr)
 	case "report":
@@ -75,13 +81,41 @@ func usage(w io.Writer) {
   oraql probe ... -server http://host:8347 [-poll 250ms]
   oraql report <config-id>
   oraql run <config-id>
+  oraql run <script.oraql> [-j N] [-cache-dir DIR] [-max-steps N] [-timeout D] [-v] [-json]
+  oraql run <script.oraql> -server http://host:8347   # sandboxed POST /v1/campaign
   oraql sweep [config-id ...] [-cache-dir DIR] [-json]`)
 }
 
-func cmdList(stdout io.Writer) error {
-	fmt.Fprintf(stdout, "%-22s %-14s %-22s %s\n", "ID", "BENCHMARK", "MODEL", "SOURCE")
-	for _, c := range apps.All() {
-		fmt.Fprintf(stdout, "%-22s %-14s %-22s %s\n", c.ID, c.Benchmark, c.ModelLabel, c.SourceFiles)
+func cmdList(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	all := fs.Bool("all", false, "print every registry: strategies, AA analyses/chains, app configs, grammar profiles")
+	strategies := fs.Bool("strategies", false, "print registered probing strategies")
+	chains := fs.Bool("chains", false, "print registered AA analyses and chain orders")
+	grammars := fs.Bool("grammars", false, "print registered fuzz-grammar profiles")
+	if err := fs.Parse(args); err != nil {
+		return cliutil.WrapUsage(err)
+	}
+	var kinds []string
+	if *strategies {
+		kinds = append(kinds, "strategy")
+	}
+	if *chains {
+		kinds = append(kinds, "aa-analysis", "aa-chain")
+	}
+	if *grammars {
+		kinds = append(kinds, "grammar")
+	}
+	switch {
+	case *all:
+		cliutil.PrintRegistries(stdout)
+	case len(kinds) > 0:
+		cliutil.PrintRegistries(stdout, kinds...)
+	default:
+		fmt.Fprintf(stdout, "%-22s %-14s %-22s %s\n", "ID", "BENCHMARK", "MODEL", "SOURCE")
+		for _, c := range apps.All() {
+			fmt.Fprintf(stdout, "%-22s %-14s %-22s %s\n", c.ID, c.Benchmark, c.ModelLabel, c.SourceFiles)
+		}
 	}
 	return nil
 }
@@ -118,7 +152,7 @@ func parseProbeArgs(args []string) (*probeArgs, error) {
 	fs.BoolVar(&pa.fortran, "fortran", false, "Fortran dialect (descriptor arrays, no TBAA) for -file")
 	fs.BoolVar(&pa.views, "views", false, "Kokkos/Thrust-style boxed heap arrays for -file")
 	fs.StringVar(&pa.target, "target", "", "-opt-aa-target substring (restrict ORAQL to a target)")
-	fs.StringVar(&pa.strategy, "strategy", "chunked", "bisection strategy (chunked|freq)")
+	fs.StringVar(&pa.strategy, "strategy", "chunked", "bisection strategy by registered name (`oraql list -strategies`)")
 	fs.IntVar(&pa.workers, "j", 0, "probing worker pool size (0 = NumCPU, 1 = sequential)")
 	fs.BoolVar(&pa.noCache, "no-exe-cache", false, "disable the executable-hash test cache")
 	fs.StringVar(&pa.cacheDir, "cache-dir", "", "persistent cache directory: compile artifacts and campaign state survive across processes (local mode only)")
@@ -134,8 +168,8 @@ func parseProbeArgs(args []string) (*probeArgs, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, cliutil.WrapUsage(err)
 	}
-	if pa.strategy != "chunked" && pa.strategy != "freq" {
-		return nil, cliutil.Usagef("unknown strategy %q (chunked|freq)", pa.strategy)
+	if _, err := driver.StrategyByName(pa.strategy); err != nil {
+		return nil, cliutil.WrapUsage(err)
 	}
 	switch {
 	case pa.file != "":
@@ -180,9 +214,11 @@ func (pa *probeArgs) spec() (*driver.BenchSpec, error) {
 		}
 		spec = cfg.Spec()
 	}
-	if pa.strategy == "freq" {
-		spec.Strategy = driver.FreqSpace
+	strat, err := driver.StrategyByName(pa.strategy)
+	if err != nil {
+		return nil, cliutil.WrapUsage(err)
 	}
+	spec.Strategy = strat
 	spec.Workers = pa.workers
 	spec.DisableExeCache = pa.noCache
 	if pa.cacheDir != "" {
@@ -318,18 +354,38 @@ func cmdReport(args []string, stdout io.Writer) error {
 }
 
 func cmdRun(args []string, stdout, stderr io.Writer) error {
+	var target string
+	if len(args) > 0 && args[0][0] != '-' {
+		target, args = args[0], args[1:]
+	}
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
+	workers := fs.Int("j", 0, "default worker budget for probe/sweep/fuzz calls in the script (0 = package defaults)")
+	cacheDir := fs.String("cache-dir", "", "persistent compile cache directory backing every scripted compilation and probe")
+	cacheMaxMB := fs.Int("cache-max-mb", 0, "size cap for -cache-dir in MiB (0 = 512)")
+	maxSteps := fs.Int64("max-steps", 0, "interpreter instruction budget (0 = default)")
+	timeout := fs.Duration("timeout", 0, "campaign wall-clock limit (0 = none locally, server cap in -server mode)")
+	server := fs.String("server", "", "run the campaign on this oraql-serve instance instead of locally")
+	poll := fs.Duration("poll", 250*time.Millisecond, "job poll interval in -server mode")
+	verbose := fs.Bool("v", false, "stream probe/fuzz progress to stderr")
+	jsonOut := fs.Bool("json", false, "print the campaign's return value as JSON (and failures as the JSON envelope)")
 	if err := fs.Parse(args); err != nil {
 		return cliutil.WrapUsage(err)
 	}
-	if fs.NArg() < 1 {
-		return cliutil.Usagef("run needs a config id")
+	if target == "" {
+		return cliutil.Usagef("run needs a config id or a .oraql script path")
 	}
-	cfg := apps.ByID(fs.Arg(0))
+	if strings.HasSuffix(target, ".oraql") {
+		ca := &campaignArgs{
+			path: target, workers: *workers, cacheDir: *cacheDir, cacheMaxMB: *cacheMaxMB,
+			maxSteps: *maxSteps, timeout: *timeout, server: *server, poll: *poll,
+			verbose: *verbose, jsonOut: *jsonOut,
+		}
+		return cmdCampaign(ca, stdout, stderr)
+	}
+	cfg := apps.ByID(target)
 	if cfg == nil {
-		return fmt.Errorf("unknown configuration %q", fs.Arg(0))
+		return fmt.Errorf("unknown configuration %q", target)
 	}
 	cr, err := pipeline.Compile(pipeline.Config{
 		Name: cfg.ID, Source: cfg.Source, SourceFile: cfg.SourceName, Frontend: cfg.Frontend,
@@ -344,4 +400,99 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprint(stdout, rr.Stdout)
 	fmt.Fprintf(stderr, "[%d instructions, %d cycles]\n", rr.Instrs, rr.Cycles)
 	return nil
+}
+
+// campaignArgs is one `oraql run <script.oraql>` invocation.
+type campaignArgs struct {
+	path       string
+	workers    int
+	cacheDir   string
+	cacheMaxMB int
+	maxSteps   int64
+	timeout    time.Duration
+	server     string
+	poll       time.Duration
+	verbose    bool
+	jsonOut    bool
+}
+
+// cmdCampaign executes a .oraql campaign script, locally or against
+// an oraql-serve instance. print() output goes to stdout; the
+// script's return value is printed as JSON when non-nil (always with
+// -json, where nil prints as null).
+func cmdCampaign(ca *campaignArgs, stdout, stderr io.Writer) error {
+	src, err := os.ReadFile(ca.path)
+	if err != nil {
+		return err
+	}
+	if ca.server != "" {
+		return campaignViaServer(ca, string(src), stdout, stderr)
+	}
+	cache, err := cliutil.OpenCache(ca.cacheDir, ca.cacheMaxMB)
+	if err != nil {
+		return err
+	}
+	opts := campaign.Options{
+		Out:      stdout,
+		Workers:  ca.workers,
+		Cache:    cache,
+		MaxSteps: ca.maxSteps,
+		Timeout:  ca.timeout,
+	}
+	if ca.verbose {
+		opts.Log = stderr
+	}
+	res, err := campaign.Run(string(src), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "campaign: %s done (%d steps)\n", ca.path, res.Steps)
+	return emitCampaignValue(res.Value, ca.jsonOut, stdout)
+}
+
+// campaignViaServer posts the script body to POST /v1/campaign and
+// waits for the job, streaming events with -v.
+func campaignViaServer(ca *campaignArgs, src string, stdout, stderr io.Writer) error {
+	ctx := context.Background()
+	cl := client.New(ca.server)
+	info, err := cl.Campaign(ctx, &service.CampaignRequest{
+		Script:   src,
+		Workers:  ca.workers,
+		MaxSteps: ca.maxSteps,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "oraql: submitted %s (script sha256 %s) to %s\n", info.ID, info.ScriptSHA256, ca.server)
+	if ca.verbose {
+		evCtx, evCancel := context.WithCancel(ctx)
+		defer evCancel()
+		go func() { _ = cl.Events(evCtx, info.ID, stderr) }()
+	}
+	info, err = cl.Wait(ctx, info.ID, ca.poll)
+	if err != nil {
+		return err
+	}
+	if info.State != service.JobDone {
+		return fmt.Errorf("job %s %s: %s", info.ID, info.State, info.Error)
+	}
+	var res service.CampaignResult
+	if err := json.Unmarshal(info.Result, &res); err != nil {
+		return fmt.Errorf("decode job result: %w", err)
+	}
+	fmt.Fprintf(stderr, "campaign: %s done (%d steps)\n", ca.path, res.Steps)
+	var value any
+	if err := json.Unmarshal(res.Value, &value); err != nil {
+		return fmt.Errorf("decode campaign value: %w", err)
+	}
+	return emitCampaignValue(value, ca.jsonOut, stdout)
+}
+
+func emitCampaignValue(value any, jsonOut bool, stdout io.Writer) error {
+	if value == nil && !jsonOut {
+		return nil
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(value)
 }

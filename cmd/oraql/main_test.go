@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -29,6 +31,8 @@ func TestFailurePaths(t *testing.T) {
 		{"report unknown config", []string{"report", "no-such-config"}, cliutil.ExitFailure},
 		{"run without id", []string{"run"}, cliutil.ExitUsage},
 		{"run unknown config", []string{"run", "no-such-config"}, cliutil.ExitFailure},
+		{"run missing script", []string{"run", "/nonexistent/campaign.oraql"}, cliutil.ExitFailure},
+		{"run script bad flag", []string{"run", "x.oraql", "-definitely-not-a-flag"}, cliutil.ExitUsage},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -50,6 +54,52 @@ func TestListSucceeds(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "BENCHMARK") {
 		t.Fatalf("list output missing header: %q", out.String())
+	}
+}
+
+// TestRunCampaignScript pins the `oraql run <script.oraql>` surface:
+// print() goes to stdout, the return value prints as indented JSON,
+// and script errors carry their line number.
+func TestRunCampaignScript(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "smoke.oraql")
+	src := "print(\"hello\", 1 + 2)\nreturn {n: len(strategies())}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if err := run([]string{"run", path, "-json"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "hello 3") {
+		t.Errorf("stdout missing print output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `"n": 3`) {
+		t.Errorf("stdout missing JSON return value:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "done") {
+		t.Errorf("stderr missing completion line:\n%s", errw.String())
+	}
+
+	bad := filepath.Join(dir, "bad.oraql")
+	if err := os.WriteFile(bad, []byte("let x = \nprobe()\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"run", bad}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "line") {
+		t.Fatalf("want a line-numbered script error, got %v", err)
+	}
+}
+
+// TestRunCampaignMaxSteps pins the -max-steps budget on the CLI path.
+func TestRunCampaignMaxSteps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spin.oraql")
+	if err := os.WriteFile(path, []byte("while true { let x = 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"run", path, "-max-steps", "5000"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "instruction budget") {
+		t.Fatalf("want an instruction-budget error, got %v", err)
 	}
 }
 

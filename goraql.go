@@ -126,17 +126,25 @@ type (
 	ProbeSpec = driver.BenchSpec
 	// ProbeResult is the full probing outcome.
 	ProbeResult = driver.Result
-	// Strategy selects the bisection order.
+	// Strategy is a registered bisection strategy
+	// (ProbeSpec.Strategy); StrategyByName resolves one from its
+	// registered name.
 	Strategy = driver.Strategy
 	// VerifySpec configures output verification.
 	VerifySpec = verify.Spec
 )
 
-// Bisection strategies.
-const (
+// Built-in bisection strategies. Linear is the one-query-at-a-time
+// diagnostic baseline.
+var (
 	Chunked   = driver.Chunked
 	FreqSpace = driver.FreqSpace
+	Linear    = driver.Linear
 )
+
+// StrategyByName resolves a registered probing strategy ("chunked",
+// "freq", "linear", or anything registered by an importing package).
+func StrategyByName(name string) (Strategy, error) { return driver.StrategyByName(name) }
 
 // Probe runs the full ORAQL workflow: baseline, fully-optimistic
 // attempt, and bisection to a locally maximal optimistic sequence.

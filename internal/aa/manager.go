@@ -303,22 +303,19 @@ func (mgr *Manager) allShards() []*shard {
 // mirroring LLVM's defaults: Basic, ScopedNoAlias, TypeBased, ArgAttr,
 // Globals. The CFL analyses exist but are off by default because of
 // their scaling behaviour (paper Section I); use FullChain to enable
-// them. Append the ORAQL pass after whichever chain is chosen.
+// them. Append the ORAQL pass after whichever chain is chosen. Both
+// are thin wrappers over the registered "default"/"full" chain orders
+// (registry.go); ChainByName resolves arbitrary registered names and
+// custom comma lists.
 func DefaultChain(m *ir.Module) []Analysis {
-	return []Analysis{
-		NewBasicAA(),
-		NewScopedNoAliasAA(),
-		NewTypeBasedAA(m),
-		NewArgAttrAA(),
-		NewGlobalsAA(m),
-	}
+	return buildChain(m, defaultChainNames)
 }
 
 // FullChain is DefaultChain plus the two CFL points-to analyses
 // (Andersen, Steensgaard), i.e. all seven analyses the paper lists for
 // LLVM 14.
 func FullChain(m *ir.Module) []Analysis {
-	return append(DefaultChain(m), NewAndersenAA(m), NewSteensgaardAA(m))
+	return buildChain(m, fullChainNames)
 }
 
 // Append adds an analysis at the end of the chain (used to install the

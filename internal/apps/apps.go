@@ -21,6 +21,7 @@ import (
 	"github.com/oraql/go-oraql/internal/minic"
 	"github.com/oraql/go-oraql/internal/oraql"
 	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/registry"
 	"github.com/oraql/go-oraql/internal/verify"
 )
 
@@ -81,29 +82,35 @@ func (c *Config) Spec() *driver.BenchSpec {
 	}
 }
 
-var registry []*Config
-
+// Configurations live in the shared registry.AppConfigs extension
+// point (Fig. 4 row order = registration order); register panics on
+// duplicate IDs through the registry's own duplicate check.
 func register(c *Config) *Config {
-	for _, old := range registry {
-		if old.ID == c.ID {
-			panic(fmt.Sprintf("apps: duplicate config %q", c.ID))
-		}
-	}
-	registry = append(registry, c)
+	registry.AppConfigs.Register(registry.Entry{
+		Name:        c.ID,
+		Description: fmt.Sprintf("%s · %s (%s)", c.Benchmark, c.ModelLabel, c.SourceFiles),
+		Value:       c,
+	})
 	return c
 }
 
 // All returns every configuration in Fig. 4 row order.
-func All() []*Config { return registry }
+func All() []*Config {
+	entries := registry.AppConfigs.Entries()
+	out := make([]*Config, len(entries))
+	for i, e := range entries {
+		out[i] = e.Value.(*Config)
+	}
+	return out
+}
 
 // ByID returns the named configuration, or nil.
 func ByID(id string) *Config {
-	for _, c := range registry {
-		if c.ID == id {
-			return c
-		}
+	e, ok := registry.AppConfigs.Lookup(id)
+	if !ok {
+		return nil
 	}
-	return nil
+	return e.Value.(*Config)
 }
 
 // runWithRanks returns run options with the given MPI rank count.

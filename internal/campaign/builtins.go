@@ -1,0 +1,183 @@
+package campaign
+
+// Generic builtins — the part of the standard library that knows
+// nothing about ORAQL. The domain bindings live in bindings.go.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func coreBuiltins() []*Builtin {
+	return []*Builtin{
+		{
+			Name: "print",
+			Doc:  "print(args...) — write the arguments, space-separated, to the campaign log",
+			Fn: func(in *interp, line int, args []any) (any, error) {
+				parts := make([]string, len(args))
+				for i, a := range args {
+					parts[i] = formatValue(a)
+				}
+				in.printf("%s\n", strings.Join(parts, " "))
+				return nil, nil
+			},
+		},
+		{
+			Name: "str",
+			Doc:  "str(x) — render any value as a string",
+			Fn: func(in *interp, line int, args []any) (any, error) {
+				if len(args) != 1 {
+					return nil, scriptErr(line, "str needs exactly 1 argument, got %d", len(args))
+				}
+				return formatValue(args[0]), nil
+			},
+		},
+		{
+			Name: "len",
+			Doc:  "len(x) — length of a string, list, or map",
+			Fn: func(in *interp, line int, args []any) (any, error) {
+				if len(args) != 1 {
+					return nil, scriptErr(line, "len needs exactly 1 argument, got %d", len(args))
+				}
+				switch v := args[0].(type) {
+				case string:
+					return int64(len(v)), nil
+				case []any:
+					return int64(len(v)), nil
+				case map[string]any:
+					return int64(len(v)), nil
+				}
+				return nil, scriptErr(line, "len is not defined on %s", typeName(args[0]))
+			},
+		},
+		{
+			Name: "range",
+			Doc:  "range(n) or range(start, stop) — list of consecutive integers",
+			Fn: func(in *interp, line int, args []any) (any, error) {
+				var start, stop int64
+				switch len(args) {
+				case 1:
+					n, ok := args[0].(int64)
+					if !ok {
+						return nil, scriptErr(line, "range needs integers, got %s", typeName(args[0]))
+					}
+					stop = n
+				case 2:
+					a, aok := args[0].(int64)
+					b, bok := args[1].(int64)
+					if !aok || !bok {
+						return nil, scriptErr(line, "range needs integers")
+					}
+					start, stop = a, b
+				default:
+					return nil, scriptErr(line, "range needs 1 or 2 arguments, got %d", len(args))
+				}
+				if stop-start > 1_000_000 {
+					return nil, scriptErr(line, "range too large (%d elements)", stop-start)
+				}
+				out := make([]any, 0)
+				for i := start; i < stop; i++ {
+					if err := in.step(line); err != nil {
+						return nil, err
+					}
+					out = append(out, i)
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "keys",
+			Doc:  "keys(m) — sorted list of a map's keys",
+			Fn: func(in *interp, line int, args []any) (any, error) {
+				if len(args) != 1 {
+					return nil, scriptErr(line, "keys needs exactly 1 argument, got %d", len(args))
+				}
+				m, ok := args[0].(map[string]any)
+				if !ok {
+					return nil, scriptErr(line, "keys needs a map, got %s", typeName(args[0]))
+				}
+				names := make([]string, 0, len(m))
+				for k := range m {
+					names = append(names, k)
+				}
+				sort.Strings(names)
+				out := make([]any, len(names))
+				for i, k := range names {
+					out[i] = k
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "append",
+			Doc:  "append(list, values...) — new list with the values appended",
+			Fn: func(in *interp, line int, args []any) (any, error) {
+				if len(args) < 1 {
+					return nil, scriptErr(line, "append needs a list argument")
+				}
+				l, ok := args[0].([]any)
+				if !ok {
+					return nil, scriptErr(line, "append needs a list, got %s", typeName(args[0]))
+				}
+				out := make([]any, 0, len(l)+len(args)-1)
+				out = append(out, l...)
+				return append(out, args[1:]...), nil
+			},
+		},
+		{
+			Name: "contains",
+			Doc:  "contains(list, v) or contains(map, key) or contains(string, sub)",
+			Fn: func(in *interp, line int, args []any) (any, error) {
+				if len(args) != 2 {
+					return nil, scriptErr(line, "contains needs exactly 2 arguments, got %d", len(args))
+				}
+				switch c := args[0].(type) {
+				case []any:
+					for _, el := range c {
+						if valueEq(el, args[1]) {
+							return true, nil
+						}
+					}
+					return false, nil
+				case map[string]any:
+					k, ok := args[1].(string)
+					if !ok {
+						return nil, scriptErr(line, "contains on a map needs a string key")
+					}
+					_, present := c[k]
+					return present, nil
+				case string:
+					sub, ok := args[1].(string)
+					if !ok {
+						return nil, scriptErr(line, "contains on a string needs a string")
+					}
+					return strings.Contains(c, sub), nil
+				}
+				return nil, scriptErr(line, "contains is not defined on %s", typeName(args[0]))
+			},
+		},
+		{
+			Name: "fail",
+			Doc:  "fail(msg) — abort the campaign with an error",
+			Fn: func(in *interp, line int, args []any) (any, error) {
+				msg := "campaign failed"
+				if len(args) > 0 {
+					parts := make([]string, len(args))
+					for i, a := range args {
+						parts[i] = formatValue(a)
+					}
+					msg = strings.Join(parts, " ")
+				}
+				return nil, scriptErr(line, "fail: %s", msg)
+			},
+		},
+	}
+}
+
+// printf writes to the script's output stream, if any.
+func (in *interp) printf(format string, args ...any) {
+	if in.opts.Out != nil {
+		fmt.Fprintf(in.opts.Out, format, args...)
+	}
+}

@@ -1,0 +1,626 @@
+package campaign
+
+// The tree-walking evaluator. Values are the JSON value model plus
+// *Builtin: nil, bool, int64, float64, string, []any, map[string]any.
+// Every operation is type-checked and error-returning — scripts can
+// fail, but they can never panic the host — and every evaluated node
+// charges the instruction budget, so `while true {}` dies with a
+// budget error, not a hung worker.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Builtin is a host function callable from scripts. Bindings decide
+// what a campaign can reach: the sandbox is exactly the set of
+// builtins installed — there are no filesystem or exec bindings.
+type Builtin struct {
+	Name string
+	Doc  string
+	Fn   func(in *interp, line int, args []any) (any, error)
+}
+
+type env struct {
+	vars   map[string]any
+	parent *env
+}
+
+func (e *env) lookup(name string) (any, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) set(name string, v any) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// interp executes one script under a step budget and a context.
+type interp struct {
+	ctx      context.Context
+	opts     *Options
+	globals  *env
+	steps    int64
+	maxSteps int64
+}
+
+// Control-flow sentinels — internal to the evaluator, never escape Run.
+type breakErr struct{ line int }
+type continueErr struct{ line int }
+type returnErr struct{ val any }
+
+func (breakErr) Error() string    { return "break outside loop" }
+func (continueErr) Error() string { return "continue outside loop" }
+func (returnErr) Error() string   { return "return" }
+
+// step charges the instruction budget and polls for cancellation.
+func (in *interp) step(line int) error {
+	in.steps++
+	if in.steps > in.maxSteps {
+		return scriptErr(line, "instruction budget exceeded (%d steps)", in.maxSteps)
+	}
+	if in.steps%256 == 0 {
+		if err := in.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) execBlock(stmts []stmt, e *env) error {
+	for _, s := range stmts {
+		if err := in.exec(s, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) exec(s stmt, e *env) error {
+	if err := in.step(s.stmtPos()); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *letStmt:
+		v, err := in.eval(s.val, e)
+		if err != nil {
+			return err
+		}
+		e.vars[s.name] = v
+		return nil
+
+	case *assignStmt:
+		return in.assign(s, e)
+
+	case *exprStmt:
+		_, err := in.eval(s.x, e)
+		return err
+
+	case *ifStmt:
+		cond, err := in.evalBool(s.cond, e)
+		if err != nil {
+			return err
+		}
+		scope := &env{vars: map[string]any{}, parent: e}
+		if cond {
+			return in.execBlock(s.then, scope)
+		}
+		return in.execBlock(s.alt, scope)
+
+	case *forStmt:
+		items, err := in.iterable(s.iter, e)
+		if err != nil {
+			return err
+		}
+		for _, item := range items {
+			scope := &env{vars: map[string]any{s.name: item}, parent: e}
+			err := in.execBlock(s.body, scope)
+			switch err.(type) {
+			case nil, continueErr:
+			case breakErr:
+				return nil
+			default:
+				return err
+			}
+		}
+		return nil
+
+	case *whileStmt:
+		for {
+			cond, err := in.evalBool(s.cond, e)
+			if err != nil {
+				return err
+			}
+			if !cond {
+				return nil
+			}
+			scope := &env{vars: map[string]any{}, parent: e}
+			err = in.execBlock(s.body, scope)
+			switch err.(type) {
+			case nil, continueErr:
+			case breakErr:
+				return nil
+			default:
+				return err
+			}
+		}
+
+	case *breakStmt:
+		return breakErr{line: s.line}
+	case *continueStmt:
+		return continueErr{line: s.line}
+
+	case *returnStmt:
+		var v any
+		if s.val != nil {
+			var err error
+			if v, err = in.eval(s.val, e); err != nil {
+				return err
+			}
+		}
+		return returnErr{val: v}
+	}
+	return scriptErr(s.stmtPos(), "internal: unknown statement %T", s)
+}
+
+func (in *interp) assign(s *assignStmt, e *env) error {
+	v, err := in.eval(s.val, e)
+	if err != nil {
+		return err
+	}
+	switch t := s.target.(type) {
+	case *identExpr:
+		if !e.set(t.name, v) {
+			return scriptErr(s.line, "assignment to undeclared variable %q (use let)", t.name)
+		}
+		return nil
+	case *indexExpr:
+		container, err := in.eval(t.x, e)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(t.idx, e)
+		if err != nil {
+			return err
+		}
+		switch c := container.(type) {
+		case []any:
+			i, ok := idx.(int64)
+			if !ok {
+				return scriptErr(s.line, "list index must be an integer, got %s", typeName(idx))
+			}
+			if i < 0 || i >= int64(len(c)) {
+				return scriptErr(s.line, "list index %d out of range (len %d)", i, len(c))
+			}
+			c[i] = v
+			return nil
+		case map[string]any:
+			k, ok := idx.(string)
+			if !ok {
+				return scriptErr(s.line, "map key must be a string, got %s", typeName(idx))
+			}
+			c[k] = v
+			return nil
+		default:
+			return scriptErr(s.line, "cannot index-assign into %s", typeName(container))
+		}
+	case *fieldExpr:
+		container, err := in.eval(t.x, e)
+		if err != nil {
+			return err
+		}
+		m, ok := container.(map[string]any)
+		if !ok {
+			return scriptErr(s.line, "cannot set field %q on %s", t.name, typeName(container))
+		}
+		m[t.name] = v
+		return nil
+	}
+	return scriptErr(s.line, "invalid assignment target")
+}
+
+// iterable evaluates a for-in source: lists iterate in order, maps in
+// sorted-key order so every run of a script is deterministic.
+func (in *interp) iterable(x expr, e *env) ([]any, error) {
+	v, err := in.eval(x, e)
+	if err != nil {
+		return nil, err
+	}
+	switch v := v.(type) {
+	case []any:
+		return v, nil
+	case map[string]any:
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		items := make([]any, len(keys))
+		for i, k := range keys {
+			items[i] = k
+		}
+		return items, nil
+	default:
+		return nil, scriptErr(x.pos(), "cannot iterate over %s", typeName(v))
+	}
+}
+
+func (in *interp) evalBool(x expr, e *env) (bool, error) {
+	v, err := in.eval(x, e)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, scriptErr(x.pos(), "condition must be a boolean, got %s", typeName(v))
+	}
+	return b, nil
+}
+
+func (in *interp) eval(x expr, e *env) (any, error) {
+	if err := in.step(x.pos()); err != nil {
+		return nil, err
+	}
+	switch x := x.(type) {
+	case *litExpr:
+		return x.val, nil
+
+	case *identExpr:
+		if v, ok := e.lookup(x.name); ok {
+			return v, nil
+		}
+		return nil, scriptErr(x.line, "undefined name %q", x.name)
+
+	case *listExpr:
+		out := make([]any, 0, len(x.elems))
+		for _, el := range x.elems {
+			v, err := in.eval(el, e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+
+	case *mapExpr:
+		out := make(map[string]any, len(x.keys))
+		for i, k := range x.keys {
+			v, err := in.eval(x.vals[i], e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+		}
+		return out, nil
+
+	case *unaryExpr:
+		v, err := in.eval(x.x, e)
+		if err != nil {
+			return nil, err
+		}
+		switch x.op {
+		case "!":
+			b, ok := v.(bool)
+			if !ok {
+				return nil, scriptErr(x.line, "! needs a boolean, got %s", typeName(v))
+			}
+			return !b, nil
+		case "-":
+			switch v := v.(type) {
+			case int64:
+				return -v, nil
+			case float64:
+				return -v, nil
+			}
+			return nil, scriptErr(x.line, "unary - needs a number, got %s", typeName(v))
+		}
+		return nil, scriptErr(x.line, "internal: unknown unary %q", x.op)
+
+	case *binaryExpr:
+		return in.evalBinary(x, e)
+
+	case *callExpr:
+		fn, err := in.eval(x.fn, e)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := fn.(*Builtin)
+		if !ok {
+			return nil, scriptErr(x.line, "%s is not callable", typeName(fn))
+		}
+		args := make([]any, len(x.args))
+		for i, a := range x.args {
+			if args[i], err = in.eval(a, e); err != nil {
+				return nil, err
+			}
+		}
+		v, err := b.Fn(in, x.line, args)
+		if err != nil {
+			if _, scripted := err.(scriptError); scripted {
+				return nil, err
+			}
+			if in.ctx.Err() != nil {
+				return nil, err // cancellation passes through untouched
+			}
+			return nil, scriptErr(x.line, "%s: %v", b.Name, err)
+		}
+		return v, nil
+
+	case *indexExpr:
+		container, err := in.eval(x.x, e)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(x.idx, e)
+		if err != nil {
+			return nil, err
+		}
+		switch c := container.(type) {
+		case []any:
+			i, ok := idx.(int64)
+			if !ok {
+				return nil, scriptErr(x.line, "list index must be an integer, got %s", typeName(idx))
+			}
+			if i < 0 || i >= int64(len(c)) {
+				return nil, scriptErr(x.line, "list index %d out of range (len %d)", i, len(c))
+			}
+			return c[i], nil
+		case map[string]any:
+			k, ok := idx.(string)
+			if !ok {
+				return nil, scriptErr(x.line, "map key must be a string, got %s", typeName(idx))
+			}
+			return c[k], nil // missing key yields nil, like field access
+		default:
+			return nil, scriptErr(x.line, "cannot index %s", typeName(container))
+		}
+
+	case *fieldExpr:
+		container, err := in.eval(x.x, e)
+		if err != nil {
+			return nil, err
+		}
+		m, ok := container.(map[string]any)
+		if !ok {
+			return nil, scriptErr(x.line, "cannot read field %q of %s", x.name, typeName(container))
+		}
+		return m[x.name], nil // missing field yields nil
+	}
+	return nil, scriptErr(x.pos(), "internal: unknown expression %T", x)
+}
+
+func (in *interp) evalBinary(x *binaryExpr, e *env) (any, error) {
+	// Short-circuit logic first.
+	if x.op == "&&" || x.op == "||" {
+		l, err := in.evalBool(x.x, e)
+		if err != nil {
+			return nil, err
+		}
+		if (x.op == "&&" && !l) || (x.op == "||" && l) {
+			return l, nil
+		}
+		r, err := in.evalBool(x.y, e)
+		return r, err
+	}
+	l, err := in.eval(x.x, e)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.eval(x.y, e)
+	if err != nil {
+		return nil, err
+	}
+	switch x.op {
+	case "==":
+		return valueEq(l, r), nil
+	case "!=":
+		return !valueEq(l, r), nil
+	}
+	// String operators.
+	if ls, ok := l.(string); ok {
+		rs, ok := r.(string)
+		if !ok {
+			return nil, scriptErr(x.line, "%q needs two strings, got %s and %s", x.op, typeName(l), typeName(r))
+		}
+		switch x.op {
+		case "+":
+			return ls + rs, nil
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		case ">=":
+			return ls >= rs, nil
+		}
+		return nil, scriptErr(x.line, "%q is not defined on strings", x.op)
+	}
+	// List concatenation.
+	if ll, ok := l.([]any); ok && x.op == "+" {
+		rl, ok := r.([]any)
+		if !ok {
+			return nil, scriptErr(x.line, "\"+\" needs two lists, got list and %s", typeName(r))
+		}
+		out := make([]any, 0, len(ll)+len(rl))
+		out = append(out, ll...)
+		return append(out, rl...), nil
+	}
+	// Numbers: int64 stays exact, any float promotes both sides.
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch x.op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, scriptErr(x.line, "division by zero")
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, scriptErr(x.line, "modulo by zero")
+			}
+			return li % ri, nil
+		case "<":
+			return li < ri, nil
+		case "<=":
+			return li <= ri, nil
+		case ">":
+			return li > ri, nil
+		case ">=":
+			return li >= ri, nil
+		}
+	}
+	lf, lNum := toFloat(l)
+	rf, rNum := toFloat(r)
+	if !lNum || !rNum {
+		return nil, scriptErr(x.line, "%q needs two numbers, got %s and %s", x.op, typeName(l), typeName(r))
+	}
+	switch x.op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, scriptErr(x.line, "division by zero")
+		}
+		return lf / rf, nil
+	case "%":
+		return nil, scriptErr(x.line, "%% needs two integers")
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	}
+	return nil, scriptErr(x.line, "internal: unknown operator %q", x.op)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch v := v.(type) {
+	case int64:
+		return float64(v), true
+	case float64:
+		return v, true
+	}
+	return 0, false
+}
+
+// valueEq compares two script values: numbers numerically across the
+// int/float divide, containers structurally.
+func valueEq(a, b any) bool {
+	if af, aok := toFloat(a); aok {
+		bf, bok := toFloat(b)
+		return bok && af == bf
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "bool"
+	case int64:
+		return "int"
+	case float64:
+		return "float"
+	case string:
+		return "string"
+	case []any:
+		return "list"
+	case map[string]any:
+		return "map"
+	case *Builtin:
+		return "builtin"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+// scriptError distinguishes errors that already carry a script line.
+type scriptError struct{ msg string }
+
+func (e scriptError) Error() string { return e.msg }
+
+// formatValue renders a script value for print()/str().
+func formatValue(v any) string {
+	switch v := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return fmt.Sprintf("%t", v)
+	case int64:
+		return fmt.Sprintf("%d", v)
+	case float64:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+	case string:
+		return v
+	case []any:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, el := range v {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(formatValueQuoted(el))
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	case map[string]any:
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k)
+			sb.WriteString(": ")
+			sb.WriteString(formatValueQuoted(v[k]))
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	case *Builtin:
+		return "builtin " + v.Name
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// formatValueQuoted is formatValue with strings quoted — used inside
+// container renderings where bare strings would be ambiguous.
+func formatValueQuoted(v any) string {
+	if s, ok := v.(string); ok {
+		return fmt.Sprintf("%q", s)
+	}
+	return formatValue(v)
+}

@@ -1,0 +1,67 @@
+package campaign
+
+// FuzzCampaignScriptNoPanic is the sandbox's load-bearing guarantee:
+// whatever bytes arrive (POST /v1/campaign takes untrusted script
+// bodies), the parser and evaluator return errors — they never panic
+// and never run away. The seed corpus lives in
+// testdata/fuzz/FuzzCampaignScriptNoPanic; `go test` replays it on
+// every run, `go test -fuzz=FuzzCampaignScriptNoPanic` explores.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func FuzzCampaignScriptNoPanic(f *testing.F) {
+	seeds := []string{
+		"",
+		"let x = 1\nreturn x + 2",
+		"for i in range(10) { print(i) }",
+		"while true { break }",
+		"let m = {a: [1, 2.5, \"s\"], b: {c: nil}}\nreturn m.a[0] == 1 && !false",
+		"if 1 < 2 { return \"y\" } else { return \"n\" }",
+		"return strategies() + aa_chains()",
+		"probe({config: \"nope\"})",
+		"compile({source: \"int main() { return 0; }\"})",
+		"fuzz({n: 0, grammar: \"nope\"})",
+		"sweep({configs: []})",
+		"let s = \"\\n\\t\\\"\\\\\"",
+		"return 9_223_372_036_854_775_807",
+		"return 1..2",
+		"x = = =",
+		"((((((((((",
+		"}}}}",
+		"return [1, 2][",
+		"let \x00 = 1",
+		"# comment only",
+		"a.b.c.d()[0].e = 1",
+		"return 1/0",
+		"return -(-(-1))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Oversized inputs only slow exploration down.
+		if len(src) > 1<<16 {
+			t.Skip()
+		}
+		res, err := Run(src, Options{
+			MaxSteps: 2_000,
+			Timeout:  2 * time.Second,
+		})
+		if err != nil {
+			// Errors are the contract; panics or hangs are the bug.
+			// Every script-level error must be self-describing.
+			if err.Error() == "" {
+				t.Fatalf("empty error for script %q", src)
+			}
+			return
+		}
+		_ = res
+		// A successful run must also format its value without panicking.
+		_ = formatValue(res.Value)
+		_ = strings.TrimSpace(src)
+	})
+}

@@ -1,0 +1,185 @@
+package campaign
+
+// The lexer of the .oraql campaign language. The whole front end is
+// error-returning by contract — no panics, ever — because untrusted
+// script bodies arrive over POST /v1/campaign and the native fuzz
+// target FuzzCampaignScriptNoPanic holds the parser and evaluator to
+// exactly that bar.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tNewline
+	tIdent
+	tInt
+	tFloat
+	tString
+	tOp
+)
+
+type token struct {
+	kind tokKind
+	text string // identifier name, operator spelling, or string value
+	line int
+	i64  int64
+	f64  float64
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of script"
+	case tNewline:
+		return "newline"
+	case tString:
+		return strconv.Quote(t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// operators, longest first so the lexer matches ">=" before ">".
+var operators = []string{
+	"==", "!=", "<=", ">=", "&&", "||",
+	"(", ")", "{", "}", "[", "]", ",", ":", ".", ";",
+	"=", "<", ">", "+", "-", "*", "/", "%", "!",
+}
+
+// scriptErr is a script-level failure with a source line attached.
+// The scriptError type (eval.go) marks errors that already carry a
+// line so host-binding failures are not double-prefixed.
+func scriptErr(line int, format string, args ...any) error {
+	return scriptError{msg: fmt.Sprintf("campaign: line %d: %s", line, fmt.Sprintf(format, args...))}
+}
+
+// lex tokenizes the whole script up front. Consecutive newlines
+// collapse into one tNewline token.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	emit := func(t token) {
+		if t.kind == tNewline && (len(toks) == 0 || toks[len(toks)-1].kind == tNewline) {
+			return // collapse runs and leading newlines
+		}
+		toks = append(toks, t)
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emit(token{kind: tNewline, line: line})
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			val, n, err := lexString(src[i:], line)
+			if err != nil {
+				return nil, err
+			}
+			emit(token{kind: tString, text: val, line: line})
+			i += n
+		case c >= '0' && c <= '9':
+			start := i
+			isFloat := false
+			for i < len(src) && (isDigit(src[i]) || src[i] == '.' || src[i] == '_') {
+				if src[i] == '.' {
+					// Two dots ("1..2") or a method-style dot after the
+					// number stops the literal.
+					if isFloat || i+1 >= len(src) || !isDigit(src[i+1]) {
+						break
+					}
+					isFloat = true
+				}
+				i++
+			}
+			text := strings.ReplaceAll(src[start:i], "_", "")
+			if isFloat {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, scriptErr(line, "bad number %q", src[start:i])
+				}
+				emit(token{kind: tFloat, text: text, line: line, f64: f})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, scriptErr(line, "bad number %q", src[start:i])
+				}
+				emit(token{kind: tInt, text: text, line: line, i64: v})
+			}
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			emit(token{kind: tIdent, text: src[start:i], line: line})
+		default:
+			op := ""
+			for _, cand := range operators {
+				if strings.HasPrefix(src[i:], cand) {
+					op = cand
+					break
+				}
+			}
+			if op == "" {
+				return nil, scriptErr(line, "unexpected character %q", string(c))
+			}
+			emit(token{kind: tOp, text: op, line: line})
+			i += len(op)
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: line})
+	return toks, nil
+}
+
+// lexString scans a double-quoted literal at the start of s and
+// returns its value and consumed length.
+func lexString(s string, line int) (string, int, error) {
+	var b strings.Builder
+	i := 1 // opening quote
+	for i < len(s) {
+		switch c := s[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\n':
+			return "", 0, scriptErr(line, "unterminated string")
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, scriptErr(line, "unterminated string escape")
+			}
+			switch e := s[i+1]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return "", 0, scriptErr(line, `unknown string escape \%s`, string(e))
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, scriptErr(line, "unterminated string")
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

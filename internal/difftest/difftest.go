@@ -42,6 +42,9 @@ type Variant struct {
 	FullAAChain          bool `json:"full_aa_chain,omitempty"`
 	DisableAAQueryCache  bool `json:"disable_aa_query_cache,omitempty"`
 	DisableAnalysisCache bool `json:"disable_analysis_cache,omitempty"`
+	// AAChain selects the alias-analysis chain by registered name or
+	// comma list (pipeline.Config.AAChain); empty defers to FullAAChain.
+	AAChain string `json:"aa_chain,omitempty"`
 	// BlockAA consults an empty-sequence blocking-mode ORAQL pass
 	// before the chain, suppressing every conservative analysis. More
 	// pessimism is always sound, so this variant must never diverge.
@@ -65,6 +68,7 @@ func (v Variant) config(name, file, src string, stopAfter int) pipeline.Config {
 		OptLevel:             v.OptLevel,
 		StopAfter:            stopAfter,
 		FullAAChain:          v.FullAAChain,
+		AAChain:              v.AAChain,
 		DisableAAQueryCache:  v.DisableAAQueryCache,
 		DisableAnalysisCache: v.DisableAnalysisCache,
 	}

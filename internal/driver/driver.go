@@ -21,7 +21,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 
 	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/irinterp"
@@ -30,27 +29,16 @@ import (
 	"github.com/oraql/go-oraql/internal/verify"
 )
 
-// Strategy selects the bisection order.
-type Strategy int
-
-// Strategies.
-const (
-	// Chunked recursively splits the sequence into consecutive halves
-	// (good when dangerous queries cluster).
-	Chunked Strategy = iota
-	// FreqSpace splits by integer-division remainder (even/odd first);
-	// descriptors are independent of the sequence length.
-	FreqSpace
-)
-
 // BenchSpec is the benchmark-specific configuration file equivalent:
 // compiler invocation, probing scope, run options, and verification.
 type BenchSpec struct {
-	Name     string
-	Compile  pipeline.Config // ORAQL field is managed by the driver
-	Run      irinterp.Options
-	Verify   verify.Spec // empty references: baseline output is recorded
-	ORAQL    oraql.Options
+	Name    string
+	Compile pipeline.Config // ORAQL field is managed by the driver
+	Run     irinterp.Options
+	Verify  verify.Spec // empty references: baseline output is recorded
+	ORAQL   oraql.Options
+	// Strategy is the bisection strategy (see strategies.go); nil means
+	// the registered default, Chunked.
 	Strategy Strategy
 	// Workers bounds the worker pool for speculative parallel probing
 	// (0 defaults to runtime.NumCPU(); 1 probes strictly sequentially).
@@ -280,18 +268,22 @@ func (st *state) probe() (*Result, error) {
 
 	// Step 3: bisection. The padding keeps undecided queries
 	// pessimistic; it adapts as query counts drift.
+	strat := spec.Strategy
+	if strat == nil {
+		strat = Chunked
+	}
 	var final oraql.Seq
 	for round := 0; round < 4; round++ {
 		n := st.maxSeen
 		st.padLen = 2*n + 64
 		var decided oraql.Seq
-		switch {
-		case spec.Strategy == FreqSpace:
-			decided, err = st.freqSolve(n)
-		case round == 0 && st.pins != nil:
+		// The disk-seeded round-0 path pins persisted verdicts and
+		// bisects only unknowns; it refines the chunked recursion, so it
+		// applies only when the chunked strategy is in charge.
+		if round == 0 && st.pins != nil && strat == Chunked {
 			decided, err = st.seededSolve(n)
-		default:
-			decided, err = st.chunkSolve(n)
+		} else {
+			decided, err = strat.Solve(st, n)
 		}
 		if err != nil {
 			return nil, err
@@ -368,193 +360,28 @@ func (st *state) pad(decided oraql.Seq, upto int) oraql.Seq {
 	return out
 }
 
-// chunkSolve runs the chunked recursion over [0, n). The knownBad flag
-// implements the paper's Fig. 2 deduction: when a parent range failed
-// and its first half verified entirely optimistic, the second half must
-// contain a dangerous query, so its whole-range test is skipped.
-func (st *state) chunkSolve(n int) (oraql.Seq, error) {
-	decided := make(oraql.Seq, n)
-	// allOpt reports whether the whole range ended up optimistic.
-	var solve func(lo, hi int, knownBad bool) (bool, error)
-	solve = func(lo, hi int, knownBad bool) (bool, error) {
-		if lo >= hi {
-			return true, nil
-		}
-		if !knownBad {
-			cand := decided.Clone()
-			for i := lo; i < hi; i++ {
-				cand[i] = true
-			}
-			ok, err := st.test(st.pad(cand[:hi], st.padLen), st.chunkSpecs(decided, lo, hi)...)
-			if err != nil {
-				return false, err
-			}
-			if ok {
-				copy(decided[lo:hi], cand[lo:hi])
-				return true, nil
-			}
-		}
-		if hi-lo == 1 {
-			decided[lo] = false // dangerous query pinned
-			st.logf("%s: query %d must stay pessimistic", st.spec.Name, lo)
-			return false, nil
-		}
-		mid := (lo + hi) / 2
-		leftAll, err := solve(lo, mid, false)
-		if err != nil {
-			return false, err
-		}
-		// If the left half is entirely optimistic, the dangerous query
-		// must be on the right: skip the right's whole-range test.
-		if _, err := solve(mid, hi, leftAll); err != nil {
-			return false, err
-		}
-		return false, nil
-	}
-	if _, err := solve(0, n, true); err != nil {
-		return nil, err
-	}
-	return decided, nil
+// state implements Prober — the view strategies get of the probing
+// machinery (strategies.go).
+
+// Test verifies one candidate, speculatively prefetching specs.
+func (st *state) Test(seq oraql.Seq, specs ...oraql.Seq) (bool, error) {
+	return st.test(seq, specs...)
 }
 
-// chunkSpecs builds the speculative candidates launched alongside the
-// whole-range test of [lo, hi): the fail path descends the left spine
-// (left half, left quarter, ...), and the right half is speculated
-// under the assumption that the whole left half stays pessimistic.
-// Decided bits only ever flip to optimistic on a success — and every
-// success cancels outstanding speculation — so candidates built from
-// the current decided state stay exact until consumed or cancelled.
-//
-// When persisted verdict priors are available, candidates are ordered
-// by estimated consumption probability — the product of each
-// ancestor's failure probability along the path that reaches the
-// candidate's test — so the engine's bounded speculation depth is
-// spent on the tests most likely to be consumed.
-func (st *state) chunkSpecs(decided oraql.Seq, lo, hi int) []oraql.Seq {
-	if st.eng.workers <= 1 || hi-lo <= 1 {
-		return nil
-	}
-	var specs []oraql.Seq
-	var scores []float64
-	prob := 1.0 // P(every ancestor range test failed)
-	for l, h := lo, hi; h-l > 1 && len(specs) < st.eng.workers-1; {
-		m := (l + h) / 2
-		cand := decided.Clone()
-		for i := l; i < m; i++ {
-			cand[i] = true
-		}
-		prob *= st.pFail(l, h)
-		specs = append(specs, st.pad(cand[:m], st.padLen))
-		scores = append(scores, prob)
-		h = m
-	}
-	if mid := (lo + hi) / 2; len(specs) < st.eng.workers-1 {
-		cand := decided.Clone()
-		for i := mid; i < hi; i++ {
-			cand[i] = true
-		}
-		specs = append(specs, st.pad(cand[:hi], st.padLen))
-		// Consumed when [lo,hi) failed and its left half failed too
-		// (leftAll skips the right's whole-range test otherwise).
-		scores = append(scores, st.pFail(lo, hi)*st.pFail(lo, mid))
-	}
-	if st.priors != nil {
-		ord := make([]int, len(specs))
-		for i := range ord {
-			ord[i] = i
-		}
-		sort.SliceStable(ord, func(a, b int) bool { return scores[ord[a]] > scores[ord[b]] })
-		sorted := make([]oraql.Seq, len(specs))
-		for i, j := range ord {
-			sorted[i] = specs[j]
-		}
-		specs = sorted
-	}
-	return specs
-}
+// Pad extends a decided prefix to the current generous padding length.
+func (st *state) Pad(decided oraql.Seq) oraql.Seq { return st.pad(decided, st.padLen) }
 
-// freqSolve runs the frequency-space recursion: residue classes of the
-// query index, refined by doubling the modulus.
-func (st *state) freqSolve(n int) (oraql.Seq, error) {
-	decided := make(oraql.Seq, n)
-	done := make([]bool, n)
-	var solve func(m, r int) error
-	solve = func(m, r int) error {
-		if r >= n {
-			return nil
-		}
-		cand := decided.Clone()
-		for i := r; i < n; i += m {
-			if !done[i] {
-				cand[i] = true
-			}
-		}
-		ok, err := st.test(st.pad(cand, st.padLen), st.freqSpecs(decided, done, m, r)...)
-		if err != nil {
-			return err
-		}
-		if ok {
-			for i := r; i < n; i += m {
-				if !done[i] {
-					decided[i] = true
-					done[i] = true
-				}
-			}
-			return nil
-		}
-		if m >= n {
-			// The class has a single member in range.
-			decided[r] = false
-			done[r] = true
-			st.logf("%s: query %d must stay pessimistic", st.spec.Name, r)
-			return nil
-		}
-		if err := solve(2*m, r); err != nil {
-			return err
-		}
-		return solve(2*m, r+m)
-	}
-	if err := solve(1, 0); err != nil {
-		return nil, err
-	}
-	return decided, nil
-}
+// Workers is the speculation budget.
+func (st *state) Workers() int { return st.eng.workers }
 
-// freqSpecs builds the speculative candidates launched alongside the
-// test of residue class (m, r): the refined classes of the next modulus
-// levels, expanded breadth-first so one whole level tests in parallel.
-// All of them belong to the fail path (decided unchanged); a success
-// cancels them.
-func (st *state) freqSpecs(decided oraql.Seq, done []bool, m, r int) []oraql.Seq {
-	n := len(decided)
-	if st.eng.workers <= 1 || m >= n {
-		return nil
-	}
-	type class struct{ m, r int }
-	frontier := []class{{2 * m, r}, {2 * m, r + m}}
-	var specs []oraql.Seq
-	for len(frontier) > 0 && len(specs) < st.eng.workers-1 {
-		c := frontier[0]
-		frontier = frontier[1:]
-		if c.r >= n {
-			continue
-		}
-		cand := decided.Clone()
-		fresh := false
-		for i := c.r; i < n; i += c.m {
-			if !done[i] {
-				cand[i] = true
-				fresh = true
-			}
-		}
-		if fresh {
-			specs = append(specs, st.pad(cand, st.padLen))
-		}
-		if c.m < n {
-			frontier = append(frontier, class{2 * c.m, c.r}, class{2 * c.m, c.r + c.m})
-		}
-	}
-	return specs
+// PFail is defined in persist.go (persisted-prior estimate).
+
+// HasPriors reports whether persisted verdict priors were loaded.
+func (st *state) HasPriors() bool { return st.priors != nil }
+
+// Logf prefixes progress lines with the benchmark name.
+func (st *state) Logf(format string, args ...any) {
+	st.logf("%s: "+format, append([]any{st.spec.Name}, args...)...)
 }
 
 // trimTrailingOptimistic drops trailing 1s (queries beyond the sequence

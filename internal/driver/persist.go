@@ -40,8 +40,8 @@ func (st *state) campaignKeys() {
 	}
 	c := st.spec.Compile
 	r := st.spec.Run
-	cfg := fmt.Sprintf("opt=%d|stop=%d|full=%t|mode=%d|target=%s|funcs=%v|files=%v|threads=%d|ranks=%d|steps=%d|mem=%d",
-		c.OptLevel, c.StopAfter, c.FullAAChain,
+	cfg := fmt.Sprintf("opt=%d|stop=%d|chain=%s|mode=%d|target=%s|funcs=%v|files=%v|threads=%d|ranks=%d|steps=%d|mem=%d",
+		c.OptLevel, c.StopAfter, c.AAChainCanonical(),
 		st.spec.ORAQL.Mode, st.spec.ORAQL.Target, st.spec.ORAQL.Funcs, st.spec.ORAQL.Files,
 		r.NumThreads, r.NumRanks, r.StepLimit, r.MemLimit)
 	// checkID excludes the module hashes on purpose: per-function
@@ -167,9 +167,11 @@ func (st *state) persistVerdicts(fin *pipeline.CompileResult) {
 	}
 }
 
-// pFail estimates the probability that flipping [lo, hi) optimistic
+// PFail estimates the probability that flipping [lo, hi) optimistic
 // fails verification, from the per-index priors (0.5 when unknown).
-func (st *state) pFail(lo, hi int) float64 {
+// Part of the Prober interface consumed by speculation-ordering
+// strategies.
+func (st *state) PFail(lo, hi int) float64 {
 	allOK := 1.0
 	for i := lo; i < hi; i++ {
 		p := 0.5
@@ -181,7 +183,7 @@ func (st *state) pFail(lo, hi int) float64 {
 	return 1 - allOK
 }
 
-// seededSolve is chunkSolve with persisted verdicts applied: pinned
+// seededSolve is the chunked recursion with persisted verdicts applied: pinned
 // bits are fixed up front, the hinted candidate (pins applied, unknown
 // positions optimistic) is tested first — the common case for a small
 // edit, resolving the whole round in one test — and on failure only
@@ -207,7 +209,7 @@ func (st *state) seededSolve(n int) (oraql.Seq, error) {
 		}
 	}
 	if pinned == 0 {
-		return st.chunkSolve(n)
+		return Chunked.Solve(st, n)
 	}
 	cand := decided.Clone()
 	for _, i := range unknown {

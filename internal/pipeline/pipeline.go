@@ -44,7 +44,15 @@ type Config struct {
 	// first pipeline position whose prefix diverges.
 	StopAfter int
 	// FullAAChain additionally enables the CFL points-to analyses.
+	// Shorthand for AAChain: "full"; ignored when AAChain is set.
 	FullAAChain bool
+	// AAChain selects the alias-analysis chain by registered chain name
+	// ("default", "full") or as a comma-separated list of registered
+	// analysis names in query order (aa.ChainByName). Chain order is
+	// output-affecting — the first definitive answer wins — so the
+	// canonical resolved chain is part of every persistence key. Empty
+	// falls back to FullAAChain.
+	AAChain string
 	// DisableAAQueryCache turns off the manager-level memoized alias
 	// query cache (for the cache-ablation benchmarks).
 	DisableAAQueryCache bool
@@ -81,13 +89,38 @@ type Config struct {
 	WantContentHashes bool
 }
 
+// aaChainSpec is the effective chain specifier: AAChain when set,
+// otherwise the legacy FullAAChain boolean mapped to its chain name.
+func (c Config) aaChainSpec() string {
+	if c.AAChain != "" {
+		return c.AAChain
+	}
+	if c.FullAAChain {
+		return "full"
+	}
+	return "default"
+}
+
+// AAChainCanonical is the canonical resolved chain identity
+// (comma-joined analysis names) for persistence keys: two configs
+// share cached artifacts exactly when their resolved chains are equal,
+// however they were spelled. An unresolvable spec yields a marker key;
+// such configs fail compilation before anything is persisted under it.
+func (c Config) AAChainCanonical() string {
+	canon, err := aa.ChainSpecCanonical(c.aaChainSpec())
+	if err != nil {
+		return "invalid:" + c.aaChainSpec()
+	}
+	return canon
+}
+
 // diskConfigKey folds every output-affecting configuration knob into
 // the per-function cache key. Transparent knobs (worker counts, the
 // AA query and analysis caches, which the transparency tests prove
 // output-neutral) are deliberately excluded so their ablation modes
 // share entries.
 func (c Config) diskConfigKey() string {
-	return fmt.Sprintf("opt=%d|stop=%d|full=%t", c.OptLevel, c.StopAfter, c.FullAAChain)
+	return fmt.Sprintf("opt=%d|stop=%d|chain=%s", c.OptLevel, c.StopAfter, c.AAChainCanonical())
 }
 
 // TargetStats bundles per-module compilation outputs.
@@ -253,6 +286,11 @@ func CompileContext(ctx context.Context, cfg Config) (*CompileResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Fail unknown chain specs up front, before any cache is keyed on
+	// them.
+	if _, err := aa.ResolveChainNames(cfg.aaChainSpec()); err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
 	srcName := cfg.SourceFile
 	if srcName == "" {
 		srcName = cfg.Name + ".mc"
@@ -337,10 +375,10 @@ func compileModule(cctx context.Context, cfg Config, m *ir.Module) (*TargetStats
 	// module-level analyses see exactly what a cold compilation sees.
 	var chain []aa.Analysis
 	if plan == nil || !plan.AllHit() {
-		if cfg.FullAAChain {
-			chain = aa.FullChain(m)
-		} else {
-			chain = aa.DefaultChain(m)
+		var err error
+		chain, err = aa.ChainByName(m, cfg.aaChainSpec())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 		}
 	}
 	mgr := aa.NewManager(m, chain...)

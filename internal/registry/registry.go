@@ -1,0 +1,216 @@
+// Package registry is the named-extension-point layer of the
+// reproduction: probing strategies, alias-analysis constructors and
+// chain orders, benchmark (app) configurations, and fuzz-grammar
+// profiles all register here by name instead of living behind
+// compiled-in enums and switch statements. Consumers — the probing
+// driver, the pass pipeline, the differential fuzzer, the campaign
+// script engine, the serve API, and every CLI — resolve scenarios by
+// name, so a new scenario is a registration (or, through
+// internal/campaign, a script file), not a core change.
+//
+// The package is deliberately a leaf: it imports nothing from the rest
+// of the repository, and entries carry their implementation as an
+// opaque value the owning package type-asserts back. What the registry
+// itself understands is the introspectable surface — name, one-line
+// description, and the option documentation rendered by `-list` and
+// the JSON schema endpoints.
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Option documents one tunable of a registered entry, in enough detail
+// to render a JSON-schema property for it.
+type Option struct {
+	// Name is the option key as scripts and wire requests spell it.
+	Name string `json:"name"`
+	// Type is the JSON-schema primitive: "string", "number",
+	// "integer", "boolean".
+	Type string `json:"type"`
+	// Description is the one-line help text.
+	Description string `json:"description"`
+	// Default, when non-nil, is the value used when the option is
+	// omitted.
+	Default any `json:"default,omitempty"`
+}
+
+// Entry is one registered implementation.
+type Entry struct {
+	// Name is the stable lookup key, unique within its registry.
+	Name string
+	// Description is the one-line summary shown by -list.
+	Description string
+	// Options documents the entry's tunables (may be nil).
+	Options []Option
+	// Value carries the implementation — a factory function, a config
+	// struct — typed by the registering package and type-asserted by
+	// its consumers. The registry never inspects it.
+	Value any
+}
+
+// Registry is one named extension point: an ordered, concurrency-safe
+// name -> Entry table with introspection.
+type Registry struct {
+	kind        string
+	description string
+
+	mu     sync.RWMutex
+	byName map[string]*Entry
+	order  []string
+}
+
+// global is the creation-ordered list of registries, so generic
+// tooling (the shared -list printer, the schema endpoint) can walk
+// every extension point without naming them.
+var (
+	globalMu sync.Mutex
+	global   []*Registry
+)
+
+// New creates (and globally records) a registry for one kind of
+// extension, e.g. "strategy". The description is the section header
+// tooling prints above the kind's entries.
+func New(kind, description string) *Registry {
+	r := &Registry{kind: kind, description: description, byName: map[string]*Entry{}}
+	globalMu.Lock()
+	global = append(global, r)
+	globalMu.Unlock()
+	return r
+}
+
+// All returns every registry in creation order.
+func All() []*Registry {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	return append([]*Registry(nil), global...)
+}
+
+// Kind returns the registry's kind label (e.g. "strategy").
+func (r *Registry) Kind() string { return r.kind }
+
+// Description returns the registry's one-line summary.
+func (r *Registry) Description() string { return r.description }
+
+// Register adds an entry. Registering an empty or duplicate name is a
+// programming error (registration happens at package init) and panics.
+func (r *Registry) Register(e Entry) {
+	if e.Name == "" {
+		panic(fmt.Sprintf("registry %s: entry with empty name", r.kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[e.Name]; dup {
+		panic(fmt.Sprintf("registry %s: duplicate entry %q", r.kind, e.Name))
+	}
+	ent := e
+	r.byName[e.Name] = &ent
+	r.order = append(r.order, e.Name)
+}
+
+// Lookup returns the named entry.
+func (r *Registry) Lookup(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byName[name]
+	return e, ok
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// SortedNames returns the registered names sorted lexicographically.
+func (r *Registry) SortedNames() []string {
+	names := r.Names()
+	sort.Strings(names)
+	return names
+}
+
+// Entries returns the entries in registration order.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// Len returns the number of registered entries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.order)
+}
+
+// Info is the JSON-able description of one entry (Value omitted).
+type Info struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Options     []Option `json:"options,omitempty"`
+}
+
+// Describe returns the JSON-able descriptions in registration order.
+func (r *Registry) Describe() []Info {
+	entries := r.Entries()
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = Info{Name: e.Name, Description: e.Description, Options: e.Options}
+	}
+	return out
+}
+
+// Schema renders the registry as a JSON-schema fragment: one object
+// definition per entry, whose properties are the documented options.
+func (r *Registry) Schema() json.RawMessage {
+	defs := map[string]any{}
+	for _, e := range r.Entries() {
+		props := map[string]any{}
+		for _, o := range e.Options {
+			p := map[string]any{"type": o.Type, "description": o.Description}
+			if o.Default != nil {
+				p["default"] = o.Default
+			}
+			props[o.Name] = p
+		}
+		defs[e.Name] = map[string]any{
+			"description": e.Description,
+			"type":        "object",
+			"properties":  props,
+		}
+	}
+	data, err := json.MarshalIndent(map[string]any{r.kind: defs}, "", "  ")
+	if err != nil {
+		// Everything marshalled here is built from plain maps of JSON
+		// primitives; a failure is a bug in this file.
+		panic(fmt.Sprintf("registry %s: schema: %v", r.kind, err))
+	}
+	return data
+}
+
+// The repository's extension points, in the order tooling lists them.
+var (
+	// Strategies holds probing bisection strategies; values are
+	// driver.Strategy implementations.
+	Strategies = New("strategy", "probing bisection strategies (driver)")
+	// AAAnalyses holds individual alias analyses; values are
+	// func(*ir.Module) aa.Analysis constructors.
+	AAAnalyses = New("aa-analysis", "alias analyses available to chains")
+	// AAChains holds named analysis chain orders; values are []string
+	// lists of AAAnalyses names.
+	AAChains = New("aa-chain", "named alias-analysis chain orders")
+	// AppConfigs holds the benchmark configurations; values are
+	// *apps.Config.
+	AppConfigs = New("app-config", "benchmark configurations (paper Fig. 4)")
+	// Grammars holds fuzz-grammar profiles; values are progen.Options
+	// presets.
+	Grammars = New("grammar", "program-generator grammar profiles (fuzzing)")
+)

@@ -1,0 +1,108 @@
+package registry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegisterLookupOrder(t *testing.T) {
+	r := New("test-kind", "a test registry")
+	r.Register(Entry{Name: "b", Description: "second", Value: 2})
+	r.Register(Entry{Name: "a", Description: "first", Value: 1})
+
+	if got := r.Names(); len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("Names() = %v, want registration order [b a]", got)
+	}
+	if got := r.SortedNames(); got[0] != "a" || got[1] != "b" {
+		t.Fatalf("SortedNames() = %v, want [a b]", got)
+	}
+	e, ok := r.Lookup("a")
+	if !ok || e.Value.(int) != 1 {
+		t.Fatalf("Lookup(a) = %+v, %v", e, ok)
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) succeeded")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+}
+
+func TestDuplicateAndEmptyNamePanic(t *testing.T) {
+	r := New("test-dup", "")
+	r.Register(Entry{Name: "x"})
+	mustPanic(t, func() { r.Register(Entry{Name: "x"}) })
+	mustPanic(t, func() { r.Register(Entry{}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestDescribeAndSchema(t *testing.T) {
+	r := New("test-schema", "schema registry")
+	r.Register(Entry{
+		Name:        "thing",
+		Description: "a thing",
+		Options: []Option{
+			{Name: "n", Type: "integer", Description: "count", Default: 4},
+			{Name: "fast", Type: "boolean", Description: "go fast"},
+		},
+	})
+	infos := r.Describe()
+	if len(infos) != 1 || infos[0].Name != "thing" || len(infos[0].Options) != 2 {
+		t.Fatalf("Describe() = %+v", infos)
+	}
+	// Describe must be JSON-able for the wire.
+	if _, err := json.Marshal(infos); err != nil {
+		t.Fatalf("marshal Describe: %v", err)
+	}
+
+	var schema map[string]map[string]any
+	if err := json.Unmarshal(r.Schema(), &schema); err != nil {
+		t.Fatalf("Schema() is not valid JSON: %v", err)
+	}
+	def, ok := schema["test-schema"]["thing"].(map[string]any)
+	if !ok {
+		t.Fatalf("schema missing thing definition: %s", r.Schema())
+	}
+	props := def["properties"].(map[string]any)
+	if _, ok := props["n"]; !ok {
+		t.Fatalf("schema missing option n: %v", props)
+	}
+}
+
+func TestGlobalListAndBuiltinRegistries(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("All() = %d registries, want at least the 5 built-ins", len(all))
+	}
+	kinds := map[string]bool{}
+	for _, r := range all {
+		kinds[r.Kind()] = true
+	}
+	for _, want := range []string{"strategy", "aa-analysis", "aa-chain", "app-config", "grammar"} {
+		if !kinds[want] {
+			t.Errorf("built-in registry %q not in All(): have %v", want, kinds)
+		}
+	}
+}
+
+func TestBuiltinsPopulatedByImporters(t *testing.T) {
+	// This package is a leaf: without importing the registering
+	// packages the built-ins are empty. The populated-side assertions
+	// live with the registering packages and in the campaign tests;
+	// here we only pin that the built-ins exist and render.
+	for _, r := range []*Registry{Strategies, AAAnalyses, AAChains, AppConfigs, Grammars} {
+		if r.Kind() == "" || !strings.Contains(string(r.Schema()), r.Kind()) {
+			t.Errorf("registry %q does not render", r.Kind())
+		}
+	}
+}

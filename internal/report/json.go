@@ -115,6 +115,7 @@ type ProbeJSON struct {
 	Name            string `json:"name"`
 	FullyOptimistic bool   `json:"fully_optimistic"`
 	FinalSeq        string `json:"final_seq"`
+	ExeHash         string `json:"exe_hash"`
 
 	ORAQL *ORAQLStatsJSON `json:"oraql"`
 	AA    *aa.Stats       `json:"aa"`
@@ -141,6 +142,7 @@ func NewProbeJSON(res *driver.Result) *ProbeJSON {
 		Name:            res.Spec.Name,
 		FullyOptimistic: res.FullyOptimistic,
 		FinalSeq:        res.FinalSeq.String(),
+		ExeHash:         res.Final.Compile.ExeHash(),
 		ORAQL: &ORAQLStatsJSON{
 			UniqueOptimistic: s.UniqueOptimistic, CachedOptimistic: s.CachedOptimistic,
 			UniquePessimistic: s.UniquePessimistic, CachedPessimistic: s.CachedPessimistic,

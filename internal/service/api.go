@@ -15,12 +15,19 @@
 //
 //	POST /v1/probe         program + probe options -> probe job
 //	POST /v1/fuzz          campaign options -> fuzz job
+//	POST /v1/campaign      .oraql script body -> scripted campaign job
 //	GET  /v1/jobs/{id}          poll status/result
 //	GET  /v1/jobs/{id}/events   stream progress lines
 //	DELETE /v1/jobs/{id}        cancel
 //
+// Campaign scripts run sandboxed: the interpreter has no filesystem
+// or exec bindings at all, and the server enforces an instruction
+// budget and a wall-clock limit on every script. The script's sha256
+// is recorded in the job and exported in /metrics.
+//
 // Observability:
 //
+//	GET /v1/registry       registered strategies/chains/configs/grammars
 //	GET /metrics           Prometheus text format
 //	GET /healthz           liveness + queue headroom
 package service
@@ -58,6 +65,10 @@ type CompileOptions struct {
 	OptLevel int `json:"opt_level,omitempty"`
 	// FullAAChain additionally enables the CFL points-to analyses.
 	FullAAChain bool `json:"full_aa_chain,omitempty"`
+	// AAChain selects the alias-analysis chain by registered name
+	// ("default", "full") or as a comma-separated analysis list; takes
+	// precedence over FullAAChain. GET /v1/registry lists the names.
+	AAChain string `json:"aa_chain,omitempty"`
 	// DisableAAQueryCache / DisableAnalysisCache are the ablation knobs.
 	DisableAAQueryCache  bool `json:"disable_aa_query_cache,omitempty"`
 	DisableAnalysisCache bool `json:"disable_analysis_cache,omitempty"`
@@ -94,8 +105,12 @@ type CompileResponse struct {
 // ProbeRequest is the /v1/probe body; the reply is a JobInfo.
 type ProbeRequest struct {
 	Program ProgramSpec `json:"program"`
-	// Strategy is the bisection order: chunked (default) or freq.
+	// Strategy is the bisection strategy by registered name: chunked
+	// (default), freq, or linear. GET /v1/registry lists the names.
 	Strategy string `json:"strategy,omitempty"`
+	// AAChain selects the alias-analysis chain for every probe
+	// compilation (registered name or comma-separated analysis list).
+	AAChain string `json:"aa_chain,omitempty"`
 	// Workers bounds the speculative probing pool (0 = NumCPU).
 	Workers int `json:"workers,omitempty"`
 	// MaxTests bounds probing effort (0 = no bound).
@@ -116,12 +131,52 @@ type FuzzRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// Stmts is the statements-per-program knob (0 = generator default).
 	Stmts int `json:"stmts,omitempty"`
+	// Grammar selects a registered program-generator grammar profile
+	// (default, scalar, no-pointers, sequential, parallel-heavy, ...).
+	Grammar string `json:"grammar,omitempty"`
 	// Inject runs the fault-injection self-test variant.
 	Inject bool `json:"inject,omitempty"`
 	// NoTriage skips divergence triage (triage is on by default).
 	NoTriage bool `json:"no_triage,omitempty"`
 	// MaxDivergences stops the campaign early (0 = difftest default).
 	MaxDivergences int `json:"max_divergences,omitempty"`
+}
+
+// CampaignRequest is the /v1/campaign body; the reply is a JobInfo.
+// The script runs sandboxed: no filesystem or exec bindings exist,
+// and the server clamps MaxSteps and the wall clock.
+type CampaignRequest struct {
+	// Script is the .oraql campaign script body.
+	Script string `json:"script"`
+	// Workers is the default worker budget for probe/sweep/fuzz calls
+	// that do not set their own (0 = the packages' defaults).
+	Workers int `json:"workers,omitempty"`
+	// MaxSteps lowers the server's instruction budget for this script
+	// (0 = server default; values above the server cap are clamped).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+}
+
+// CampaignResult is the result payload of a finished campaign job.
+type CampaignResult struct {
+	// Value is the script's top-level return value.
+	Value json.RawMessage `json:"value"`
+	// Steps is the instruction-budget units the script consumed.
+	Steps int64 `json:"steps"`
+	// ScriptSHA256 identifies the executed script body.
+	ScriptSHA256 string `json:"script_sha256"`
+}
+
+// RegistryInfo is one entry of the /v1/registry reply.
+type RegistryInfo struct {
+	Kind        string `json:"kind"`
+	Description string `json:"description"`
+	Entries     []RegistryEntry `json:"entries"`
+}
+
+// RegistryEntry is one registered extension point.
+type RegistryEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
 }
 
 // Job states.
@@ -136,15 +191,18 @@ const (
 // JobInfo is the wire form of an asynchronous job.
 type JobInfo struct {
 	ID      string `json:"id"`
-	Kind    string `json:"kind"` // probe | fuzz
+	Kind    string `json:"kind"` // probe | fuzz | campaign
 	State   string `json:"state"`
 	Created time.Time `json:"created"`
 	Started time.Time `json:"started,omitempty"`
 	Finished time.Time `json:"finished,omitempty"`
 	// Error is set for failed/canceled jobs.
 	Error string `json:"error,omitempty"`
+	// ScriptSHA256 identifies the script body of campaign jobs.
+	ScriptSHA256 string `json:"script_sha256,omitempty"`
 	// Result is the job's JSON payload once done: a report.ProbeJSON
-	// for probe jobs, a difftest.FuzzResult for fuzz jobs.
+	// for probe jobs, a difftest.FuzzResult for fuzz jobs, a
+	// CampaignResult for campaign jobs.
 	Result json.RawMessage `json:"result,omitempty"`
 }
 

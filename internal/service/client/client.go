@@ -108,6 +108,24 @@ func (c *Client) Fuzz(ctx context.Context, req *service.FuzzRequest) (*service.J
 	return &out, nil
 }
 
+// Campaign submits a scripted campaign and returns the queued job.
+func (c *Client) Campaign(ctx context.Context, req *service.CampaignRequest) (*service.JobInfo, error) {
+	var out service.JobInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/campaign", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Registry lists the registered extension points.
+func (c *Client) Registry(ctx context.Context) ([]service.RegistryInfo, error) {
+	var out []service.RegistryInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/registry", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Job polls one job's status.
 func (c *Client) Job(ctx context.Context, id string) (*service.JobInfo, error) {
 	var out service.JobInfo

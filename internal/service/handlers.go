@@ -2,16 +2,20 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
+	"github.com/oraql/go-oraql/internal/campaign"
 	"github.com/oraql/go-oraql/internal/difftest"
 	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/driver"
 	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/registry"
 	"github.com/oraql/go-oraql/internal/report"
 )
 
@@ -20,6 +24,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/probe", s.handleProbe)
 	mux.HandleFunc("POST /v1/fuzz", s.handleFuzz)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -225,7 +231,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	}
 	spec.Compile.CompileWorkers = s.cfg.CompileWorkers
 	spec.Cache = s.cfg.Cache
-	j, err := s.submit("probe", func(ctx context.Context, j *job) (any, error) {
+	j, err := s.submit("probe", "", func(ctx context.Context, j *job) (any, error) {
 		spec.Log = j // driver progress lines become job events
 		res, perr := driver.ProbeContext(ctx, spec)
 		if perr != nil {
@@ -248,9 +254,13 @@ func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	opts := fuzzOptions(&req)
+	opts, err := fuzzOptions(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	opts.CompileWorkers = s.cfg.CompileWorkers
-	j, err := s.submit("fuzz", func(ctx context.Context, j *job) (any, error) {
+	j, err := s.submit("fuzz", "", func(ctx context.Context, j *job) (any, error) {
 		opts.Ctx = ctx
 		opts.Log = j // campaign progress lines become job events
 		res, ferr := difftest.Fuzz(opts)
@@ -264,6 +274,77 @@ func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+// handleCampaign submits an asynchronous scripted campaign. The
+// script is parsed up front (syntax errors are a 400, not a failed
+// job) and runs sandboxed: the interpreter has no filesystem or exec
+// bindings, the instruction budget is clamped to the server cap, and
+// the wall clock is bounded by CampaignTimeout.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Script == "" {
+		writeError(w, http.StatusBadRequest, "empty script")
+		return
+	}
+	if _, err := campaign.Parse(req.Script); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sum := sha256.Sum256([]byte(req.Script))
+	sha := hex.EncodeToString(sum[:])
+	maxSteps := s.cfg.CampaignMaxSteps
+	if req.MaxSteps > 0 && req.MaxSteps < maxSteps {
+		maxSteps = req.MaxSteps
+	}
+	j, err := s.submit("campaign", sha, func(ctx context.Context, j *job) (any, error) {
+		res, cerr := campaign.Run(req.Script, campaign.Options{
+			Ctx:            ctx,
+			Out:            j, // print() lines become streamed job events
+			Log:            j, // probe/fuzz progress too
+			Workers:        req.Workers,
+			CompileWorkers: s.cfg.CompileWorkers,
+			Cache:          s.cfg.Cache,
+			MaxSteps:       maxSteps,
+			Timeout:        s.cfg.CampaignTimeout,
+		})
+		if cerr != nil {
+			return nil, cerr
+		}
+		value, merr := json.Marshal(res.Value)
+		if merr != nil {
+			return nil, fmt.Errorf("encode campaign value: %w", merr)
+		}
+		return &CampaignResult{Value: value, Steps: res.Steps, ScriptSHA256: sha}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.met.observeCampaignScript(sha)
+	s.logf("campaign id=%s sha256=%s bytes=%d", j.id, sha, len(req.Script))
+	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+// handleRegistry lists every registered extension point: probing
+// strategies, AA analyses and chains, app configurations, and
+// grammar profiles.
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	var out []RegistryInfo
+	for _, reg := range registry.All() {
+		info := RegistryInfo{Kind: reg.Kind(), Description: reg.Description()}
+		for _, e := range reg.Entries() {
+			info.Entries = append(info.Entries, RegistryEntry{
+				Name: e.Name, Description: e.Description,
+			})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -14,7 +14,10 @@ import (
 type job struct {
 	id   string
 	kind string
-	run  func(ctx context.Context, j *job) (any, error)
+	// scriptSHA identifies the script body of campaign jobs ("" for
+	// probe/fuzz jobs); set before the job is queued, immutable after.
+	scriptSHA string
+	run       func(ctx context.Context, j *job) (any, error)
 
 	mu       sync.Mutex
 	state    string
@@ -46,7 +49,7 @@ func (j *job) info() *JobInfo {
 	return &JobInfo{
 		ID: j.id, Kind: j.kind, State: j.state,
 		Created: j.created, Started: j.started, Finished: j.finished,
-		Error: j.errMsg, Result: j.result,
+		Error: j.errMsg, ScriptSHA256: j.scriptSHA, Result: j.result,
 	}
 }
 

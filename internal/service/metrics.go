@@ -27,6 +27,11 @@ type metrics struct {
 	// jobs[kind][state] counts job transitions into terminal states
 	// plus submissions (state "queued").
 	jobs map[string]map[string]int64
+	// inflight[kind] gauges the jobs currently executing, per kind.
+	inflight map[string]int64
+	// campaignScripts[sha256] counts campaign submissions per script
+	// body (bounded: the job store itself bounds distinct campaigns).
+	campaignScripts map[string]int64
 
 	// Compiler-level counters, summed over every compilation executed
 	// by the service (sync compiles and job compiles alike).
@@ -51,6 +56,10 @@ func newMetrics() *metrics {
 		requests: map[string]map[int]int64{},
 		latency:  map[string]*histogram{},
 		jobs:     map[string]map[string]int64{},
+		// Pre-seed the known kinds so the labeled gauge renders a zero
+		// series from the first scrape.
+		inflight:        map[string]int64{"probe": 0, "fuzz": 0, "campaign": 0},
+		campaignScripts: map[string]int64{},
 	}
 }
 
@@ -90,6 +99,26 @@ func (m *metrics) observeJob(kind, state string) {
 		m.jobs[kind] = byState
 	}
 	byState[state]++
+}
+
+// jobStarted/jobEnded track the per-kind inflight gauge.
+func (m *metrics) jobStarted(kind string) {
+	m.mu.Lock()
+	m.inflight[kind]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobEnded(kind string) {
+	m.mu.Lock()
+	m.inflight[kind]--
+	m.mu.Unlock()
+}
+
+// observeCampaignScript books one campaign submission by script hash.
+func (m *metrics) observeCampaignScript(sha string) {
+	m.mu.Lock()
+	m.campaignScripts[sha]++
+	m.mu.Unlock()
 }
 
 // observeCompile lifts one compilation's cache counters into the
@@ -155,9 +184,12 @@ func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, 
 	b.WriteString("# HELP oraql_queue_capacity Queue capacity.\n")
 	b.WriteString("# TYPE oraql_queue_capacity gauge\n")
 	fmt.Fprintf(&b, "oraql_queue_capacity %d\n", queueCap)
-	b.WriteString("# HELP oraql_jobs_inflight Jobs currently executing on the worker pool.\n")
+	b.WriteString("# HELP oraql_jobs_inflight Jobs currently executing on the worker pool, by kind.\n")
 	b.WriteString("# TYPE oraql_jobs_inflight gauge\n")
-	fmt.Fprintf(&b, "oraql_jobs_inflight %d\n", inflight)
+	for _, kind := range sortedKeys(m.inflight) {
+		fmt.Fprintf(&b, "oraql_jobs_inflight{kind=%q} %d\n", kind, m.inflight[kind])
+	}
+	_ = inflight // the aggregate stays on /healthz; the gauge is per-kind
 	b.WriteString("# HELP oraql_workers Job worker pool size.\n")
 	b.WriteString("# TYPE oraql_workers gauge\n")
 	fmt.Fprintf(&b, "oraql_workers %d\n", workers)
@@ -200,6 +232,14 @@ func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, 
 		b.WriteString("# HELP oraql_disk_cache_bytes Bytes used by the shared cache directory.\n")
 		b.WriteString("# TYPE oraql_disk_cache_bytes gauge\n")
 		fmt.Fprintf(&b, "oraql_disk_cache_bytes %d\n", bytes)
+	}
+
+	if len(m.campaignScripts) > 0 {
+		b.WriteString("# HELP oraql_campaign_scripts_total Campaign submissions by script sha256.\n")
+		b.WriteString("# TYPE oraql_campaign_scripts_total counter\n")
+		for _, sha := range sortedKeys(m.campaignScripts) {
+			fmt.Fprintf(&b, "oraql_campaign_scripts_total{sha256=%q} %d\n", sha, m.campaignScripts[sha])
+		}
 	}
 
 	b.WriteString("# HELP oraql_compiles_total Pipeline compilations executed by the service.\n")

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/oraql/go-oraql/internal/campaign"
 	"github.com/oraql/go-oraql/internal/diskcache"
 )
 
@@ -33,6 +34,13 @@ type Config struct {
 	// with client disconnection, whichever fires first cancels the
 	// compilation mid-pipeline (default 60s).
 	RequestTimeout time.Duration
+	// CampaignTimeout caps the wall clock of every scripted campaign
+	// job (default 10m). Requests cannot raise it.
+	CampaignTimeout time.Duration
+	// CampaignMaxSteps caps the interpreter instruction budget of
+	// every scripted campaign (default campaign.DefaultMaxSteps).
+	// Requests can lower it, never raise it.
+	CampaignMaxSteps int64
 	// Cache, when non-nil, backs the in-memory result cache with the
 	// shared persistent store (-cache-dir): compile responses are
 	// served across restarts and across N serve instances sharing one
@@ -63,6 +71,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.CampaignTimeout <= 0 {
+		c.CampaignTimeout = 10 * time.Minute
+	}
+	if c.CampaignMaxSteps <= 0 {
+		c.CampaignMaxSteps = campaign.DefaultMaxSteps
 	}
 	return c
 }
@@ -154,6 +168,7 @@ func (w *statusWriter) Flush() {
 func routeLabel(r *http.Request) string {
 	switch {
 	case r.URL.Path == "/v1/compile", r.URL.Path == "/v1/probe", r.URL.Path == "/v1/fuzz",
+		r.URL.Path == "/v1/campaign", r.URL.Path == "/v1/registry",
 		r.URL.Path == "/metrics", r.URL.Path == "/healthz":
 		return r.URL.Path
 	case len(r.URL.Path) > len("/v1/jobs/") && r.URL.Path[:len("/v1/jobs/")] == "/v1/jobs/":
@@ -174,14 +189,15 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // submit enqueues a job, rejecting when draining or when the bounded
-// queue is full.
-func (s *Server) submit(kind string, run func(ctx context.Context, j *job) (any, error)) (*job, error) {
+// queue is full. scriptSHA tags campaign jobs ("" otherwise).
+func (s *Server) submit(kind, scriptSHA string, run func(ctx context.Context, j *job) (any, error)) (*job, error) {
 	s.submitMu.Lock()
 	defer s.submitMu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("service is draining")
 	}
 	j := s.jobs.add(kind, run)
+	j.scriptSHA = scriptSHA
 	select {
 	case s.queue <- j:
 		s.met.observeJob(kind, JobQueued)
@@ -234,7 +250,11 @@ func (s *Server) runJob(j *job) {
 		return // cancelled while queued
 	}
 	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	s.met.jobStarted(j.kind)
+	defer func() {
+		s.inflight.Add(-1)
+		s.met.jobEnded(j.kind)
+	}()
 
 	result, err := j.run(ctx, j)
 	switch {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"github.com/oraql/go-oraql/internal/aa"
 	"github.com/oraql/go-oraql/internal/apps"
 	"github.com/oraql/go-oraql/internal/difftest"
 	"github.com/oraql/go-oraql/internal/driver"
@@ -69,6 +70,7 @@ func compileConfig(req *CompileRequest) (pipeline.Config, error) {
 	o := req.Options
 	cfg.OptLevel = o.OptLevel
 	cfg.FullAAChain = o.FullAAChain
+	cfg.AAChain = o.AAChain
 	cfg.DisableAAQueryCache = o.DisableAAQueryCache
 	cfg.DisableAnalysisCache = o.DisableAnalysisCache
 	if o.ORAQL || o.Seq != "" {
@@ -113,12 +115,18 @@ func probeSpec(req *ProbeRequest) (*driver.BenchSpec, error) {
 	default:
 		return nil, badRequestf("program needs config_id or source")
 	}
-	switch req.Strategy {
-	case "", "chunked":
-	case "freq":
-		spec.Strategy = driver.FreqSpace
-	default:
-		return nil, badRequestf("unknown strategy %q (chunked|freq)", req.Strategy)
+	if req.Strategy != "" {
+		strat, err := driver.StrategyByName(req.Strategy)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		spec.Strategy = strat
+	}
+	if req.AAChain != "" {
+		if _, err := aa.ResolveChainNames(req.AAChain); err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		spec.Compile.AAChain = req.AAChain
 	}
 	spec.Workers = req.Workers
 	spec.MaxTests = req.MaxTests
@@ -130,12 +138,16 @@ func probeSpec(req *ProbeRequest) (*driver.BenchSpec, error) {
 }
 
 // fuzzOptions translates a fuzz request into campaign options.
-func fuzzOptions(req *FuzzRequest) difftest.FuzzOptions {
+func fuzzOptions(req *FuzzRequest) (difftest.FuzzOptions, error) {
+	gen, err := progen.GrammarByName(req.Grammar, req.Stmts)
+	if err != nil {
+		return difftest.FuzzOptions{}, badRequestf("%v", err)
+	}
 	opts := difftest.FuzzOptions{
 		N:              req.N,
 		Seed:           req.Seed,
 		Workers:        req.Workers,
-		Gen:            progen.Options{Stmts: req.Stmts},
+		Gen:            gen,
 		Triage:         !req.NoTriage,
 		MaxDivergences: req.MaxDivergences,
 	}
@@ -145,7 +157,7 @@ func fuzzOptions(req *FuzzRequest) difftest.FuzzOptions {
 	if req.Inject {
 		opts.Variants = []difftest.Variant{difftest.InjectVariant()}
 	}
-	return opts
+	return opts, nil
 }
 
 // cacheKeys derives the result-cache key pair: moduleHash identifies

@@ -1,0 +1,97 @@
+#!/bin/sh
+# campaign_smoke.sh — the CI smoke test for campaign scripting. Runs
+# every checked-in example campaign through `oraql run`, checks the
+# cross-worker byte-identity of the scripted default probe, then
+# starts oraql-serve with a persistent -cache-dir and replays a
+# campaign through the sandboxed POST /v1/campaign path, asserting
+# the script hash and kind-labeled job series on /metrics. Run from
+# the repo root:
+#
+#   scripts/campaign_smoke.sh [port]
+set -eu
+port="${1:-8401}"
+base="http://127.0.0.1:$port"
+tmp="${TMPDIR:-/tmp}/oraql-campaign-smoke"
+bin="$tmp/oraql-serve"
+log="$tmp/serve.log"
+rm -rf "$tmp" && mkdir -p "$tmp"
+
+fail() { echo "campaign_smoke: FAIL: $*" >&2; [ -f "$log" ] && tail -20 "$log" >&2; exit 1; }
+
+go build -o "$tmp/oraql" ./cmd/oraql
+go build -o "$bin" ./cmd/oraql-serve
+
+# 1. Registry introspection across the CLIs.
+"$tmp/oraql" list -all | grep -q 'strategy' || fail "oraql list -all missing strategy registry"
+
+# 2. Every example campaign runs locally. The default probe runs at
+# two worker counts and must print byte-identical reports — the
+# scripted campaign inherits the driver's determinism contract.
+"$tmp/oraql" run examples/campaigns/default-probe.oraql -j 1 -json >"$tmp/probe-j1.json" ||
+	fail "default-probe.oraql (-j 1)"
+"$tmp/oraql" run examples/campaigns/default-probe.oraql -j 8 -json >"$tmp/probe-j8.json" ||
+	fail "default-probe.oraql (-j 8)"
+cmp -s "$tmp/probe-j1.json" "$tmp/probe-j8.json" ||
+	fail "scripted probe output differs between -j 1 and -j 8"
+grep -q '"exe_hash"' "$tmp/probe-j1.json" || fail "scripted probe reports no exe hashes"
+echo "campaign_smoke: default-probe byte-identical across worker counts"
+
+"$tmp/oraql" run examples/campaigns/aa-chain-sweep.oraql -j 8 >/dev/null ||
+	fail "aa-chain-sweep.oraql"
+"$tmp/oraql" run examples/campaigns/fuzz-grammar.oraql -j 4 >/dev/null ||
+	fail "fuzz-grammar.oraql"
+echo "campaign_smoke: all example campaigns PASS locally"
+
+# 3. The sandbox rejects a runaway script cheaply.
+cat >"$tmp/runaway.oraql" <<-'EOF'
+	while true { let x = 1 }
+EOF
+if "$tmp/oraql" run "$tmp/runaway.oraql" -max-steps 5000 >/dev/null 2>"$tmp/budget.err"; then
+	fail "runaway script was not stopped by -max-steps"
+fi
+grep -q 'instruction budget' "$tmp/budget.err" || fail "no budget error: $(cat "$tmp/budget.err")"
+echo "campaign_smoke: -max-steps stops a runaway script"
+
+# 4. The same campaign through a live server with a persistent cache.
+"$bin" -addr "127.0.0.1:$port" -cache-dir "$tmp/cache" >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
+i=0
+until curl -fs "$base/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && fail "server did not come up"
+	sleep 0.2
+done
+
+curl -fs "$base/v1/registry" | grep -q '"app-config"' || fail "/v1/registry missing app-config kind"
+
+"$tmp/oraql" run examples/campaigns/default-probe.oraql -server "$base" -json \
+	>"$tmp/probe-server.json" 2>"$tmp/probe-server.err" || {
+	cat "$tmp/probe-server.err" >&2
+	fail "campaign via POST /v1/campaign"
+}
+# Locally, print() shares stdout with the JSON value; on the server
+# it streams to /events instead — compare from the value onward.
+sed -n '/^{/,$p' "$tmp/probe-j1.json" >"$tmp/probe-j1.value.json"
+cmp -s "$tmp/probe-server.json" "$tmp/probe-j1.value.json" ||
+	fail "server-side campaign value differs from the local run"
+sha=$(sed -n 's/.*script sha256 \([0-9a-f]*\).*/\1/p' "$tmp/probe-server.err")
+[ -n "$sha" ] || fail "client did not report a script hash"
+metrics=$(curl -fs "$base/metrics")
+echo "$metrics" | grep -q "oraql_campaign_scripts_total{sha256=\"$sha\"} 1" ||
+	fail "script hash $sha not exported on /metrics"
+echo "$metrics" | grep -q 'oraql_jobs_total{kind="campaign",state="done"} 1' ||
+	fail "campaign job series missing from /metrics"
+echo "$metrics" | grep -q 'oraql_jobs_inflight{kind="campaign"} 0' ||
+	fail "kind-labeled inflight gauge missing from /metrics"
+echo "campaign_smoke: server campaign PASS (sha $sha)"
+
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "server did not exit after SIGTERM"
+	sleep 0.1
+done
+trap - EXIT INT TERM
+echo "campaign_smoke: PASS"
