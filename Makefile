@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-compile bench-serve bench-diskcache serve-smoke campaign-smoke fuzz fuzz-smoke check
+.PHONY: tier1 vet build test race bench bench-compile bench-serve bench-diskcache bench-cluster cluster-smoke serve-smoke campaign-smoke fuzz fuzz-smoke check
 
 # tier1 is the gate the roadmap pins: it must stay green.
 tier1: build test
@@ -44,6 +44,20 @@ bench-serve:
 # convictions).
 bench-diskcache:
 	scripts/bench_diskcache.sh
+
+# bench-cluster records BENCH_cluster.json and doubles as the CI
+# cluster smoke: 1/2/4-process fleets over a shared -cache-dir (warm
+# sweep fully deduplicated fleet-wide, byte-identical), then the
+# peer-kill degradation leg on distinct dirs (SIGKILL one of two
+# peered instances mid-sweep; the survivor completes identically).
+bench-cluster:
+	scripts/bench_cluster.sh
+
+# cluster-smoke runs the in-process cluster/batch/retry suites under
+# the race detector: peer forwarding, breaker trips, fault-injected
+# transports, batch dedup, and the client retry policy.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'Cluster|Batch|Retry' ./internal/service/...
 
 # serve-smoke mirrors the CI serve job: build the server, drive every
 # endpoint with the checked-in example, assert the cache hit on

@@ -57,6 +57,11 @@ func oraqlBuiltins() []*Builtin {
 			Fn:   bindCompile,
 		},
 		{
+			Name: "compile_batch",
+			Doc:  "compile_batch([{...}, ...]) — compile a list of option maps, deduplicated by content; returns the reports in order",
+			Fn:   bindCompileBatch,
+		},
+		{
 			Name: "probe",
 			Doc:  "probe({config|source, model, strategy, aa_chain, workers, max_tests, target}) — full ORAQL probing campaign; returns the probe report",
 			Fn:   bindProbe,
@@ -226,53 +231,114 @@ func (o *opts) program(what string) (pipeline.Config, error) {
 	return pipeline.Config{}, scriptErr(o.line, "%s needs a config name or a source string", what)
 }
 
+// compileConfigFromOpts resolves compile's option map into a ready
+// pipeline config; shared by compile and compile_batch so a batched
+// item is configured byte-identically to its one-shot equivalent.
+func compileConfigFromOpts(in *interp, o *opts, what string) (cfg pipeline.Config, hadORAQL bool, err error) {
+	cfg, err = o.program(what)
+	if err != nil {
+		return cfg, false, err
+	}
+	if cfg.OptLevel, err = o.integer("opt_level"); err != nil {
+		return cfg, false, err
+	}
+	if cfg.AAChain, err = o.str("aa_chain"); err != nil {
+		return cfg, false, err
+	}
+	seq, err := o.str("seq")
+	if err != nil {
+		return cfg, false, err
+	}
+	useORAQL, err := o.boolean("oraql")
+	if err != nil {
+		return cfg, false, err
+	}
+	target, err := o.str("target")
+	if err != nil {
+		return cfg, false, err
+	}
+	hadORAQL = useORAQL || seq != ""
+	if hadORAQL {
+		s, err := oraql.ParseSeq(seq)
+		if err != nil {
+			return cfg, false, scriptErr(o.line, "%s: bad seq: %v", what, err)
+		}
+		cfg.ORAQL = &oraql.Options{Seq: s, Target: target}
+	}
+	if err := o.finish(what); err != nil {
+		return cfg, false, err
+	}
+	cfg.CompileWorkers = in.opts.CompileWorkers
+	if cfg.ORAQL == nil {
+		cfg.DiskCache = in.opts.Cache
+	}
+	return cfg, hadORAQL, nil
+}
+
 func bindCompile(in *interp, line int, args []any) (any, error) {
 	o, err := newOpts(line, args, "compile")
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := o.program("compile")
+	cfg, hadORAQL, err := compileConfigFromOpts(in, o, "compile")
 	if err != nil {
 		return nil, err
-	}
-	if cfg.OptLevel, err = o.integer("opt_level"); err != nil {
-		return nil, err
-	}
-	if cfg.AAChain, err = o.str("aa_chain"); err != nil {
-		return nil, err
-	}
-	seq, err := o.str("seq")
-	if err != nil {
-		return nil, err
-	}
-	useORAQL, err := o.boolean("oraql")
-	if err != nil {
-		return nil, err
-	}
-	target, err := o.str("target")
-	if err != nil {
-		return nil, err
-	}
-	hadORAQL := useORAQL || seq != ""
-	if hadORAQL {
-		s, err := oraql.ParseSeq(seq)
-		if err != nil {
-			return nil, scriptErr(line, "compile: bad seq: %v", err)
-		}
-		cfg.ORAQL = &oraql.Options{Seq: s, Target: target}
-	}
-	if err := o.finish("compile"); err != nil {
-		return nil, err
-	}
-	cfg.CompileWorkers = in.opts.CompileWorkers
-	if cfg.ORAQL == nil {
-		cfg.DiskCache = in.opts.Cache
 	}
 	cr, err := pipeline.CompileContext(in.ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return toScriptValue(report.NewCompileJSON(cr, false, hadORAQL))
+}
+
+// bindCompileBatch amortizes a list of compilations: items whose
+// option maps are identical (canonical JSON) compile once, and every
+// item's report is materialized freshly so duplicates never alias one
+// mutable script value. Results come back in item order, each
+// byte-identical to what a loop of compile() calls would produce.
+func bindCompileBatch(in *interp, line int, args []any) (any, error) {
+	if len(args) != 1 {
+		return nil, scriptErr(line, "compile_batch takes one list of option maps, got %d arguments", len(args))
+	}
+	list, ok := args[0].([]any)
+	if !ok {
+		return nil, scriptErr(line, "compile_batch takes a list of option maps, got %s", typeName(args[0]))
+	}
+	seen := map[string]any{} // canonical item JSON -> host-form report
+	out := make([]any, 0, len(list))
+	for i, item := range list {
+		m, ok := item.(map[string]any)
+		if !ok {
+			return nil, scriptErr(line, "compile_batch: element %d must be an options map, got %s", i, typeName(item))
+		}
+		keyBytes, err := json.Marshal(m) // map keys marshal sorted: a canonical dedup key
+		if err != nil {
+			return nil, scriptErr(line, "compile_batch: element %d: %v", i, err)
+		}
+		rep, ok := seen[string(keyBytes)]
+		if !ok {
+			o, err := newOpts(line, []any{m}, "compile_batch")
+			if err != nil {
+				return nil, err
+			}
+			cfg, hadORAQL, err := compileConfigFromOpts(in, o, "compile_batch")
+			if err != nil {
+				return nil, err
+			}
+			cr, err := pipeline.CompileContext(in.ctx, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("compile_batch element %d: %w", i, err)
+			}
+			rep = report.NewCompileJSON(cr, false, hadORAQL)
+			seen[string(keyBytes)] = rep
+		}
+		v, err := toScriptValue(rep)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // probeSpecFromOpts builds a benchmark spec from shared probe/sweep

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -334,5 +335,68 @@ func TestFuzzBinding(t *testing.T) {
 	}
 	if l[1] != true {
 		t.Fatalf("clean scalar fuzz diverged: %v", l)
+	}
+}
+
+// TestCompileBatchEquivalence extends the golden-equivalence contract
+// to the batch binding: compile_batch over a list with duplicates is
+// byte-identical, item for item, to the loop-of-compile() equivalent,
+// and duplicated items never alias one mutable script value. wall_ms
+// is the only scrubbed field — the duplicate's looped twin recompiles,
+// so its timing necessarily differs while everything semantic may not.
+func TestCompileBatchEquivalence(t *testing.T) {
+	script := `
+		let items = [
+			{config: "minigmg-sse"},
+			{config: "xsbench-seq"},
+			{config: "minigmg-sse"},
+			{config: "minigmg-sse", oraql: true},
+			{config: "xsbench-seq"},
+		]
+		let batched = compile_batch(items)
+		let looped = []
+		for it in items {
+			looped = append(looped, compile(it))
+		}
+		return {batched: batched, looped: looped}
+	`
+	v := run(t, script)
+	m := v.(map[string]any)
+	batched := m["batched"].([]any)
+	looped := m["looped"].([]any)
+	if len(batched) != 5 || len(looped) != 5 {
+		t.Fatalf("got %d batched, %d looped results, want 5 each", len(batched), len(looped))
+	}
+	// Duplicates (items 0 and 2) must be distinct values: mutating one
+	// through its map must not leak into the other.
+	b0 := batched[0].(map[string]any)
+	b0["mutation_probe"] = true
+	if _, leaked := batched[2].(map[string]any)["mutation_probe"]; leaked {
+		t.Fatal("duplicate batch items alias one script value")
+	}
+	delete(b0, "mutation_probe")
+
+	// The timing table is ordered by measured wall time, so both the
+	// values and the row order jitter between runs: zero the one and
+	// sort the other; pass/runs/changed stay under comparison.
+	scrubWall := func(v any) {
+		timing, _ := v.(map[string]any)["timing"].([]any)
+		for _, e := range timing {
+			if em, ok := e.(map[string]any); ok {
+				em["wall_ms"] = 0
+			}
+		}
+		sort.Slice(timing, func(i, j int) bool {
+			pi, _ := timing[i].(map[string]any)["pass"].(string)
+			pj, _ := timing[j].(map[string]any)["pass"].(string)
+			return pi < pj
+		})
+	}
+	for i := range batched {
+		scrubWall(batched[i])
+		scrubWall(looped[i])
+		if g, w := canonical(t, batched[i]), canonical(t, looped[i]); g != w {
+			t.Errorf("item %d: compile_batch result differs from compile loop\n got: %s\nwant: %s", i, g, w)
+		}
 	}
 }

@@ -67,7 +67,7 @@ func funcVerdictsKey(funcHash, checkID string) string {
 // LoadFuncVerdicts fetches the verdict history for one function
 // content hash (nil when none recorded).
 func (s *Store) LoadFuncVerdicts(funcHash, checkID string) FuncVerdicts {
-	data, ok := s.Get(funcVerdictsKey(funcHash, checkID))
+	data, _, ok := s.LoadVersioned(funcVerdictsKey(funcHash, checkID))
 	if !ok {
 		return nil
 	}
@@ -79,29 +79,30 @@ func (s *Store) LoadFuncVerdicts(funcHash, checkID string) FuncVerdicts {
 }
 
 // MergeFuncVerdicts folds one campaign's observations (descriptor →
-// optimistic-survived) into the persisted history. The read-merge-
-// write is not atomic across processes; a lost update only costs
-// hint quality, never correctness.
+// optimistic-survived) into the persisted history through the
+// version-checked compare-and-update loop, so concurrent campaigns
+// (same process, sibling serve instances, separate CLI runs) never
+// lose each other's counts.
 func (s *Store) MergeFuncVerdicts(funcHash, checkID string, obs map[string]bool) {
 	if len(obs) == 0 {
 		return
 	}
-	v := s.LoadFuncVerdicts(funcHash, checkID)
-	if v == nil {
-		v = FuncVerdicts{}
-	}
-	for desc, optimistic := range obs {
-		c := v[desc]
-		if optimistic {
-			c.Optimistic++
-		} else {
-			c.Pessimistic++
+	// An exhausted retry budget (pathological conflict storm or an I/O
+	// fault) only costs hint quality, never correctness — drop it.
+	_ = s.UpdateVersioned(funcVerdictsKey(funcHash, checkID), 0, func(old []byte) ([]byte, error) {
+		v := FuncVerdicts{}
+		if old != nil {
+			_ = json.Unmarshal(old, &v)
 		}
-		v[desc] = c
-	}
-	data, err := json.Marshal(v)
-	if err != nil {
-		return
-	}
-	s.Put(funcVerdictsKey(funcHash, checkID), data)
+		for desc, optimistic := range obs {
+			c := v[desc]
+			if optimistic {
+				c.Optimistic++
+			} else {
+				c.Pessimistic++
+			}
+			v[desc] = c
+		}
+		return json.Marshal(v)
+	})
 }

@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,12 +60,13 @@ const gcLowWater = 0.85
 
 // Counters is a snapshot of the store's activity since Open.
 type Counters struct {
-	Hits      int64 // Get found a valid entry
-	Misses    int64 // Get found nothing
-	Corrupt   int64 // Get found a torn/truncated/foreign entry (counted as a miss too)
-	Puts      int64 // entries published
-	PutErrors int64 // publishes that failed (I/O errors; non-fatal)
-	Evictions int64 // entries removed by GC
+	Hits         int64 // Get found a valid entry
+	Misses       int64 // Get found nothing
+	Corrupt      int64 // Get found a torn/truncated/foreign entry (counted as a miss too)
+	Puts         int64 // entries published
+	PutErrors    int64 // publishes that failed (I/O errors; non-fatal)
+	Evictions    int64 // entries removed by GC
+	CASConflicts int64 // CompareAndUpdate attempts another writer beat
 }
 
 // Store is one open handle on a cache directory. It is safe for
@@ -77,6 +79,7 @@ type Store struct {
 	hits, misses, corrupt atomic.Int64
 	puts, putErrors       atomic.Int64
 	evictions             atomic.Int64
+	casConflicts          atomic.Int64
 
 	// written accumulates bytes published since the last GC sweep;
 	// gcMu serializes sweeps within this process.
@@ -193,12 +196,13 @@ func (s *Store) writeAtomic(key string, data []byte) error {
 // Counters returns a snapshot of the store's activity counters.
 func (s *Store) Counters() Counters {
 	return Counters{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Corrupt:   s.corrupt.Load(),
-		Puts:      s.puts.Load(),
-		PutErrors: s.putErrors.Load(),
-		Evictions: s.evictions.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Corrupt:      s.corrupt.Load(),
+		Puts:         s.puts.Load(),
+		PutErrors:    s.putErrors.Load(),
+		Evictions:    s.evictions.Load(),
+		CASConflicts: s.casConflicts.Load(),
 	}
 }
 
@@ -220,14 +224,15 @@ type scanEntry struct {
 
 func (s *Store) scan() []scanEntry {
 	var out []scanEntry
-	root := filepath.Join(s.dir, "objects")
-	_ = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info == nil || info.IsDir() {
-			return nil // entries may vanish mid-walk; skip and continue
-		}
-		out = append(out, scanEntry{path: path, size: info.Size(), mtime: info.ModTime()})
-		return nil
-	})
+	for _, root := range []string{"objects", "versioned"} {
+		_ = filepath.Walk(filepath.Join(s.dir, root), func(path string, info os.FileInfo, err error) error {
+			if err != nil || info == nil || info.IsDir() {
+				return nil // entries may vanish mid-walk; skip and continue
+			}
+			out = append(out, scanEntry{path: path, size: info.Size(), mtime: info.ModTime()})
+			return nil
+		})
+	}
 	return out
 }
 
@@ -247,11 +252,34 @@ func (s *Store) gc() {
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
 	target := int64(float64(s.maxBytes) * gcLowWater)
+	versionedRoot := filepath.Join(s.dir, "versioned") + string(filepath.Separator)
 	for _, e := range entries {
 		if total <= target {
 			break
 		}
-		if os.Remove(e.path) == nil {
+		if e.size == 0 {
+			continue // versioned tombstone: name-only, nothing to reclaim
+		}
+		// Re-stat before removing: the scan's mtime is stale, and a
+		// writer (this process or another sharing the directory) may
+		// have republished this path — or a reader touched it — since.
+		// Evicting then would discard a fresh entry a Get just promised;
+		// skip it and let the next sweep judge it by its new mtime.
+		st, err := os.Stat(e.path)
+		if err != nil {
+			total -= e.size // already gone: a racing sweep evicted it
+			continue
+		}
+		if st.ModTime().After(e.mtime) {
+			continue
+		}
+		// Versioned slots are truncated, not unlinked: the name pins the
+		// version against stale CAS writers (see versioned.go).
+		if strings.HasPrefix(e.path, versionedRoot) {
+			if os.Truncate(e.path, 0) == nil {
+				s.evictions.Add(1)
+			}
+		} else if os.Remove(e.path) == nil {
 			s.evictions.Add(1)
 		}
 		total -= e.size

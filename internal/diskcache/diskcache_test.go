@@ -259,3 +259,80 @@ func TestCampaignState(t *testing.T) {
 		t.Fatal("verdicts leak across function hashes")
 	}
 }
+
+// GC racing a concurrent writer (the multi-process shape: two Store
+// handles on one directory, one sweeping under size pressure while the
+// other republishes and immediately re-reads hot keys). A republished
+// entry carries a fresh mtime, so the sweeping store's stale scan must
+// not evict it out from under the reader: every Get issued right after
+// a Put must hit. Cold filler entries keep the store over budget so
+// every GCNow actually evicts.
+func TestGCRacesConcurrentWriter(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := Open(dir, WithMaxBytes(16*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeper, err := Open(dir, WithMaxBytes(16*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("p"), 512)
+	old := time.Now().Add(-time.Hour)
+	age := func(s *Store, k string) {
+		_ = os.Chtimes(s.path(k), old, old)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 2)
+
+	wg.Add(1)
+	go func() { // filler: cold entries pumping size pressure
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := Key("gcrace", "cold", fmt.Sprint(i%64))
+			writer.Put(k, payload)
+			age(writer, k)
+		}
+	}()
+	wg.Add(1)
+	go func() { // sweeper under constant pressure
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sweeper.GCNow()
+		}
+	}()
+	wg.Add(1)
+	go func() { // hot writer: republish then read back immediately
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 400; i++ {
+			k := Key("gcrace", "hot", fmt.Sprint(i%4))
+			writer.Put(k, payload)
+			if _, ok := writer.Get(k); !ok {
+				errc <- fmt.Errorf("iteration %d: fresh entry evicted before read-back", i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if c := sweeper.Counters(); c.Evictions == 0 {
+		t.Fatal("sweeper never evicted; the race was not exercised")
+	}
+}

@@ -102,6 +102,30 @@ type CompileResponse struct {
 	Result json.RawMessage `json:"result"`
 }
 
+// BatchCompileRequest is the /v1/compile/batch body: a list of compile
+// requests resolved in one round trip. Items sharing a content hash
+// are deduplicated server-side and compiled once.
+type BatchCompileRequest struct {
+	Items []CompileRequest `json:"items"`
+}
+
+// BatchCompileItem is one per-item outcome, in request order. Exactly
+// one of Response and Error is set; Code carries the HTTP status the
+// item would have received from /v1/compile.
+type BatchCompileItem struct {
+	Response *CompileResponse `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+	Code     int              `json:"code,omitempty"`
+}
+
+// BatchCompileResponse is the /v1/compile/batch reply.
+type BatchCompileResponse struct {
+	Items []BatchCompileItem `json:"items"`
+	// Unique counts the distinct content keys in the batch — the
+	// compilations the batch could cost at most, before the caches.
+	Unique int `json:"unique"`
+}
+
 // ProbeRequest is the /v1/probe body; the reply is a JobInfo.
 type ProbeRequest struct {
 	Program ProgramSpec `json:"program"`

@@ -106,6 +106,15 @@ func (c *resultCache) begin(key string) (cached *CompileResponse, fl *flight, le
 	return nil, fl, true
 }
 
+// peek returns the in-flight compilation of key, if any, without
+// competing for leadership — the artifact endpoint joins flights this
+// way so a peer asking mid-compile gets the result instead of a miss.
+func (c *resultCache) peek(key string) *flight {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flights[key]
+}
+
 // wait blocks until the flight's leader completes or ctx is cancelled.
 // ok=false means no response materialized (leader failed, or the wait
 // was cancelled); the caller re-enters begin to compete for leadership.

@@ -1,0 +1,269 @@
+package service
+
+// Cluster mode: N serve instances behave as one cache.
+//
+// Every instance is configured with the same node list (its own base
+// URL plus its peers'), over which it builds a consistent-hash ring:
+// ringReplicas virtual points per node, a key owned by the first point
+// clockwise from its hash. All instances agree on ownership without
+// any coordination, and adding a node only moves ~1/N of the keyspace.
+//
+// A cache miss on a non-owner first asks the owner for its cached
+// response (GET /v1/artifact/{key}) before compiling locally, so each
+// unique key is compiled roughly once fleet-wide even without a shared
+// cache directory. Peer fetches are strictly an optimization: every
+// failure — connection refused, timeout, hang, bad payload — degrades
+// to a local compile, and a per-peer circuit breaker (doubling cooldown
+// on consecutive failures) keeps a dead peer from taxing every miss
+// with a timeout.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PeerTransport fetches one cached artifact from one peer instance.
+// ok=false with a nil error is a clean miss (the peer is healthy but
+// has no entry); a non-nil error is a transport failure and trips the
+// peer's breaker. Tests inject faulty implementations to drive the
+// degradation paths deterministically.
+type PeerTransport interface {
+	Fetch(ctx context.Context, peerBase, key string) (resp *CompileResponse, ok bool, err error)
+}
+
+// httpPeerTransport is the production transport: one GET per fetch on
+// a shared client; the per-fetch context carries the timeout.
+type httpPeerTransport struct {
+	client *http.Client
+}
+
+func (t *httpPeerTransport) Fetch(ctx context.Context, peerBase, key string) (*CompileResponse, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerBase+"/v1/artifact/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := t.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(res.Body, 1<<20))
+		res.Body.Close()
+	}()
+	switch res.StatusCode {
+	case http.StatusOK:
+		var resp CompileResponse
+		if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+			return nil, false, fmt.Errorf("decode artifact: %w", err)
+		}
+		return &resp, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("artifact fetch: peer returned %d", res.StatusCode)
+	}
+}
+
+// ringReplicas is the virtual-point count per node; 64 keeps the key
+// distribution within a few percent of uniform for small fleets.
+const ringReplicas = 64
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// buildRing places ringReplicas points per node on the hash circle.
+func buildRing(nodes []string) []ringPoint {
+	ring := make([]ringPoint, 0, len(nodes)*ringReplicas)
+	for _, n := range nodes {
+		for i := 0; i < ringReplicas; i++ {
+			ring = append(ring, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].node < ring[j].node // deterministic on the (rare) collision
+	})
+	return ring
+}
+
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// ringOwner returns the node owning key: the first point at or after
+// the key's hash, wrapping to the ring's start.
+func ringOwner(ring []ringPoint, key string) string {
+	if len(ring) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	if i == len(ring) {
+		i = 0
+	}
+	return ring[i].node
+}
+
+// normalizeNode canonicalizes a node URL so "http://a:1/" and
+// "http://a:1" build identical rings on every instance.
+func normalizeNode(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// OwnerForRequest computes which node of a fleet owns a compile
+// request's cache key, given the node list every instance was
+// configured with. Exported so cluster tests (and operators debugging
+// placement) can predict where a request's artifact lives.
+func OwnerForRequest(nodes []string, req *CompileRequest) string {
+	normalized := make([]string, len(nodes))
+	for i, n := range nodes {
+		normalized[i] = normalizeNode(n)
+	}
+	moduleHash, configHash := cacheKeys(req)
+	return ringOwner(buildRing(normalized), moduleHash+":"+configHash)
+}
+
+// peerState is one peer's circuit breaker.
+type peerState struct {
+	failures     int
+	trippedUntil time.Time
+}
+
+// cluster is a Server's view of the fleet: the ring plus per-peer
+// breaker state.
+type cluster struct {
+	self      string
+	peers     []string // normalized, self excluded
+	ring      []ringPoint
+	transport PeerTransport
+	timeout   time.Duration
+	cooldown  time.Duration
+
+	mu    sync.Mutex
+	state map[string]*peerState
+}
+
+// peerCooldownMax caps the doubling breaker cooldown.
+const peerCooldownMax = 30 * time.Second
+
+func newCluster(self string, peers []string, timeout, cooldown time.Duration, transport PeerTransport) *cluster {
+	self = normalizeNode(self)
+	nodes := []string{self}
+	var others []string
+	for _, p := range peers {
+		p = normalizeNode(p)
+		if p == "" || p == self {
+			continue
+		}
+		nodes = append(nodes, p)
+		others = append(others, p)
+	}
+	if transport == nil {
+		transport = &httpPeerTransport{client: &http.Client{}}
+	}
+	return &cluster{
+		self:      self,
+		peers:     others,
+		ring:      buildRing(nodes),
+		transport: transport,
+		timeout:   timeout,
+		cooldown:  cooldown,
+		state:     map[string]*peerState{},
+	}
+}
+
+func (c *cluster) owner(key string) string {
+	return ringOwner(c.ring, key)
+}
+
+// available reports whether peer's breaker admits a fetch right now.
+func (c *cluster) available(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state[peer]
+	return st == nil || time.Now().After(st.trippedUntil)
+}
+
+// failure books one transport failure: the cooldown doubles with each
+// consecutive failure so a dead peer costs one timeout per cooldown
+// window, not one per miss.
+func (c *cluster) failure(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state[peer]
+	if st == nil {
+		st = &peerState{}
+		c.state[peer] = st
+	}
+	st.failures++
+	d := c.cooldown << (st.failures - 1)
+	if d > peerCooldownMax || d <= 0 {
+		d = peerCooldownMax
+	}
+	st.trippedUntil = time.Now().Add(d)
+}
+
+// success resets peer's breaker; a clean miss counts — the peer spoke.
+func (c *cluster) success(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.state, peer)
+}
+
+// tripped snapshots every peer's breaker state for /metrics.
+func (c *cluster) tripped() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.peers))
+	now := time.Now()
+	for _, p := range c.peers {
+		st := c.state[p]
+		out[p] = st != nil && now.Before(st.trippedUntil)
+	}
+	return out
+}
+
+// peerFetch asks the ring owner of key for its cached response. ok
+// only on a validated hit; a miss, a tripped breaker, self-ownership,
+// or any transport failure all degrade to compiling locally.
+func (s *Server) peerFetch(ctx context.Context, key string) (*CompileResponse, bool) {
+	c := s.cluster
+	if c == nil {
+		return nil, false
+	}
+	owner := c.owner(key)
+	if owner == c.self || !c.available(owner) {
+		return nil, false
+	}
+	s.met.observePeer(owner, peerForward)
+	fctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	resp, ok, err := c.transport.Fetch(fctx, owner, key)
+	if err != nil {
+		c.failure(owner)
+		s.met.observePeer(owner, peerFailure)
+		s.logf("peer-fetch key=%s peer=%s err=%q", key, owner, err)
+		return nil, false
+	}
+	c.success(owner)
+	if !ok || resp == nil || resp.Result == nil || resp.ModuleHash+":"+resp.ConfigHash != key {
+		s.met.observePeer(owner, peerMiss)
+		return nil, false
+	}
+	s.met.observePeer(owner, peerHit)
+	return resp, true
+}

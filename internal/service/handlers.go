@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/oraql/go-oraql/internal/campaign"
@@ -22,6 +23,8 @@ import (
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/compile/batch", s.handleCompileBatch)
+	mux.HandleFunc("GET /v1/artifact/{key}", s.handleArtifact)
 	mux.HandleFunc("POST /v1/probe", s.handleProbe)
 	mux.HandleFunc("POST /v1/fuzz", s.handleFuzz)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
@@ -60,6 +63,130 @@ func marshalResult(v any) (json.RawMessage, error) {
 	return json.RawMessage(data), nil
 }
 
+// errInternal marks server faults (HTTP 500) apart from request faults.
+var errInternal = errors.New("internal error")
+
+// compileStatus maps a compileOne failure to its HTTP status code.
+func compileStatus(err error) int {
+	var br badRequest
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest
+	case errors.Is(err, errInternal):
+		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is for the log line only.
+		return 499
+	default:
+		// The program did not compile: the request is at fault.
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// compileOne resolves one compile request through the full cache
+// hierarchy: in-memory LRU, single-flight join, shared persistent
+// store, peer-forwarded fetch from the key's ring owner, and finally
+// the pipeline itself. It is the shared engine of /v1/compile and
+// /v1/compile/batch.
+func (s *Server) compileOne(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
+	moduleHash, configHash := cacheKeys(req)
+	key := moduleHash + ":" + configHash
+	// Single-flight: the first request for this key compiles, identical
+	// concurrent requests wait for its response instead of running the
+	// pipeline once each.
+	var fl *flight
+	for {
+		cached, f, leader := s.cache.begin(key)
+		if cached != nil {
+			resp := *cached
+			resp.Cached = true
+			return &resp, nil
+		}
+		if leader {
+			fl = f
+			break
+		}
+		if v, ok := s.cache.wait(ctx, f); ok {
+			resp := *v
+			resp.Cached = true
+			return &resp, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("request cancelled: %w", err)
+		}
+		// The leader failed; loop to compete for the next flight.
+	}
+	completed := false
+	defer func() {
+		if !completed {
+			// Every early return below is a failure: wake the followers
+			// empty-handed so they retry rather than hang.
+			s.cache.complete(key, fl, nil)
+		}
+	}()
+
+	serveHit := func(resp *CompileResponse) *CompileResponse {
+		s.cache.complete(key, fl, resp)
+		completed = true
+		hit := *resp
+		hit.Cached = true
+		return &hit
+	}
+
+	// Second level: the shared persistent store. A response another
+	// process (or a previous life of this one) computed is promoted
+	// into the in-memory cache and served as a hit.
+	if resp, ok := s.loadDiskResponse(key); ok {
+		return serveHit(resp), nil
+	}
+
+	// Third level: the key's ring owner elsewhere in the fleet. Any
+	// failure degrades to compiling locally; a fetched response is
+	// promoted into both local levels.
+	if resp, ok := s.peerFetch(ctx, key); ok {
+		s.storeDiskResponse(key, resp)
+		return serveHit(resp), nil
+	}
+
+	cfg, err := compileConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	// Server-level tuning, deliberately not part of the wire format (or
+	// the cache key): output is byte-identical for every worker count,
+	// and the disk cache only shortcuts work without changing output.
+	cfg.CompileWorkers = s.cfg.CompileWorkers
+	cfg.DiskCache = s.cfg.Cache
+	cctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+	cr, err := pipeline.CompileContext(cctx, cfg)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("compilation exceeded the request timeout: %w", err)
+		}
+		return nil, err
+	}
+	s.observeCompileResult(cr)
+
+	payload, err := marshalResult(report.NewCompileJSON(cr, req.Options.WithIR, cfg.ORAQL != nil))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errInternal, err)
+	}
+	resp := &CompileResponse{
+		ModuleHash: moduleHash,
+		ConfigHash: configHash,
+		CompileMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Result:     payload,
+	}
+	s.storeDiskResponse(key, resp)
+	s.cache.complete(key, fl, resp)
+	completed = true
+	return resp, nil
+}
+
 // handleCompile is the synchronous endpoint: compile under the request
 // deadline, serving repeats of the same (program, options) pair from
 // the cross-request result cache.
@@ -73,101 +200,135 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	moduleHash, configHash := cacheKeys(&req)
-	key := moduleHash + ":" + configHash
-	// Single-flight: the first request for this key compiles, identical
-	// concurrent requests wait for its response instead of running the
-	// pipeline once each.
-	var fl *flight
-	for {
-		cached, f, leader := s.cache.begin(key)
-		if cached != nil {
-			resp := *cached
-			resp.Cached = true
-			writeJSON(w, http.StatusOK, &resp)
-			return
-		}
-		if leader {
-			fl = f
-			break
-		}
-		if v, ok := s.cache.wait(r.Context(), f); ok {
-			resp := *v
-			resp.Cached = true
-			writeJSON(w, http.StatusOK, &resp)
-			return
-		}
-		if err := r.Context().Err(); err != nil {
-			writeError(w, 499, "request cancelled: %v", err)
-			return
-		}
-		// The leader failed; loop to compete for the next flight.
+	resp, err := s.compileOne(r.Context(), &req)
+	if err != nil {
+		writeError(w, compileStatus(err), "%v", err)
+		return
 	}
-	completed := false
-	defer func() {
-		if !completed {
-			// Every early return below is a failure: wake the followers
-			// empty-handed so they retry rather than hang.
-			s.cache.complete(key, fl, nil)
-		}
-	}()
+	writeJSON(w, http.StatusOK, resp)
+}
 
-	// Second level: the shared persistent store. A response another
-	// process (or a previous life of this one) computed is promoted
-	// into the in-memory cache and served as a hit.
-	if resp, ok := s.loadDiskResponse(key); ok {
-		s.cache.complete(key, fl, resp)
-		completed = true
+// maxBatchItems bounds one /v1/compile/batch request.
+const maxBatchItems = 1024
+
+// handleCompileBatch compiles a list of requests in one round trip.
+// Items are deduplicated by content hash before touching the worker
+// budget — a campaign sweep with heavy key overlap costs one
+// compilation per unique key — and results come back in request order
+// with per-item errors, so one uncompilable program never fails its
+// batch.
+func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	var req BatchCompileRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, "batch of %d items exceeds the %d-item cap", len(req.Items), maxBatchItems)
+		return
+	}
+
+	// Dedup by the same content hashes that key every cache level.
+	type slot struct {
+		resp *CompileResponse
+		err  error
+	}
+	keys := make([]string, len(req.Items))
+	unique := map[string]*slot{}
+	var order []string // first-appearance order, for deterministic scheduling
+	for i := range req.Items {
+		moduleHash, configHash := cacheKeys(&req.Items[i])
+		keys[i] = moduleHash + ":" + configHash
+		if _, ok := unique[keys[i]]; !ok {
+			unique[keys[i]] = &slot{}
+			order = append(order, keys[i])
+		}
+	}
+	firstItem := map[string]*CompileRequest{}
+	for i := range req.Items {
+		if _, ok := firstItem[keys[i]]; !ok {
+			firstItem[keys[i]] = &req.Items[i]
+		}
+	}
+
+	// Unique items run concurrently, bounded by the worker budget so a
+	// fat batch cannot oversubscribe the host past the job pool's cap.
+	sem := make(chan struct{}, s.cfg.Workers)
+	var wg sync.WaitGroup
+	for _, key := range order {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sl := unique[key]
+			sl.resp, sl.err = s.compileOne(r.Context(), firstItem[key])
+		}(key)
+	}
+	wg.Wait()
+
+	out := BatchCompileResponse{Items: make([]BatchCompileItem, len(req.Items)), Unique: len(order)}
+	seen := map[string]bool{}
+	for i, key := range keys {
+		sl := unique[key]
+		switch {
+		case sl.err != nil:
+			out.Items[i] = BatchCompileItem{Error: sl.err.Error(), Code: compileStatus(sl.err)}
+		case seen[key]:
+			// A duplicate of an earlier item: same payload, and by
+			// construction a cache hit.
+			dup := *sl.resp
+			dup.Cached = true
+			out.Items[i] = BatchCompileItem{Response: &dup}
+		default:
+			out.Items[i] = BatchCompileItem{Response: sl.resp}
+			seen[key] = true
+		}
+	}
+	s.met.observeBatch(len(req.Items), len(order))
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// handleArtifact serves one cached compile response by its result-cache
+// key without ever compiling: memory hit, else join an in-flight
+// compilation, else the persistent store, else 404. Peers call it to
+// resolve forwarded misses; it deliberately serves while draining, so
+// an instance being rotated out keeps donating its cache to the fleet.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if resp, ok := s.cache.get(key); ok {
 		hit := *resp
 		hit.Cached = true
 		writeJSON(w, http.StatusOK, &hit)
 		return
 	}
-
-	cfg, err := compileConfig(&req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	// Server-level tuning, deliberately not part of the wire format (or
-	// the cache key): output is byte-identical for every worker count,
-	// and the disk cache only shortcuts work without changing output.
-	cfg.CompileWorkers = s.cfg.CompileWorkers
-	cfg.DiskCache = s.cfg.Cache
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-	start := time.Now()
-	cr, err := pipeline.CompileContext(ctx, cfg)
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "compilation exceeded the request timeout: %v", err)
-		case errors.Is(err, context.Canceled):
-			// Client went away; the status is for the log line only.
-			writeError(w, 499, "request cancelled: %v", err)
-		default:
-			// The program did not compile: the request is at fault.
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	// A compilation of this key may be in flight right now: join it as
+	// a follower instead of reporting a miss, so a concurrent fleet-wide
+	// burst of one key still compiles once.
+	if fl := s.cache.peek(key); fl != nil {
+		if v, ok := s.cache.wait(r.Context(), fl); ok {
+			hit := *v
+			hit.Cached = true
+			writeJSON(w, http.StatusOK, &hit)
+			return
 		}
+	}
+	if resp, ok := s.loadDiskResponse(key); ok {
+		s.cache.put(key, resp)
+		hit := *resp
+		hit.Cached = true
+		writeJSON(w, http.StatusOK, &hit)
 		return
 	}
-	s.observeCompileResult(cr)
-
-	payload, err := marshalResult(report.NewCompileJSON(cr, req.Options.WithIR, cfg.ORAQL != nil))
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	resp := &CompileResponse{
-		ModuleHash: moduleHash,
-		ConfigHash: configHash,
-		CompileMS:  float64(time.Since(start).Microseconds()) / 1000,
-		Result:     payload,
-	}
-	s.storeDiskResponse(key, resp)
-	s.cache.complete(key, fl, resp)
-	completed = true
-	writeJSON(w, http.StatusOK, resp)
+	writeError(w, http.StatusNotFound, "no artifact for key %q", key)
 }
 
 // diskResponseKey derives the persistent key for one compile response.
@@ -423,8 +584,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var tripped map[string]bool
+	if s.cluster != nil {
+		tripped = s.cluster.tripped()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(s.cache, s.cfg.Cache, len(s.queue), cap(s.queue), s.inflight.Load(), s.cfg.Workers, s.cfg.CompileWorkers))
+	fmt.Fprint(w, s.met.render(s.cache, s.cfg.Cache, len(s.queue), cap(s.queue), s.inflight.Load(), s.cfg.Workers, s.cfg.CompileWorkers, tripped))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -40,7 +40,28 @@ type metrics struct {
 	aaCacheLookups int64
 	analysisHits   int64
 	analysisMisses int64
+
+	// peer[base] counts cluster fetches against each peer, by outcome.
+	peer map[string]*peerCounters
+	// Batch endpoint counters: requests, items across them, and the
+	// distinct content keys those items deduplicated to.
+	batchRequests int64
+	batchItems    int64
+	batchUnique   int64
 }
+
+// peerCounters tallies one peer's fetch outcomes.
+type peerCounters struct {
+	forwards, hits, misses, failures int64
+}
+
+// Peer fetch outcomes for observePeer.
+const (
+	peerForward = "forward"
+	peerHit     = "hit"
+	peerMiss    = "miss"
+	peerFailure = "failure"
+)
 
 // latencyBuckets are the histogram upper bounds in seconds.
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
@@ -60,7 +81,38 @@ func newMetrics() *metrics {
 		// series from the first scrape.
 		inflight:        map[string]int64{"probe": 0, "fuzz": 0, "campaign": 0},
 		campaignScripts: map[string]int64{},
+		peer:            map[string]*peerCounters{},
 	}
+}
+
+// observePeer books one peer fetch outcome (peerForward/Hit/Miss/Failure).
+func (m *metrics) observePeer(peer, outcome string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.peer[peer]
+	if c == nil {
+		c = &peerCounters{}
+		m.peer[peer] = c
+	}
+	switch outcome {
+	case peerForward:
+		c.forwards++
+	case peerHit:
+		c.hits++
+	case peerMiss:
+		c.misses++
+	case peerFailure:
+		c.failures++
+	}
+}
+
+// observeBatch books one /v1/compile/batch request.
+func (m *metrics) observeBatch(items, unique int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchRequests++
+	m.batchItems += int64(items)
+	m.batchUnique += int64(unique)
 }
 
 // observeRequest books one completed HTTP request.
@@ -136,8 +188,10 @@ func (m *metrics) observeCompile(aaHits, aaLookups, anHits, anMisses int64) {
 
 // render writes the registry in the Prometheus text exposition format,
 // with the live gauges passed in by the server. disk is the shared
-// persistent store (nil when the service runs memory-only).
-func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, queueCap int, inflight int64, workers, compileWorkers int) string {
+// persistent store (nil when the service runs memory-only);
+// peerTripped maps every configured peer to its live breaker state
+// (nil when the instance is not in a cluster).
+func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, queueCap int, inflight int64, workers, compileWorkers int, peerTripped map[string]bool) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -233,6 +287,48 @@ func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, 
 		b.WriteString("# TYPE oraql_disk_cache_bytes gauge\n")
 		fmt.Fprintf(&b, "oraql_disk_cache_bytes %d\n", bytes)
 	}
+
+	if len(m.peer) > 0 || len(peerTripped) > 0 {
+		b.WriteString("# HELP oraql_peer_forwards_total Cache misses forwarded to a peer ring owner.\n")
+		b.WriteString("# TYPE oraql_peer_forwards_total counter\n")
+		for _, p := range sortedKeys(m.peer) {
+			fmt.Fprintf(&b, "oraql_peer_forwards_total{peer=%q} %d\n", p, m.peer[p].forwards)
+		}
+		b.WriteString("# HELP oraql_peer_hits_total Forwarded fetches the peer answered from its cache.\n")
+		b.WriteString("# TYPE oraql_peer_hits_total counter\n")
+		for _, p := range sortedKeys(m.peer) {
+			fmt.Fprintf(&b, "oraql_peer_hits_total{peer=%q} %d\n", p, m.peer[p].hits)
+		}
+		b.WriteString("# HELP oraql_peer_misses_total Forwarded fetches the peer had no artifact for.\n")
+		b.WriteString("# TYPE oraql_peer_misses_total counter\n")
+		for _, p := range sortedKeys(m.peer) {
+			fmt.Fprintf(&b, "oraql_peer_misses_total{peer=%q} %d\n", p, m.peer[p].misses)
+		}
+		b.WriteString("# HELP oraql_peer_failures_total Forwarded fetches that failed in transport (degraded to local compile).\n")
+		b.WriteString("# TYPE oraql_peer_failures_total counter\n")
+		for _, p := range sortedKeys(m.peer) {
+			fmt.Fprintf(&b, "oraql_peer_failures_total{peer=%q} %d\n", p, m.peer[p].failures)
+		}
+		b.WriteString("# HELP oraql_peer_tripped Peer circuit breakers currently open (1 = fetches suppressed).\n")
+		b.WriteString("# TYPE oraql_peer_tripped gauge\n")
+		for _, p := range sortedKeys(peerTripped) {
+			v := 0
+			if peerTripped[p] {
+				v = 1
+			}
+			fmt.Fprintf(&b, "oraql_peer_tripped{peer=%q} %d\n", p, v)
+		}
+	}
+
+	b.WriteString("# HELP oraql_batch_requests_total Batch compile requests served.\n")
+	b.WriteString("# TYPE oraql_batch_requests_total counter\n")
+	fmt.Fprintf(&b, "oraql_batch_requests_total %d\n", m.batchRequests)
+	b.WriteString("# HELP oraql_batch_items_total Items across all batch compile requests.\n")
+	b.WriteString("# TYPE oraql_batch_items_total counter\n")
+	fmt.Fprintf(&b, "oraql_batch_items_total %d\n", m.batchItems)
+	b.WriteString("# HELP oraql_batch_unique_total Distinct content keys across all batch compile requests.\n")
+	b.WriteString("# TYPE oraql_batch_unique_total counter\n")
+	fmt.Fprintf(&b, "oraql_batch_unique_total %d\n", m.batchUnique)
 
 	if len(m.campaignScripts) > 0 {
 		b.WriteString("# HELP oraql_campaign_scripts_total Campaign submissions by script sha256.\n")
