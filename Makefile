@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-compile bench-serve bench-diskcache bench-cluster cluster-smoke serve-smoke campaign-smoke fuzz fuzz-smoke check
+.PHONY: tier1 vet build test race bench bench-compile bench-serve bench-diskcache bench-cluster bench-warehouse cluster-smoke serve-smoke campaign-smoke warehouse-smoke fuzz fuzz-smoke check
 
 # tier1 is the gate the roadmap pins: it must stay green.
 tier1: build test
@@ -53,6 +53,20 @@ bench-diskcache:
 bench-cluster:
 	scripts/bench_cluster.sh
 
+# bench-warehouse records BENCH_warehouse.json and doubles as the CI
+# warehouse smoke: 500-finding ingest throughput with idempotent
+# re-ingest, two racing ingest processes over one shared directory
+# (exactly one record per unique finding), query latency with
+# byte-identical answers, and the scripted forensics campaign's
+# cross-worker byte-identity.
+bench-warehouse:
+	scripts/bench_warehouse.sh
+
+# warehouse-smoke runs the warehouse store, query, and CPG-export
+# suites under the race detector (racing writers share a directory).
+warehouse-smoke:
+	$(GO) test -race -count=1 ./internal/warehouse/...
+
 # cluster-smoke runs the in-process cluster/batch/retry suites under
 # the race detector: peer forwarding, breaker trips, fault-injected
 # transports, batch dedup, and the client retry policy.
@@ -88,4 +102,4 @@ SEED ?= 1
 fuzz:
 	$(GO) run ./cmd/oraql-fuzz -n $(N) -seed $(SEED) -v $(ARGS)
 
-check: vet tier1 race bench bench-compile bench-serve bench-diskcache serve-smoke campaign-smoke
+check: vet tier1 race bench bench-compile bench-serve bench-diskcache warehouse-smoke bench-warehouse serve-smoke campaign-smoke

@@ -9,13 +9,16 @@
 // Usage:
 //
 //	oraql-fuzz [-n N] [-seed S] [-j N] [-stmts N] [-corpus dir] [-json file]
-//	           [-cache-dir DIR] [-cache-max-mb N]
+//	           [-cache-dir DIR] [-cache-max-mb N] [-seed-from-warehouse]
 //	oraql-fuzz -inject [-n N] ...   # fault-injection self-test
 //
 // With -cache-dir, every oracle compilation is backed by the shared
 // persistent store: re-running a seed range (or sharing the directory
 // with oraql/oraql-opt/oraql-serve) starts warm. The oracle's verdict
-// is unaffected — ORAQL-active variants bypass the cache.
+// is unaffected — ORAQL-active variants bypass the cache. Divergences
+// (and their triage artifacts) are additionally filed in the forensics
+// warehouse inside the same directory; -seed-from-warehouse reorders
+// generation so seeds that diverged in past campaigns run first.
 //
 // In the default (clean) mode the exit status is 0 only when the whole
 // campaign is divergence-free: any hit means the compiler at head
@@ -39,6 +42,7 @@ import (
 	"github.com/oraql/go-oraql/internal/cliutil"
 	"github.com/oraql/go-oraql/internal/difftest"
 	"github.com/oraql/go-oraql/internal/progen"
+	"github.com/oraql/go-oraql/internal/warehouse"
 
 	// Registered for -list: app configs (and, transitively, the probing
 	// strategies); the fuzzing path itself does not consume them.
@@ -66,6 +70,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	jsonOut := fs.String("json", "", "write the campaign summary as JSON to this file (- = stdout)")
 	inject := fs.Bool("inject", false, "fault-injection mode: run the unsound fully-optimistic responder and demand a triaged divergence")
 	triage := fs.Bool("triage", true, "triage divergences (reduce source, bisect pipeline and queries)")
+	seedFromWH := fs.Bool("seed-from-warehouse", false, "order generation toward seeds that historically diverged (requires -cache-dir)")
 	maxDiv := fs.Int("max-div", 0, "stop after this many divergences (0 = default)")
 	verbose := fs.Bool("v", false, "log progress to stderr")
 	if err := fs.Parse(argv); err != nil {
@@ -93,12 +98,23 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Workers:        *workers,
 		Cache:          cache,
 		Gen:            gen,
+		Grammar:        *grammar,
 		Triage:         *triage,
 		MaxDivergences: *maxDiv,
 		CorpusDir:      *corpus,
 	}
 	if *verbose {
 		opts.Log = stderr
+	}
+	if *seedFromWH {
+		w := warehouse.Open(cache)
+		if w == nil {
+			return cliutil.Usagef("-seed-from-warehouse requires -cache-dir")
+		}
+		opts.PrioritySeeds = w.Load().DivergentSeeds(*grammar)
+		if *verbose {
+			fmt.Fprintf(stderr, "oraql-fuzz: %d historically divergent seeds prioritized from the warehouse\n", len(opts.PrioritySeeds))
+		}
 	}
 	if *inject {
 		opts.Variants = []difftest.Variant{difftest.InjectVariant()}

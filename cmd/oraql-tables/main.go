@@ -4,6 +4,7 @@
 //	oraql-tables               # everything
 //	oraql-tables -table fig4   # one table: fig3|fig4|fig5|fig6|fig7|runtime|effort|timing
 //	oraql-tables -configs a,b  # restrict to a config subset
+//	oraql-tables -table warehouse -cache-dir D   # forensics corpus recurrences
 //
 // Exit codes: 0 success, 1 operational failure, 2 usage error. With
 // -json, failures are printed as the shared JSON error envelope.
@@ -18,10 +19,12 @@ import (
 
 	"github.com/oraql/go-oraql/internal/cliutil"
 	"github.com/oraql/go-oraql/internal/report"
+	"github.com/oraql/go-oraql/internal/warehouse"
 )
 
 var tables = map[string]bool{"all": true, "fig3": true, "fig4": true, "fig5": true,
-	"fig6": true, "fig7": true, "runtime": true, "effort": true, "timing": true}
+	"fig6": true, "fig7": true, "runtime": true, "effort": true, "timing": true,
+	"warehouse": true}
 
 func main() {
 	argv := os.Args[1:]
@@ -32,8 +35,10 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("oraql-tables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	table := fs.String("table", "all", "which table to print (fig3|fig4|fig5|fig6|fig7|runtime|effort|timing|all)")
+	table := fs.String("table", "all", "which table to print (fig3|fig4|fig5|fig6|fig7|runtime|effort|timing|warehouse|all)")
 	configs := fs.String("configs", "", "comma-separated config ids (default: all)")
+	cacheDir := fs.String("cache-dir", "", "persistent store holding the forensics warehouse (for -table warehouse)")
+	cacheMaxMB := fs.Int("cache-max-mb", 0, "size cap for -cache-dir in MiB (0 = 512)")
 	verbose := fs.Bool("v", false, "verbose driver log")
 	fs.Bool("json", false, "emit failures as the shared JSON error envelope")
 	if err := fs.Parse(argv); err != nil {
@@ -43,7 +48,22 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return cliutil.Usagef("unexpected arguments: %v", fs.Args())
 	}
 	if !tables[*table] {
-		return cliutil.Usagef("unknown table %q (fig3|fig4|fig5|fig6|fig7|runtime|effort|timing|all)", *table)
+		return cliutil.Usagef("unknown table %q (fig3|fig4|fig5|fig6|fig7|runtime|effort|timing|warehouse|all)", *table)
+	}
+
+	// The warehouse table reads the persisted corpus instead of running
+	// experiments, so it never joins "all".
+	if *table == "warehouse" {
+		cache, err := cliutil.OpenCache(*cacheDir, *cacheMaxMB)
+		if err != nil {
+			return err
+		}
+		w := warehouse.Open(cache)
+		if w == nil {
+			return cliutil.Usagef("-table warehouse requires -cache-dir")
+		}
+		fmt.Fprintln(stdout, report.WarehouseTable(w.Load()))
+		return nil
 	}
 
 	var ids []string

@@ -67,6 +67,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return cmdRun(args, stdout, stderr)
 	case "sweep":
 		return cmdSweep(args, stdout, stderr)
+	case "warehouse":
+		return cmdWarehouse(args, stdout, stderr)
 	default:
 		usage(stderr)
 		return cliutil.Usagef("unknown subcommand %q", cmd)
@@ -83,7 +85,11 @@ func usage(w io.Writer) {
   oraql run <config-id>
   oraql run <script.oraql> [-j N] [-cache-dir DIR] [-max-steps N] [-timeout D] [-v] [-json]
   oraql run <script.oraql> -server http://host:8347   # sandboxed POST /v1/campaign
-  oraql sweep [config-id ...] [-cache-dir DIR] [-json]`)
+  oraql sweep [config-id ...] [-cache-dir DIR] [-json]
+  oraql warehouse stats|query|export|ingest -cache-dir DIR [...]
+  oraql warehouse query -cache-dir DIR [-by pass|shape|func|grammar] [-kind K] [-app A]
+  oraql warehouse export <config-id>|-file prog.mc [-cache-dir DIR] [-compile-j N]
+  oraql warehouse ingest -cache-dir DIR [-grammar G] report.json...`)
 }
 
 func cmdList(args []string, stdout io.Writer) error {

@@ -73,7 +73,7 @@ func oraqlBuiltins() []*Builtin {
 		},
 		{
 			Name: "fuzz",
-			Doc:  "fuzz({n, seed, grammar, stmts, workers, inject, triage, max_divergences}) — differential fuzzing campaign; returns the campaign report",
+			Doc:  "fuzz({n, seed, grammar, stmts, workers, inject, triage, max_divergences, seed_from_warehouse}) — differential fuzzing campaign; returns the campaign report",
 			Fn:   bindFuzz,
 		},
 	}
@@ -510,6 +510,18 @@ func bindFuzz(in *interp, line int, args []any) (any, error) {
 	}
 	if fo.Gen, err = progen.GrammarByName(grammar, stmts); err != nil {
 		return nil, scriptErr(line, "fuzz: %v", err)
+	}
+	fo.Grammar = grammar
+	seedFromWarehouse, err := o.boolean("seed_from_warehouse")
+	if err != nil {
+		return nil, err
+	}
+	if seedFromWarehouse {
+		w, err := openWarehouse(in, line, "fuzz: seed_from_warehouse")
+		if err != nil {
+			return nil, err
+		}
+		fo.PrioritySeeds = w.Load().DivergentSeeds(grammar)
 	}
 	// Triage defaults on, like the CLI.
 	fo.Triage = true

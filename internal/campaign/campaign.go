@@ -69,10 +69,12 @@ type Result struct {
 	Steps int64
 }
 
-// Builtins returns every installed binding (core + ORAQL) with its
-// one-line doc — the authoritative binding table for docs and tests.
+// Builtins returns every installed binding (core + ORAQL + warehouse)
+// with its one-line doc — the authoritative binding table for docs
+// and tests.
 func Builtins() []*Builtin {
-	return append(coreBuiltins(), oraqlBuiltins()...)
+	b := append(coreBuiltins(), oraqlBuiltins()...)
+	return append(b, warehouseBuiltins()...)
 }
 
 // Run parses and executes one campaign script.

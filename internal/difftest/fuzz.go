@@ -15,6 +15,7 @@ import (
 	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/irinterp"
 	"github.com/oraql/go-oraql/internal/progen"
+	"github.com/oraql/go-oraql/internal/warehouse"
 )
 
 // FuzzOptions configures one fuzzing campaign.
@@ -36,8 +37,16 @@ type FuzzOptions struct {
 	// (see CheckOptions.Cache): re-fuzzing a seed range warm-starts
 	// from artifacts persisted by earlier campaigns or other processes.
 	Cache *diskcache.Store
-	// Gen tunes the program generator.
-	Gen progen.Options
+	// Gen tunes the program generator; Grammar is the profile label the
+	// generator options came from, recorded in warehouse findings so
+	// corpus queries can ask which grammar features find bugs.
+	Gen     progen.Options
+	Grammar string
+	// PrioritySeeds are generated first (deduplicated, before the
+	// [Seed, Seed+N) fill) — corpus distillation feeds the historically
+	// divergence-productive seeds here (-seed-from-warehouse). The
+	// campaign still runs N programs total.
+	PrioritySeeds []int64
 	// Run configures the simulated machine.
 	Run irinterp.Options
 	// Variants is the compilation matrix (default Variants()).
@@ -154,8 +163,8 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 						logf("seed %d: triage failed: %v", seed, terr)
 					} else {
 						rep.Triage = tr
-						logf("seed %d: triaged to pass %q (position %d), %d guilty queries, %d-line reproducer",
-							seed, tr.Pass, tr.PassIndex, len(tr.Queries), tr.ReproLines)
+						logf("seed %d: triaged to pass %q (position %d), %d guilty queries, %d-line reproducer, artifact %s",
+							seed, tr.Pass, tr.PassIndex, len(tr.Queries), tr.ReproLines, tr.ArtifactID[:12])
 					}
 				}
 				mu.Lock()
@@ -164,8 +173,8 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 			}
 		}()
 	}
-	for i := 0; i < opts.N; i++ {
-		seeds <- opts.Seed + int64(i)
+	for _, s := range seedOrder(opts) {
+		seeds <- s
 	}
 	close(seeds)
 	wg.Wait()
@@ -177,6 +186,24 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 		return res, err
 	}
 
+	// Every divergence goes into the forensics warehouse when the
+	// campaign runs with a shared cache. Ingestion happens after the
+	// workers join, over the seed-sorted list, so record order (and the
+	// "N filed" log line) is deterministic; content addressing makes a
+	// replayed campaign a no-op here.
+	if w := warehouse.Open(opts.Cache); w != nil && len(res.Divergences) > 0 {
+		filed := 0
+		for _, r := range res.Divergences {
+			n, err := ingestDivergence(w, opts.Grammar, r)
+			if err != nil {
+				logf("warehouse ingest failed for seed %d: %v", r.Seed, err)
+				continue
+			}
+			filed += n
+		}
+		logf("filed %d warehouse records for %d divergences", filed, len(res.Divergences))
+	}
+
 	if opts.CorpusDir != "" && len(res.Divergences) > 0 {
 		if err := writeCorpus(opts.CorpusDir, res.Divergences); err != nil {
 			return res, err
@@ -186,6 +213,92 @@ func Fuzz(opts FuzzOptions) (*FuzzResult, error) {
 	logf("done: %d programs x %d variants, %d divergences, %d harness errors",
 		res.Programs, res.Variants, len(res.Divergences), len(res.Errors))
 	return res, nil
+}
+
+// seedOrder lays out the campaign's N seeds: the priority seeds first
+// (deduplicated, campaign-order preserved), then the [Seed, Seed+N)
+// range fills the remainder, skipping seeds already prioritized. The
+// order feeds a deterministic work list; divergence results still
+// report in seed order.
+func seedOrder(opts FuzzOptions) []int64 {
+	order := make([]int64, 0, opts.N)
+	seen := make(map[int64]bool, opts.N)
+	for _, s := range opts.PrioritySeeds {
+		if len(order) >= opts.N {
+			break
+		}
+		if !seen[s] {
+			seen[s] = true
+			order = append(order, s)
+		}
+	}
+	for i := int64(0); len(order) < opts.N; i++ {
+		s := opts.Seed + i
+		if !seen[s] {
+			seen[s] = true
+			order = append(order, s)
+		}
+	}
+	return order
+}
+
+// IngestReports files a batch of divergence reports in the warehouse
+// — the offline path behind `oraql warehouse ingest`, replaying
+// archived fuzz-report JSON into a (possibly different) corpus.
+// Returns how many records the batch introduced; replays are no-ops.
+func IngestReports(w *warehouse.Store, grammar string, reports []*Report) (int, error) {
+	filed := 0
+	for _, r := range reports {
+		n, err := ingestDivergence(w, grammar, r)
+		filed += n
+		if err != nil {
+			return filed, err
+		}
+	}
+	return filed, nil
+}
+
+// ingestDivergence files one divergence in the warehouse: a fuzz
+// record always, plus a triage record carrying the artifact when the
+// diagnosis ran. Returns how many records this call introduced.
+func ingestDivergence(w *warehouse.Store, grammar string, r *Report) (int, error) {
+	filed := 0
+	fz := &warehouse.Record{
+		Kind: warehouse.KindFuzz, App: r.Variant, Grammar: grammar,
+		Seed: r.Seed, Divergent: true,
+	}
+	if _, added, err := w.Ingest(fz); err != nil {
+		return filed, err
+	} else if added {
+		filed++
+	}
+	t := r.Triage
+	if t == nil {
+		return filed, nil
+	}
+	tr := &warehouse.Record{
+		Kind: warehouse.KindTriage, App: r.Variant, Grammar: grammar,
+		Seed: r.Seed, Divergent: true, FinalSeq: t.GuiltySeq,
+		Artifact: &warehouse.TriageArtifact{
+			ID: t.ArtifactID, Reproducer: t.Reproducer, ReproLines: t.ReproLines,
+			Pass: t.Pass, PassIndex: t.PassIndex, GuiltySeq: t.GuiltySeq,
+			Variant: t.Variant,
+		},
+	}
+	// The guilty queries are exactly the ones whose optimistic answer
+	// breaks the program — record them pessimistic so shape statistics
+	// count them as convictions.
+	for _, q := range t.Queries {
+		tr.Queries = append(tr.Queries, warehouse.QueryVerdict{
+			Index: q.Index, Pass: q.Pass, Func: q.Func, A: q.A, B: q.B,
+		})
+	}
+	if _, added, err := w.Ingest(tr); err != nil {
+		return filed, err
+	} else if added {
+		filed++
+	}
+	return filed, nil
 }
 
 // writeCorpus archives each divergence: the full source, the minimized

@@ -9,6 +9,7 @@ import (
 	"github.com/oraql/go-oraql/internal/oraql"
 	"github.com/oraql/go-oraql/internal/passes"
 	"github.com/oraql/go-oraql/internal/pipeline"
+	"github.com/oraql/go-oraql/internal/report"
 	"github.com/oraql/go-oraql/internal/verify"
 )
 
@@ -29,6 +30,11 @@ type QueryInfo struct {
 type Triage struct {
 	Seed    int64  `json:"seed"`
 	Variant string `json:"variant"`
+
+	// ArtifactID is the stable content-addressed handle of this
+	// artifact (report.TriageArtifactID over reproducer + variant);
+	// warehouse records, JSON reports, and /events lines all carry it.
+	ArtifactID string `json:"artifact_id"`
 
 	// Reproducer is the delta-debugged source; all bisection below ran
 	// against it (smaller programs give stabler query streams).
@@ -110,6 +116,7 @@ func TriageDivergence(d *Divergence, run irinterp.Options) (*Triage, error) {
 	// Step 1: minimize the source while it still diverges.
 	t.Reproducer, t.ReduceTests = ReduceSource(d.Program.Source, sc.divergesSource, 0)
 	t.ReproLines = countLines(t.Reproducer)
+	t.ArtifactID = report.TriageArtifactID(t.Reproducer, d.Variant.Name)
 
 	// Step 2: bisect the pipeline on the reduced program. The prefix
 	// of zero passes equals the reference by construction, the full

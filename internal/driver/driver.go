@@ -329,6 +329,7 @@ func (st *state) finalize(seq oraql.Seq) (*Result, error) {
 	st.res.TestsWasted = st.res.TestsSpeculated - int(st.eng.specConsumed.Load())
 	st.res.TestsDisk = int(st.eng.diskTests.Load())
 	st.persistVerdicts(fin.Compile)
+	st.ingestWarehouse()
 	s := fin.Compile.ORAQLStats()
 	st.logf("%s: done: %d opt (%d cached), %d pess (%d cached); %d compiles, %d tests (+%d cached, %d from disk, %d speculated, %d wasted)",
 		st.spec.Name, s.UniqueOptimistic, s.CachedOptimistic, s.UniquePessimistic, s.CachedPessimistic,

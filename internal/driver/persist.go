@@ -83,10 +83,6 @@ func (st *state) seedFromDisk() {
 	if len(recs) == 0 {
 		return
 	}
-	hashes := st.res.Baseline.Compile.ContentFuncHashes()
-	if len(hashes) == 0 {
-		return
-	}
 	descs := verdictDescriptors(recs)
 	byHash := map[string]diskcache.FuncVerdicts{}
 	pins := make([]int8, len(recs))
@@ -95,6 +91,7 @@ func (st *state) seedFromDisk() {
 		priors[i] = 0.5
 	}
 	pinned := 0
+	hashes := st.res.Baseline.Compile.ContentFuncHashes()
 	for i, rec := range recs {
 		if rec.Index < 0 || rec.Index >= len(pins) {
 			continue
@@ -130,11 +127,18 @@ func (st *state) seedFromDisk() {
 		}
 		pinned++
 	}
-	if pinned == 0 {
+	if pinned > 0 {
+		st.pins, st.priors = pins, priors
+		st.logf("%s: seeded %d/%d query verdicts from persisted campaign state", st.spec.Name, pinned, len(recs))
 		return
 	}
-	st.pins, st.priors = pins, priors
-	st.logf("%s: seeded %d/%d query verdicts from persisted campaign state", st.spec.Name, pinned, len(recs))
+	// No per-function history (first campaign on this program, or every
+	// function edited): fall back to the warehouse's fleet-wide verdict
+	// frequencies per query shape. Priors only — never pins.
+	if seeded := st.seedShapePriors(recs, priors); seeded > 0 {
+		st.priors = priors
+		st.logf("%s: seeded %d/%d query priors from warehouse shape history", st.spec.Name, seeded, len(recs))
+	}
 }
 
 // persistVerdicts records the final verified compilation's per-query

@@ -1,0 +1,96 @@
+package driver
+
+import (
+	"github.com/oraql/go-oraql/internal/oraql"
+	"github.com/oraql/go-oraql/internal/warehouse"
+)
+
+// Warehouse integration: every campaign that runs with persistent
+// state (BenchSpec.Cache) also files its outcome in the forensics
+// warehouse, and campaigns with no per-function history fall back to
+// the fleet-wide per-shape verdict frequencies accumulated there.
+
+// ingestWarehouse files the finished probe as a warehouse record. The
+// record is pure campaign output — content addressing makes repeat
+// runs of the same campaign land on the same ID, so re-probing never
+// duplicates corpus entries.
+func (st *state) ingestWarehouse() {
+	w := warehouse.Open(st.spec.Cache)
+	if w == nil || st.res.Final == nil {
+		return
+	}
+	strat := st.spec.Strategy
+	if strat == nil {
+		strat = Chunked
+	}
+	rec := &warehouse.Record{
+		Kind:            warehouse.KindProbe,
+		App:             st.spec.Name,
+		AAChain:         st.spec.Compile.AAChainCanonical(),
+		Strategy:        strat.Name(),
+		FinalSeq:        st.res.FinalSeq.String(),
+		FullyOptimistic: st.res.FullyOptimistic,
+		ExeHash:         st.res.Final.Compile.ExeHash(),
+		FuncHashes:      st.res.Baseline.Compile.ContentFuncHashes(),
+	}
+	for _, r := range st.res.Final.Compile.Records() {
+		a, b := r.LocDescriptions()
+		rec.Queries = append(rec.Queries, warehouse.QueryVerdict{
+			Index: r.Index, Pass: r.Pass, Func: r.Func,
+			A: a, B: b, Optimistic: r.Optimistic,
+		})
+	}
+	id, added, err := w.Ingest(rec)
+	if err != nil {
+		st.logf("%s: warehouse ingest failed: %v", st.spec.Name, err)
+		return
+	}
+	if added {
+		st.logf("%s: warehouse record %s filed", st.spec.Name, id[:12])
+	}
+}
+
+// seedShapePriors is the fleet-wide fallback for seedFromDisk: when no
+// per-function verdict history matches (first campaign on a program,
+// or every function was edited), estimate each query's conviction
+// probability from the warehouse's per-shape verdict frequencies
+// instead. Shapes generalize across programs, so a fresh campaign
+// still orders its speculation by what convicted elsewhere. Only
+// priors are seeded — never pins: shape statistics are suggestive,
+// not per-query evidence.
+func (st *state) seedShapePriors(recs []*oraql.QueryRecord, priors []float64) int {
+	w := warehouse.Open(st.spec.Cache)
+	if w == nil {
+		return 0
+	}
+	hist := w.Load().ShapePriors()
+	if hist == nil {
+		return 0
+	}
+	seeded := 0
+	for _, rec := range recs {
+		if rec.Index < 0 || rec.Index >= len(priors) {
+			continue
+		}
+		a, b := rec.LocDescriptions()
+		shape := warehouse.QueryVerdict{Pass: rec.Pass, A: a, B: b}.Shape()
+		c, ok := hist[shape]
+		if !ok {
+			continue
+		}
+		total := c.Optimistic + c.Pessimistic
+		if total == 0 {
+			continue
+		}
+		p := float64(c.Pessimistic) / float64(total)
+		if p < 0.02 {
+			p = 0.02
+		}
+		if p > 0.98 {
+			p = 0.98
+		}
+		priors[rec.Index] = p
+		seeded++
+	}
+	return seeded
+}

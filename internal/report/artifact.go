@@ -1,0 +1,20 @@
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// TriageArtifactID derives the stable content-addressed handle of a
+// triage artifact: the sha256 of the minimized reproducer plus the
+// configuration (variant/app) it diverged under, length-prefixed so
+// the pair cannot be forged by moving bytes across the boundary. The
+// same handle names the artifact in warehouse records, fuzz JSON
+// reports, and /events log lines, so a finding can be chased across
+// all three without a join table.
+func TriageArtifactID(reproducer, config string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s|%d:%s", len(config), config, len(reproducer), reproducer)
+	return hex.EncodeToString(h.Sum(nil))
+}

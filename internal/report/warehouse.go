@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/oraql/go-oraql/internal/warehouse"
+)
+
+// WarehouseTable renders the forensics corpus as the evaluation-table
+// view: corpus totals, then the cross-campaign recurrences by query
+// shape and by guilty pass — the "which pass/query shapes recur across
+// apps?" answer in the same tabular style as the paper tables. The
+// rows come straight from Manifest.Query, so the table is
+// byte-identical for any worker count or process split that produced
+// the corpus.
+func WarehouseTable(m *warehouse.Manifest) string {
+	st := m.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Forensics warehouse: %d records (%d probe, %d fuzz, %d triage), %d divergent\n",
+		st.Records, st.Probes, st.Fuzz, st.Triage, st.Divergent)
+	fmt.Fprintf(&b, "corpus spans %d apps, %d guilty passes, %d query shapes, %d functions; %d optimistic / %d pessimistic verdicts\n",
+		st.Apps, st.Passes, st.Shapes, st.Funcs, st.Opt, st.Pess)
+
+	shapes := &table{header: []string{"Query shape", "Apps", "Records", "Opt", "Pess"}}
+	for _, r := range m.Query(warehouse.QueryOptions{By: "shape"}) {
+		shapes.add(r.Key, fmt.Sprint(len(r.Apps)), fmt.Sprint(r.Records),
+			fmt.Sprint(r.Opt), fmt.Sprint(r.Pess))
+	}
+	b.WriteString("\nRecurrence by query shape (widest first)\n")
+	b.WriteString(shapes.String())
+
+	passes := &table{header: []string{"Guilty pass", "Apps", "Records"}}
+	for _, r := range m.Query(warehouse.QueryOptions{By: "pass"}) {
+		passes.add(r.Key, fmt.Sprint(len(r.Apps)), fmt.Sprint(r.Records))
+	}
+	b.WriteString("\nRecurrence by guilty pass (passes convicted by at least one campaign)\n")
+	b.WriteString(passes.String())
+	return b.String()
+}

@@ -25,6 +25,11 @@
 // budget and a wall-clock limit on every script. The script's sha256
 // is recorded in the job and exported in /metrics.
 //
+// Forensics warehouse (synchronous, over the shared -cache-dir):
+//
+//	GET  /v1/warehouse     corpus stats
+//	POST /v1/warehouse     {op: stats|query|export, ...} -> result
+//
 // Observability:
 //
 //	GET /v1/registry       registered strategies/chains/configs/grammars
@@ -188,6 +193,36 @@ type CampaignResult struct {
 	Steps int64 `json:"steps"`
 	// ScriptSHA256 identifies the executed script body.
 	ScriptSHA256 string `json:"script_sha256"`
+}
+
+// WarehouseRequest is the POST /v1/warehouse body: one synchronous
+// forensics operation against the corpus accumulated in the server's
+// shared persistent store.
+type WarehouseRequest struct {
+	// Op selects the operation: stats (default), query, export.
+	Op string `json:"op,omitempty"`
+
+	// Query filters and grouping (op "query").
+	Kind    string `json:"kind,omitempty"`    // probe | fuzz | triage
+	App     string `json:"app,omitempty"`     // restrict to one app config
+	Grammar string `json:"grammar,omitempty"` // restrict to one grammar profile
+	By      string `json:"by,omitempty"`      // pass | shape | func | grammar
+
+	// Program is the module to export as a code property graph (op
+	// "export"); AliasPairs caps per-function ALIAS edges (0 = default,
+	// -1 = none).
+	Program    ProgramSpec `json:"program,omitempty"`
+	AliasPairs int         `json:"alias_pairs,omitempty"`
+}
+
+// WarehouseResponse is the /v1/warehouse reply. Result carries the
+// op's payload: warehouse.Stats for stats, []warehouse.Recurrence for
+// query, a warehouse.Graph for export — always deterministic bytes
+// for a given corpus and program.
+type WarehouseResponse struct {
+	Op      string          `json:"op"`
+	Records int             `json:"records"`
+	Result  json.RawMessage `json:"result"`
 }
 
 // RegistryInfo is one entry of the /v1/registry reply.

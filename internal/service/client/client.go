@@ -233,6 +233,16 @@ func (c *Client) Campaign(ctx context.Context, req *service.CampaignRequest) (*s
 	return &out, nil
 }
 
+// Warehouse runs one synchronous forensics operation (stats, query,
+// export) against the server's warehouse corpus.
+func (c *Client) Warehouse(ctx context.Context, req *service.WarehouseRequest) (*service.WarehouseResponse, error) {
+	var out service.WarehouseResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/warehouse", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Registry lists the registered extension points.
 func (c *Client) Registry(ctx context.Context) ([]service.RegistryInfo, error) {
 	var out []service.RegistryInfo

@@ -18,6 +18,7 @@ import (
 	"github.com/oraql/go-oraql/internal/pipeline"
 	"github.com/oraql/go-oraql/internal/registry"
 	"github.com/oraql/go-oraql/internal/report"
+	"github.com/oraql/go-oraql/internal/warehouse"
 )
 
 func (s *Server) routes() *http.ServeMux {
@@ -28,6 +29,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/probe", s.handleProbe)
 	mux.HandleFunc("POST /v1/fuzz", s.handleFuzz)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	mux.HandleFunc("GET /v1/warehouse", s.handleWarehouseGet)
+	mux.HandleFunc("POST /v1/warehouse", s.handleWarehousePost)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -588,8 +591,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cluster != nil {
 		tripped = s.cluster.tripped()
 	}
+	warehouseRecords := -1
+	if wh := warehouse.Open(s.cfg.Cache); wh != nil {
+		warehouseRecords = wh.Load().Len()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(s.cache, s.cfg.Cache, len(s.queue), cap(s.queue), s.inflight.Load(), s.cfg.Workers, s.cfg.CompileWorkers, tripped))
+	fmt.Fprint(w, s.met.render(s.cache, s.cfg.Cache, len(s.queue), cap(s.queue), s.inflight.Load(), s.cfg.Workers, s.cfg.CompileWorkers, tripped, warehouseRecords))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

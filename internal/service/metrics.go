@@ -48,6 +48,9 @@ type metrics struct {
 	batchRequests int64
 	batchItems    int64
 	batchUnique   int64
+
+	// warehouse[op] counts completed /v1/warehouse operations.
+	warehouse map[string]int64
 }
 
 // peerCounters tallies one peer's fetch outcomes.
@@ -82,7 +85,15 @@ func newMetrics() *metrics {
 		inflight:        map[string]int64{"probe": 0, "fuzz": 0, "campaign": 0},
 		campaignScripts: map[string]int64{},
 		peer:            map[string]*peerCounters{},
+		warehouse:       map[string]int64{},
 	}
+}
+
+// observeWarehouse books one completed /v1/warehouse operation.
+func (m *metrics) observeWarehouse(op string) {
+	m.mu.Lock()
+	m.warehouse[op]++
+	m.mu.Unlock()
 }
 
 // observePeer books one peer fetch outcome (peerForward/Hit/Miss/Failure).
@@ -191,7 +202,9 @@ func (m *metrics) observeCompile(aaHits, aaLookups, anHits, anMisses int64) {
 // persistent store (nil when the service runs memory-only);
 // peerTripped maps every configured peer to its live breaker state
 // (nil when the instance is not in a cluster).
-func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, queueCap int, inflight int64, workers, compileWorkers int, peerTripped map[string]bool) string {
+// warehouseRecords is the live corpus size (-1 when no persistent
+// store is configured, which suppresses the gauge).
+func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, queueCap int, inflight int64, workers, compileWorkers int, peerTripped map[string]bool, warehouseRecords int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -329,6 +342,19 @@ func (m *metrics) render(cache *resultCache, disk *diskcache.Store, queueDepth, 
 	b.WriteString("# HELP oraql_batch_unique_total Distinct content keys across all batch compile requests.\n")
 	b.WriteString("# TYPE oraql_batch_unique_total counter\n")
 	fmt.Fprintf(&b, "oraql_batch_unique_total %d\n", m.batchUnique)
+
+	if len(m.warehouse) > 0 {
+		b.WriteString("# HELP oraql_warehouse_requests_total Completed /v1/warehouse operations by op.\n")
+		b.WriteString("# TYPE oraql_warehouse_requests_total counter\n")
+		for _, op := range sortedKeys(m.warehouse) {
+			fmt.Fprintf(&b, "oraql_warehouse_requests_total{op=%q} %d\n", op, m.warehouse[op])
+		}
+	}
+	if warehouseRecords >= 0 {
+		b.WriteString("# HELP oraql_warehouse_records Findings registered in the forensics warehouse.\n")
+		b.WriteString("# TYPE oraql_warehouse_records gauge\n")
+		fmt.Fprintf(&b, "oraql_warehouse_records %d\n", warehouseRecords)
+	}
 
 	if len(m.campaignScripts) > 0 {
 		b.WriteString("# HELP oraql_campaign_scripts_total Campaign submissions by script sha256.\n")

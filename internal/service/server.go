@@ -202,6 +202,7 @@ func routeLabel(r *http.Request) string {
 	case r.URL.Path == "/v1/compile", r.URL.Path == "/v1/compile/batch",
 		r.URL.Path == "/v1/probe", r.URL.Path == "/v1/fuzz",
 		r.URL.Path == "/v1/campaign", r.URL.Path == "/v1/registry",
+		r.URL.Path == "/v1/warehouse",
 		r.URL.Path == "/metrics", r.URL.Path == "/healthz":
 		return r.URL.Path
 	case len(r.URL.Path) > len("/v1/artifact/") && r.URL.Path[:len("/v1/artifact/")] == "/v1/artifact/":

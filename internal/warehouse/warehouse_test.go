@@ -1,0 +1,180 @@
+package warehouse
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/oraql/go-oraql/internal/diskcache"
+)
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	d, err := diskcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Open(d)
+}
+
+func probeRecord(app string, seed int64) *Record {
+	return &Record{
+		Kind:     KindProbe,
+		App:      app,
+		AAChain:  "default",
+		Strategy: "chunked",
+		Seed:     seed,
+		FinalSeq: "1 0 1",
+		Queries: []QueryVerdict{
+			{Index: 0, Pass: "Early CSE", Func: "main", A: "%a = load i64", B: "%b = load i64", Optimistic: true},
+			{Index: 1, Pass: "Early CSE", Func: "main", A: "%a = gep %p", B: "%b = gep %q", Optimistic: false},
+			{Index: 2, Pass: "LICM", Func: "kernel", A: "%v = load i64", B: "global @g", Optimistic: false},
+		},
+		FuncHashes: map[string]string{"main": "h-main", "kernel": "h-kernel"},
+	}
+}
+
+func TestIngestIdempotent(t *testing.T) {
+	w := openStore(t, t.TempDir())
+	rec := probeRecord("app-a", 1)
+	id1, added, err := w.Ingest(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added {
+		t.Fatal("first ingest of a record must report added")
+	}
+	id2, added, err := w.Ingest(probeRecord("app-a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Fatal("re-ingesting the same finding must not add a record")
+	}
+	if id1 != id2 {
+		t.Fatalf("equal findings got different IDs: %s vs %s", id1, id2)
+	}
+	if n := w.Load().Len(); n != 1 {
+		t.Fatalf("corpus has %d records after duplicate ingest, want 1", n)
+	}
+	got, ok := w.Load().Record(id1)
+	if !ok {
+		t.Fatalf("record %s not loadable", id1)
+	}
+	if len(got.Queries) != 3 || got.App != "app-a" {
+		t.Fatalf("record round-trip mangled: %+v", got)
+	}
+}
+
+// TestRacingWriters drives many goroutines through two independent
+// store handles over one directory — the same interleavings two
+// processes sharing a -cache-dir produce — and demands exactly one
+// manifest entry per unique finding. Run under -race.
+func TestRacingWriters(t *testing.T) {
+	dir := t.TempDir()
+	a, b := openStore(t, dir), openStore(t, dir)
+	const unique = 8
+	const writers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		for _, w := range []*Store{a, b} {
+			wg.Add(1)
+			go func(w *Store) {
+				defer wg.Done()
+				for i := 0; i < unique; i++ {
+					if _, _, err := w.Ingest(probeRecord(fmt.Sprintf("app-%d", i), int64(i))); err != nil {
+						t.Errorf("racing ingest: %v", err)
+					}
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	if n := a.Load().Len(); n != unique {
+		t.Fatalf("racing writers left %d records, want exactly %d", n, unique)
+	}
+	// Count added=true across a fresh replay: every record exists, so
+	// none may be added again.
+	for i := 0; i < unique; i++ {
+		if _, added, _ := b.Ingest(probeRecord(fmt.Sprintf("app-%d", i), int64(i))); added {
+			t.Fatalf("record %d re-added after the race settled", i)
+		}
+	}
+}
+
+func TestQueryDeterministicAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	w := openStore(t, dir)
+	for i, app := range []string{"app-a", "app-b", "app-c"} {
+		if _, _, err := w.Ingest(probeRecord(app, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, by := range []string{"pass", "shape", "func", "grammar"} {
+		rows := w.Load().Query(QueryOptions{By: by})
+		first, err := MarshalRecurrences(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A second handle models another process answering the same query.
+		again, err := MarshalRecurrences(openStore(t, dir).Load().Query(QueryOptions{By: by}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("query -by %s differs across store handles:\n%s\nvs\n%s", by, first, again)
+		}
+	}
+	// The cross-app recurrence signal: the guilty shape appears in all
+	// three apps and sorts first.
+	rows := w.Load().Query(QueryOptions{By: "shape"})
+	if len(rows) == 0 || len(rows[0].Apps) != 3 {
+		t.Fatalf("widest shape should span 3 apps: %+v", rows)
+	}
+}
+
+func TestShapePriorsAndDivergentSeeds(t *testing.T) {
+	w := openStore(t, t.TempDir())
+	if _, _, err := w.Ingest(probeRecord("app-a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{42, 7, 42} {
+		_, _, err := w.Ingest(&Record{
+			Kind: KindFuzz, App: "fuzz-clean", Grammar: "default",
+			Seed: seed, Divergent: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	priors := w.Load().ShapePriors()
+	if priors == nil {
+		t.Fatal("corpus with verdicts must yield shape priors")
+	}
+	shape := QueryVerdict{Pass: "Early CSE", A: "%a = gep %p", B: "%b = gep %q"}.Shape()
+	if c, ok := priors[shape]; !ok || c.Pessimistic != 1 {
+		t.Fatalf("prior for %q = %+v, want one pessimistic verdict", shape, c)
+	}
+	seeds := w.Load().DivergentSeeds("default")
+	if len(seeds) != 2 || seeds[0] != 7 || seeds[1] != 42 {
+		t.Fatalf("divergent seeds = %v, want sorted unique [7 42]", seeds)
+	}
+	if got := w.Load().DivergentSeeds("no-pointers"); len(got) != 0 {
+		t.Fatalf("grammar filter leaked seeds: %v", got)
+	}
+}
+
+func TestLocClassShapes(t *testing.T) {
+	cases := []struct{ a, b, pass, want string }{
+		{"%1 = load i64, %p", "%2 = gep %q, 8", "LICM", "LICM|gep|load"},
+		{"%2 = gep %q, 8", "%1 = load i64, %p", "LICM", "LICM|gep|load"}, // order-normalized
+		{"global @g", "arg %x", "Early CSE", "Early CSE|arg|global"},
+	}
+	for _, c := range cases {
+		got := QueryVerdict{Pass: c.pass, A: c.a, B: c.b}.Shape()
+		if got != c.want {
+			t.Errorf("Shape(%q, %q) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -40,6 +40,8 @@ echo "campaign_smoke: default-probe byte-identical across worker counts"
 	fail "aa-chain-sweep.oraql"
 "$tmp/oraql" run examples/campaigns/fuzz-grammar.oraql -j 4 >/dev/null ||
 	fail "fuzz-grammar.oraql"
+"$tmp/oraql" run examples/campaigns/forensics-query.oraql -j 4 -cache-dir "$tmp/forensics" >/dev/null ||
+	fail "forensics-query.oraql"
 echo "campaign_smoke: all example campaigns PASS locally"
 
 # 3. The sandbox rejects a runaway script cheaply.
@@ -85,6 +87,19 @@ echo "$metrics" | grep -q 'oraql_jobs_total{kind="campaign",state="done"} 1' ||
 echo "$metrics" | grep -q 'oraql_jobs_inflight{kind="campaign"} 0' ||
 	fail "kind-labeled inflight gauge missing from /metrics"
 echo "campaign_smoke: server campaign PASS (sha $sha)"
+
+# 5. The scripted probes filed their findings in the server's
+# warehouse: the endpoint answers over the shared -cache-dir and the
+# corpus gauge shows on /metrics.
+wh=$(curl -fs "$base/v1/warehouse")
+echo "$wh" | grep -q '"op": "stats"' || fail "/v1/warehouse did not answer stats"
+echo "$wh" | grep -q '"records": 3' || fail "/v1/warehouse should hold 3 probe records: $wh"
+curl -fs -X POST -H 'Content-Type: application/json' \
+	--data '{"op": "query", "by": "shape"}' "$base/v1/warehouse" |
+	grep -q '"op": "query"' || fail "POST /v1/warehouse query failed"
+curl -fs "$base/metrics" | grep -q 'oraql_warehouse_records 3' ||
+	fail "oraql_warehouse_records gauge missing from /metrics"
+echo "campaign_smoke: warehouse endpoint PASS"
 
 kill -TERM "$pid"
 i=0
