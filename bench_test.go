@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 
 	"github.com/oraql/go-oraql/internal/apps"
+	"github.com/oraql/go-oraql/internal/diskcache"
 	"github.com/oraql/go-oraql/internal/driver"
 	"github.com/oraql/go-oraql/internal/oraql"
 	"github.com/oraql/go-oraql/internal/report"
@@ -272,6 +275,82 @@ func BenchmarkProbe_Parallel(b *testing.B) {
 		workers = 4
 	}
 	probeWorkers(b, workers)
+}
+
+// benchConvictions fingerprints a probe's conviction set, sorted, one
+// "pass|func|a|b" descriptor per line.
+func benchConvictions(res *driver.Result) string {
+	var out []string
+	for _, rec := range res.GuiltyQueries() {
+		a, b := rec.LocDescriptions()
+		out = append(out, fmt.Sprintf("%s|%s|%s|%s", rec.Pass, rec.Func, a, b))
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+// BenchmarkProbe_StrategyMatrix is the probing-strategy shoot-out over
+// every app configuration: chunked, freq, and bayes, each cold and
+// seeded. "Seeded" means a prior chunked campaign populated a fresh
+// disk cache (verdict history + failure priors), the situation a
+// re-probe of an unchanged or lightly edited program sees; the seeding
+// run is excluded from the timing. scripts/bench_probe.sh lifts the
+// matrix into BENCH_probe.json and checks the headline claim: seeded
+// bayes beats cold chunked and cold freq on compiles and wall clock on
+// every configuration.
+//
+// Conviction identity is enforced inline for the seeded runs of the
+// prefix-context strategies (chunked, bayes): their conviction sets
+// must match the seeding chunked campaign exactly. freq is exempt — it
+// convicts a documented superset (see TestStrategyConformance).
+func BenchmarkProbe_StrategyMatrix(b *testing.B) {
+	for _, strat := range []driver.Strategy{driver.Chunked, driver.FreqSpace, driver.Bayes} {
+		for _, mode := range []string{"cold", "seeded"} {
+			for _, cfg := range apps.All() {
+				strat, mode, cfg := strat, mode, cfg
+				b.Run(fmt.Sprintf("%s/%s/%s", strat.Name(), mode, cfg.ID), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						var cache *diskcache.Store
+						var want string
+						seeded := mode == "seeded"
+						if seeded {
+							b.StopTimer()
+							c, err := diskcache.Open(b.TempDir())
+							if err != nil {
+								b.Fatal(err)
+							}
+							seed := cfg.Spec()
+							seed.Strategy = driver.Chunked
+							seed.Workers = 1
+							seed.Cache = c
+							sres, err := driver.Probe(seed)
+							if err != nil {
+								b.Fatal(err)
+							}
+							want = benchConvictions(sres)
+							cache = c
+							b.StartTimer()
+						}
+						spec := cfg.Spec()
+						spec.Strategy = strat
+						spec.Workers = 1
+						spec.Cache = cache
+						res, err := driver.Probe(spec)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(float64(res.Compiles), "compiles")
+						b.ReportMetric(float64(len(res.GuiltyQueries())), "convictions")
+						if seeded && strat.Name() != "freq" {
+							if got := benchConvictions(res); got != want {
+								b.Fatalf("conviction set differs from chunked:\n got: %q\nwant: %q", got, want)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkAblation_ChainPosition measures how many queries reach

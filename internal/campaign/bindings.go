@@ -26,7 +26,10 @@ import (
 )
 
 func oraqlBuiltins() []*Builtin {
-	intro := func(name string, reg *registry.Registry, doc string) *Builtin {
+	// intro lists a registry; the registry is resolved per call so
+	// strategies() can reflect the run's overlay (script-registered
+	// strategies) rather than only the global table.
+	intro := func(name string, reg func(in *interp) *registry.Registry, doc string) *Builtin {
 		return &Builtin{
 			Name: name,
 			Doc:  doc,
@@ -35,7 +38,7 @@ func oraqlBuiltins() []*Builtin {
 					return nil, scriptErr(line, "%s takes no arguments", name)
 				}
 				var out []any
-				for _, e := range reg.Entries() {
+				for _, e := range reg(in).Entries() {
 					out = append(out, map[string]any{
 						"name":        e.Name,
 						"description": e.Description,
@@ -45,12 +48,15 @@ func oraqlBuiltins() []*Builtin {
 			},
 		}
 	}
+	static := func(r *registry.Registry) func(in *interp) *registry.Registry {
+		return func(in *interp) *registry.Registry { return r }
+	}
 	return []*Builtin{
-		intro("strategies", registry.Strategies, "strategies() — registered probing strategies as [{name, description}]"),
-		intro("aa_analyses", registry.AAAnalyses, "aa_analyses() — registered alias analyses as [{name, description}]"),
-		intro("aa_chains", registry.AAChains, "aa_chains() — registered AA chain presets as [{name, description}]"),
-		intro("app_configs", registry.AppConfigs, "app_configs() — registered application configurations as [{name, description}]"),
-		intro("grammars", registry.Grammars, "grammars() — registered generator grammar profiles as [{name, description}]"),
+		intro("strategies", (*interp).strategyReg, "strategies() — registered probing strategies (including this run's register_strategy entries) as [{name, description}]"),
+		intro("aa_analyses", static(registry.AAAnalyses), "aa_analyses() — registered alias analyses as [{name, description}]"),
+		intro("aa_chains", static(registry.AAChains), "aa_chains() — registered AA chain presets as [{name, description}]"),
+		intro("app_configs", static(registry.AppConfigs), "app_configs() — registered application configurations as [{name, description}]"),
+		intro("grammars", static(registry.Grammars), "grammars() — registered generator grammar profiles as [{name, description}]"),
 		{
 			Name: "compile",
 			Doc:  "compile({config|source, model, aa_chain, seq, oraql, target, opt_level}) — one compilation; returns the compile report",
@@ -375,7 +381,9 @@ func probeSpecFromOpts(in *interp, o *opts, configOverride string, what string) 
 		return nil, err
 	}
 	if strategy != "" {
-		strat, err := driver.StrategyByName(strategy)
+		// Resolved against the run's overlay, so script-registered
+		// strategies are selectable exactly like built-ins.
+		strat, err := in.lookupStrategy(strategy)
 		if err != nil {
 			return nil, scriptErr(o.line, "%s: %v", what, err)
 		}

@@ -8,12 +8,13 @@
 //
 // The language is a tiny expression/statement subset: let,
 // assignment, if/else, for-in, while, break/continue/return, list and
-// map literals, and calls into host bindings. There are no
-// user-defined functions, imports, or any I/O beyond print — the
+// map literals, `fn` function literals (closures, so strategy
+// callbacks can be handed to register_strategy), and calls into host
+// bindings. There are no imports and no I/O beyond print — the
 // sandbox is structural. Execution is bounded by an instruction
-// budget and an optional wall-clock timeout, and honors context
-// cancellation, so untrusted scripts (POST /v1/campaign) can at worst
-// burn their own budget.
+// budget, a call-depth limit, and an optional wall-clock timeout, and
+// honors context cancellation, so untrusted scripts (POST
+// /v1/campaign) can at worst burn their own budget.
 //
 // Determinism contract: every binding funnels into the same driver,
 // pipeline, and difftest entry points the CLIs use, so a scripted
@@ -69,11 +70,12 @@ type Result struct {
 	Steps int64
 }
 
-// Builtins returns every installed binding (core + ORAQL + warehouse)
-// with its one-line doc — the authoritative binding table for docs
-// and tests.
+// Builtins returns every installed binding (core + ORAQL + strategy +
+// warehouse) with its one-line doc — the authoritative binding table
+// for docs and tests.
 func Builtins() []*Builtin {
 	b := append(coreBuiltins(), oraqlBuiltins()...)
+	b = append(b, strategyBuiltins()...)
 	return append(b, warehouseBuiltins()...)
 }
 

@@ -1,11 +1,14 @@
 package campaign
 
 // The tree-walking evaluator. Values are the JSON value model plus
-// *Builtin: nil, bool, int64, float64, string, []any, map[string]any.
-// Every operation is type-checked and error-returning — scripts can
-// fail, but they can never panic the host — and every evaluated node
-// charges the instruction budget, so `while true {}` dies with a
-// budget error, not a hung worker.
+// the callables: nil, bool, int64, float64, string, []any,
+// map[string]any, *Builtin, and *funcVal (a script-defined `fn`
+// closure). Every operation is type-checked and error-returning —
+// scripts can fail, but they can never panic the host — and every
+// evaluated node charges the instruction budget, so `while true {}`
+// dies with a budget error, not a hung worker. Function calls are
+// additionally bounded by maxCallDepth so runaway recursion hits a
+// script error long before the Go stack.
 
 import (
 	"context"
@@ -22,6 +25,15 @@ type Builtin struct {
 	Name string
 	Doc  string
 	Fn   func(in *interp, line int, args []any) (any, error)
+}
+
+// funcVal is a script-defined function: a `fn(params) { body }`
+// literal closed over its defining environment.
+type funcVal struct {
+	params []string
+	body   []stmt
+	env    *env
+	line   int // where the literal was written, for error messages
 }
 
 type env struct {
@@ -55,7 +67,19 @@ type interp struct {
 	globals  *env
 	steps    int64
 	maxSteps int64
+	// depth is the live script-function call depth (maxCallDepth cap).
+	depth int
+	// strat is the per-run script-strategy state — the overlay registry
+	// holding register_strategy entries and the active Prober stack the
+	// probe_* bindings read. Created lazily by bindings_strategy.go.
+	strat *strategyState
 }
+
+// maxCallDepth bounds script-function recursion. The limit protects
+// the host's goroutine stack (each script call consumes Go frames);
+// 64 is far beyond any reasonable campaign and far below stack
+// exhaustion.
+const maxCallDepth = 64
 
 // Control-flow sentinels — internal to the evaluator, never escape Run.
 type breakErr struct{ line int }
@@ -337,27 +361,29 @@ func (in *interp) eval(x expr, e *env) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		b, ok := fn.(*Builtin)
-		if !ok {
-			return nil, scriptErr(x.line, "%s is not callable", typeName(fn))
-		}
 		args := make([]any, len(x.args))
 		for i, a := range x.args {
 			if args[i], err = in.eval(a, e); err != nil {
 				return nil, err
 			}
 		}
-		v, err := b.Fn(in, x.line, args)
-		if err != nil {
-			if _, scripted := err.(scriptError); scripted {
-				return nil, err
+		switch f := fn.(type) {
+		case *Builtin:
+			v, err := f.Fn(in, x.line, args)
+			if err != nil {
+				if _, scripted := err.(scriptError); scripted {
+					return nil, err
+				}
+				if in.ctx.Err() != nil {
+					return nil, err // cancellation passes through untouched
+				}
+				return nil, scriptErr(x.line, "%s: %v", f.Name, err)
 			}
-			if in.ctx.Err() != nil {
-				return nil, err // cancellation passes through untouched
-			}
-			return nil, scriptErr(x.line, "%s: %v", b.Name, err)
+			return v, nil
+		case *funcVal:
+			return in.callFunc(f, args, x.line)
 		}
-		return v, nil
+		return nil, scriptErr(x.line, "%s is not callable", typeName(fn))
 
 	case *indexExpr:
 		container, err := in.eval(x.x, e)
@@ -398,8 +424,42 @@ func (in *interp) eval(x expr, e *env) (any, error) {
 			return nil, scriptErr(x.line, "cannot read field %q of %s", x.name, typeName(container))
 		}
 		return m[x.name], nil // missing field yields nil
+
+	case *fnExpr:
+		return &funcVal{params: x.params, body: x.body, env: e, line: x.line}, nil
 	}
 	return nil, scriptErr(x.pos(), "internal: unknown expression %T", x)
+}
+
+// callFunc invokes a script-defined function: a fresh scope over the
+// closure environment, parameters bound positionally, the body's
+// return value (nil when the body runs off its end) as the result.
+func (in *interp) callFunc(f *funcVal, args []any, line int) (any, error) {
+	if len(args) != len(f.params) {
+		return nil, scriptErr(line, "function takes %d argument(s), got %d", len(f.params), len(args))
+	}
+	if in.depth >= maxCallDepth {
+		return nil, scriptErr(line, "call depth limit exceeded (%d nested calls)", maxCallDepth)
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	scope := &env{vars: make(map[string]any, len(f.params)), parent: f.env}
+	for i, p := range f.params {
+		scope.vars[p] = args[i]
+	}
+	err := in.execBlock(f.body, scope)
+	switch err := err.(type) {
+	case nil:
+		return nil, nil
+	case returnErr:
+		return err.val, nil
+	case breakErr:
+		return nil, scriptErr(err.line, "break outside a loop")
+	case continueErr:
+		return nil, scriptErr(err.line, "continue outside a loop")
+	default:
+		return nil, err
+	}
 }
 
 func (in *interp) evalBinary(x *binaryExpr, e *env) (any, error) {
@@ -559,6 +619,8 @@ func typeName(v any) string {
 		return "map"
 	case *Builtin:
 		return "builtin"
+	case *funcVal:
+		return "function"
 	}
 	return fmt.Sprintf("%T", v)
 }
@@ -612,6 +674,8 @@ func formatValue(v any) string {
 		return sb.String()
 	case *Builtin:
 		return "builtin " + v.Name
+	case *funcVal:
+		return fmt.Sprintf("fn(%s)", strings.Join(v.params, ", "))
 	}
 	return fmt.Sprintf("%v", v)
 }

@@ -3,9 +3,11 @@ package campaign
 // AST and recursive-descent parser of the campaign language — an
 // expression/statement subset deliberately too small to need a
 // toolchain: let/assignment, if/else, for-in, while, break/continue/
-// return, calls, index/field access, list and map literals, and the
-// usual operators. There are no user-defined functions: everything
-// callable is a host binding registered on the interpreter.
+// return, calls, index/field access, list and map literals, `fn`
+// function literals, and the usual operators. Callables are the host
+// bindings registered on the interpreter plus script-defined `fn`
+// values (closures over their defining scope), which exist so scripts
+// can hand strategy callbacks to register_strategy.
 
 import "fmt"
 
@@ -52,6 +54,11 @@ type (
 		name string
 		line int
 	}
+	fnExpr struct { // fn(params) { body } — a function literal
+		params []string
+		body   []stmt
+		line   int
+	}
 )
 
 type expr interface{ pos() int }
@@ -65,6 +72,7 @@ func (e *binaryExpr) pos() int { return e.line }
 func (e *callExpr) pos() int   { return e.line }
 func (e *indexExpr) pos() int  { return e.line }
 func (e *fieldExpr) pos() int  { return e.line }
+func (e *fnExpr) pos() int     { return e.line }
 
 // Statements.
 type (
@@ -363,7 +371,7 @@ func (p *parser) ifStmt() (stmt, error) {
 func isReserved(name string) bool {
 	switch name {
 	case "let", "if", "else", "for", "in", "while", "break", "continue",
-		"return", "true", "false", "nil":
+		"return", "true", "false", "nil", "fn":
 		return true
 	}
 	return false
@@ -489,6 +497,8 @@ func (p *parser) primary() (expr, error) {
 	case t.kind == tString:
 		p.next()
 		return &litExpr{val: t.text, line: t.line}, nil
+	case t.kind == tIdent && t.text == "fn":
+		return p.fnLiteral()
 	case t.kind == tIdent:
 		p.next()
 		switch t.text {
@@ -574,6 +584,43 @@ func (p *parser) primary() (expr, error) {
 	default:
 		return nil, scriptErr(t.line, "unexpected %s", t)
 	}
+}
+
+// fnLiteral parses `fn(params) { body }`. Parameter names follow
+// variable-name rules and must be distinct.
+func (p *parser) fnLiteral() (expr, error) {
+	t := p.next() // "fn"
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	p.skipNL()
+	for !p.isOp(")") {
+		name := p.peek()
+		if name.kind != tIdent || isReserved(name.text) {
+			return nil, scriptErr(name.line, "expected parameter name, found %s", name)
+		}
+		for _, prev := range params {
+			if prev == name.text {
+				return nil, scriptErr(name.line, "duplicate parameter %q", name.text)
+			}
+		}
+		params = append(params, name.text)
+		p.next()
+		p.skipNL()
+		if !p.acceptOp(",") {
+			break
+		}
+		p.skipNL()
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &fnExpr{params: params, body: body, line: t.line}, nil
 }
 
 var _ = fmt.Sprintf // keep fmt linked for scriptErr callers above

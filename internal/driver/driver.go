@@ -94,6 +94,9 @@ type Result struct {
 	// TestsDisk is the subset of TestsCached whose outcome was replayed
 	// from the persistent campaign state (BenchSpec.Cache).
 	TestsDisk int
+	// RunsReplayed counts baseline/final interpreter runs served from
+	// the persistent run-replay layer instead of executing (runcache.go).
+	RunsReplayed int
 	// TestsSpeculated counts speculative tests launched by the parallel
 	// driver; TestsWasted is the subset whose outcome was never
 	// consumed by the decision loop (cancelled losers included).
@@ -168,7 +171,7 @@ func (st *state) execute(opts *oraql.Options) (*Outcome, error) {
 		return nil, err
 	}
 	st.res.Compiles++
-	rr, runErr := irinterp.Run(cr.Program, st.spec.Run)
+	rr, runErr := st.run(cr)
 	out := &Outcome{Compile: cr, Run: rr, RunErr: runErr}
 	var stdout string
 	if rr != nil {
@@ -264,7 +267,7 @@ func (st *state) probe() (*Result, error) {
 		return st.finalize(nil)
 	}
 	st.logf("%s: fully optimistic failed; bisecting %d unique queries", spec.Name, st.maxSeen)
-	st.seedFromDisk()
+	st.seedPriors()
 
 	// Step 3: bisection. The padding keeps undecided queries
 	// pessimistic; it adapts as query counts drift.

@@ -21,10 +21,11 @@ import (
 // a result computed ahead of time is the same result the sequential
 // driver would have computed on demand.
 type testOutcome struct {
-	ok     bool
-	unique int  // unique ORAQL query count of this compile
-	didRun bool // false when the verdict came from the exe-hash cache
-	err    error
+	ok       bool
+	unique   int  // unique ORAQL query count of this compile
+	didRun   bool // false when the verdict came from the exe-hash cache
+	fromDisk bool // verdict replayed from the persistent campaign state
+	err      error
 }
 
 // testCall is one in-flight or completed test, single-flighted by the
@@ -81,11 +82,16 @@ type engine struct {
 	specConsumed atomic.Int64
 	diskTests    atomic.Int64
 
-	// specDepth bounds in-flight speculation, adapting to the observed
-	// hit/waste rate: it starts at min(workers-1, cores-1) — zero on a
-	// single-core host, where speculative compiles only steal cycles
-	// from the consumed test — shrinks when speculation is cancelled
-	// unconsumed, and grows (up to workers-1) when it is consumed.
+	// specDepth bounds in-flight *compile* speculation, adapting to the
+	// observed hit/waste rate: it starts at min(workers-1, cores-1) —
+	// zero on a single-core host, where a speculative compile only
+	// steals cycles from the consumed test — shrinks when speculation is
+	// cancelled unconsumed, and grows (up to workers-1) when consumed.
+	// The gate applies to compiles only: a candidate whose outcome is
+	// already on disk completes its speculative call synchronously in
+	// prefetch, costing neither a compile nor a worker slot, so it
+	// bypasses the depth bound (and, being free, never feeds the
+	// adaptive +1 evidence that compile-speculation pays).
 	specDepth  atomic.Int64
 	specActive atomic.Int64
 }
@@ -177,7 +183,15 @@ func (e *engine) get(seq oraql.Seq) testOutcome {
 			e.consume(c)
 			if c.speculative {
 				e.specConsumed.Add(1)
-				e.adjustDepth(1) // speculation paid off: widen
+				if !c.out.fromDisk {
+					// Compile speculation paid off: widen. Disk-served
+					// outcomes cost nothing, so they are no evidence that
+					// spending a worker on a speculative compile pays.
+					e.adjustDepth(1)
+				}
+			}
+			if c.out.fromDisk {
+				e.diskTests.Add(1)
 			}
 			return c.out
 		}
@@ -187,6 +201,9 @@ func (e *engine) get(seq oraql.Seq) testOutcome {
 		c.out = e.run(e.ctx, seq)
 		close(c.done)
 		e.consume(c)
+		if c.out.fromDisk {
+			e.diskTests.Add(1)
+		}
 		return c.out
 	}
 }
@@ -196,11 +213,22 @@ func (e *engine) get(seq oraql.Seq) testOutcome {
 // bound is reached, or when the candidate is already in flight. The
 // driver passes candidates in descending consumption-probability
 // order, so depth throttling drops the least promising ones first.
+//
+// The depth bound gates compile speculation only: when it is reached
+// (including the permanent depth 0 of a single-core host) a candidate
+// whose outcome is already in the persistent campaign state is still
+// registered as a completed speculative call — a warm prefetch costs
+// no compile and no worker slot, so priors keep paying off even where
+// compile speculation never engages.
 func (e *engine) prefetch(seq oraql.Seq) {
-	if e.workers <= 1 || e.specActive.Load() >= e.specDepth.Load() {
+	if e.workers <= 1 {
 		return
 	}
 	key := seq.String()
+	if e.specActive.Load() >= e.specDepth.Load() {
+		e.prefetchFromDisk(key)
+		return
+	}
 	e.mu.Lock()
 	if _, ok := e.calls[key]; ok {
 		e.mu.Unlock()
@@ -231,6 +259,32 @@ func (e *engine) prefetch(seq oraql.Seq) {
 		}
 		close(c.done)
 	}()
+}
+
+// prefetchFromDisk registers a completed speculative call for a
+// candidate whose outcome is already persisted, without taking a
+// worker slot. Called when the adaptive depth bound blocks a compile
+// prefetch; quietly does nothing without a persistent campaign or on
+// a cold candidate.
+func (e *engine) prefetchFromDisk(key string) {
+	if e.spec.Cache == nil || e.campID == "" {
+		return
+	}
+	o, ok := e.spec.Cache.LoadTestOutcome(diskcache.TestOutcomeKey(e.campID, key))
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	if _, dup := e.calls[key]; dup {
+		e.mu.Unlock()
+		return
+	}
+	c := &testCall{key: key, done: make(chan struct{}), speculative: true}
+	c.out = testOutcome{ok: o.OK, unique: o.Unique, fromDisk: true}
+	close(c.done)
+	e.calls[key] = c
+	e.mu.Unlock()
+	e.specLaunched.Add(1)
 }
 
 // cancelSpeculative cancels every outstanding speculative call. Called
@@ -273,8 +327,9 @@ func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
 	if e.spec.Cache != nil && e.campID != "" {
 		dkey = diskcache.TestOutcomeKey(e.campID, seq.String())
 		if o, ok := e.spec.Cache.LoadTestOutcome(dkey); ok {
-			e.diskTests.Add(1)
-			return testOutcome{ok: o.OK, unique: o.Unique}
+			// Counted into diskTests at consumption (get), so the stat
+			// stays a subset of the tests the decision loop consumed.
+			return testOutcome{ok: o.OK, unique: o.Unique, fromDisk: true}
 		}
 	}
 	e.sem <- struct{}{}
@@ -299,7 +354,10 @@ func (e *engine) run(ctx context.Context, seq oraql.Seq) testOutcome {
 		return testOutcome{err: err}
 	}
 	e.compiles.Add(1)
-	if len(seq) == 0 && e.spec.Cache != nil {
+	if len(seq) == 0 {
+		// The fully-optimistic compile's query stream feeds both the
+		// persisted-verdict seeding and the IR feature extraction, so it
+		// is captured with or without a persistent campaign.
 		e.mu.Lock()
 		if e.optRecords == nil {
 			e.optRecords = cr.Records()

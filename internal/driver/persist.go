@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/oraql/go-oraql/internal/diskcache"
+	"github.com/oraql/go-oraql/internal/ir"
 	"github.com/oraql/go-oraql/internal/oraql"
 	"github.com/oraql/go-oraql/internal/pipeline"
 )
@@ -71,25 +72,59 @@ func verdictDescriptors(recs []*oraql.QueryRecord) []string {
 	return out
 }
 
-// seedFromDisk matches the fully-optimistic compile's query stream
-// against persisted verdicts and fills st.pins (known answers) and
-// st.priors (per-index probability that the query must stay
-// pessimistic, used to order speculation).
-func (st *state) seedFromDisk() {
-	if st.spec.Cache == nil || st.checkID == "" {
-		return
+// featurePseudoCount is the strength of the IR feature estimate when
+// observed verdict history updates it: the feature score enters the
+// beta update as featurePseudoCount virtual observations, so a couple
+// of real verdicts already dominate it.
+const featurePseudoCount = 2
+
+// clampPrior keeps per-query priors away from certainty: priors order
+// and partition the bisection, they never decide it.
+func clampPrior(p float64) float64 {
+	if p < 0.02 {
+		return 0.02
 	}
+	if p > 0.98 {
+		return 0.98
+	}
+	return p
+}
+
+// seedPriors fills st.priors (per-index probability that the query
+// must stay pessimistic) and st.pins (persisted known answers) from
+// three evidence layers, weakest first:
+//
+//  1. IR feature scores (features.go) — always available once the
+//     fully-optimistic compile's query stream is captured; the
+//     cold-start estimate.
+//  2. Warehouse per-shape verdict frequencies — fleet-wide history,
+//     cross-program; blended over the feature base when no
+//     per-function history matched. Priors only, never pins.
+//  3. Per-function persisted verdicts — same program, same check;
+//     beta-updates the feature base and pins the known answers.
+func (st *state) seedPriors() {
 	recs := st.eng.takeOptRecords()
 	if len(recs) == 0 {
+		return
+	}
+	priors := make([]float64, len(recs))
+	for i := range priors {
+		priors[i] = 0.5
+	}
+	var mod *ir.Module
+	if st.res.Baseline != nil && st.res.Baseline.Compile != nil && st.res.Baseline.Compile.Host != nil {
+		mod = st.res.Baseline.Compile.Host.Module
+	}
+	if scored := seedFeaturePriors(recs, mod, priors); scored > 0 {
+		st.priors = priors
+		st.logf("%s: scored %d/%d queries from IR features", st.spec.Name, scored, len(recs))
+	}
+	if st.spec.Cache == nil || st.checkID == "" {
 		return
 	}
 	descs := verdictDescriptors(recs)
 	byHash := map[string]diskcache.FuncVerdicts{}
 	pins := make([]int8, len(recs))
-	priors := make([]float64, len(recs))
-	for i := range priors {
-		priors[i] = 0.5
-	}
 	pinned := 0
 	hashes := st.res.Baseline.Compile.ContentFuncHashes()
 	for i, rec := range recs {
@@ -110,14 +145,11 @@ func (st *state) seedFromDisk() {
 		if total == 0 {
 			continue
 		}
-		p := float64(c.Pessimistic) / float64(total)
-		if p < 0.02 {
-			p = 0.02
-		}
-		if p > 0.98 {
-			p = 0.98
-		}
-		priors[rec.Index] = p
+		// Beta update: feature estimate as pseudo-counts, observed
+		// verdicts on top.
+		priors[rec.Index] = clampPrior(
+			(priors[rec.Index]*featurePseudoCount + float64(c.Pessimistic)) /
+				(featurePseudoCount + float64(total)))
 		// Ever convicted -> pin pessimistic (conservative); otherwise
 		// always survived -> pin optimistic.
 		if c.Pessimistic > 0 {

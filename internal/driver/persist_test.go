@@ -2,6 +2,7 @@ package driver
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -63,6 +64,12 @@ func TestWarmCampaignReplaysFromDisk(t *testing.T) {
 	if cold.TestsDisk != 0 {
 		t.Fatalf("cold campaign claims %d disk tests", cold.TestsDisk)
 	}
+	// The cold campaign's final binary may coincide with the baseline
+	// (mostly-pessimistic final sequence), replaying the run it just
+	// stored; but its baseline run has nothing to replay from.
+	if cold.RunsReplayed > 1 {
+		t.Fatalf("cold campaign claims %d replayed runs, want <= 1", cold.RunsReplayed)
+	}
 	warm := probeWithCache(t, helloSrc, cache)
 	if warm.TestsRun != 0 {
 		t.Fatalf("warm campaign ran %d tests; want 0 (all from disk)", warm.TestsRun)
@@ -70,11 +77,22 @@ func TestWarmCampaignReplaysFromDisk(t *testing.T) {
 	if warm.TestsDisk == 0 {
 		t.Fatal("warm campaign consumed no disk outcomes")
 	}
+	// Both interpreter runs (baseline and final) replay from the
+	// run-replay layer with identical results.
+	if warm.RunsReplayed != 2 {
+		t.Fatalf("warm campaign replayed %d runs, want 2", warm.RunsReplayed)
+	}
 	if got, want := warm.FinalSeq.String(), cold.FinalSeq.String(); got != want {
 		t.Fatalf("warm final seq %q != cold %q", got, want)
 	}
 	if warm.Final.Run.Stdout != cold.Final.Run.Stdout {
 		t.Fatalf("warm output %q != cold %q", warm.Final.Run.Stdout, cold.Final.Run.Stdout)
+	}
+	if warm.Final.Run.Instrs != cold.Final.Run.Instrs ||
+		warm.Baseline.Run.Instrs != cold.Baseline.Run.Instrs {
+		t.Fatalf("replayed instruction counts diverge: warm %d/%d, cold %d/%d",
+			warm.Baseline.Run.Instrs, warm.Final.Run.Instrs,
+			cold.Baseline.Run.Instrs, cold.Final.Run.Instrs)
 	}
 }
 
@@ -131,5 +149,45 @@ func TestIncrementalReprobeOfEditedProgram(t *testing.T) {
 	}
 	if !strings.Contains(seeded.Final.Run.Stdout, "sum=") {
 		t.Fatalf("unexpected output %q", seeded.Final.Run.Stdout)
+	}
+}
+
+// PFail composes per-query failure probabilities into a range
+// estimate: the range fails when any member fails, so
+// PFail(lo, hi) = 1 - prod(1 - p_i), with 0.5 for every query the
+// priors table does not cover. The table mixes known and unknown
+// positions to pin that composition.
+func TestPFailMixedKnownUnknownPriors(t *testing.T) {
+	st := &state{priors: []float64{0.2, 0.8}} // queries 2+ unknown
+	cases := []struct {
+		name   string
+		lo, hi int
+		want   float64
+	}{
+		{"single known low", 0, 1, 0.2},
+		{"single known high", 1, 2, 0.8},
+		{"two known combine", 0, 2, 1 - 0.8*0.2},
+		{"single unknown defaults to 0.5", 2, 3, 0.5},
+		{"known and unknown mix", 0, 3, 1 - 0.8*0.2*0.5},
+		{"unknown pair", 2, 4, 1 - 0.5*0.5},
+		{"empty range never fails", 1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := st.PFail(c.lo, c.hi); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: PFail(%d, %d) = %g, want %g", c.name, c.lo, c.hi, got, c.want)
+		}
+	}
+
+	// With no priors loaded every estimate is 0.5-based and HasPriors
+	// reports false — strategies then skip prior-driven ordering.
+	bare := &state{}
+	if bare.HasPriors() {
+		t.Error("state without priors claims HasPriors")
+	}
+	if got := bare.PFail(0, 2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("unseeded PFail(0, 2) = %g, want 0.75", got)
+	}
+	if !st.HasPriors() {
+		t.Error("state with priors denies HasPriors")
 	}
 }

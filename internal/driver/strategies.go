@@ -12,6 +12,7 @@ package driver
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -66,6 +67,7 @@ var (
 	Chunked   Strategy = chunkedStrategy{}
 	FreqSpace Strategy = freqStrategy{}
 	Linear    Strategy = linearStrategy{}
+	Bayes     Strategy = bayesStrategy{}
 )
 
 func init() {
@@ -76,6 +78,7 @@ func init() {
 		{Chunked, "recursive halving of consecutive ranges (paper default; good when dangerous queries cluster)"},
 		{FreqSpace, "residue-class splitting by doubling modulus (descriptors independent of sequence length)"},
 		{Linear, "one query at a time, left to right (O(n) tests; diagnostic baseline)"},
+		{Bayes, "probability-ranked bisection: IR features + persisted priors order queries safest-first and balance splits by guilt mass"},
 	} {
 		registry.Strategies.Register(registry.Entry{
 			Name:        s.strat.Name(),
@@ -289,6 +292,176 @@ func (freqStrategy) specs(p Prober, decided oraql.Seq, done []bool, m, r int) []
 		if c.m < n {
 			frontier = append(frontier, class{2 * c.m, c.r}, class{2 * c.m, c.r + c.m})
 		}
+	}
+	return specs
+}
+
+// bayesStrategy is the prior-driven probabilistic bisection: the
+// chunked recursion with its split points placed by estimated
+// per-query failure probability (IR feature scores beta-updated by
+// persisted verdict history — Prober.PFail) instead of at the index
+// midpoint. Each failing range splits at its guilt-mass median — the
+// index where the cumulative -log survival probability reaches half
+// the range's total — and, when a single dominant likely-guilty query
+// carries most of the mass, immediately before it.
+//
+// The effect with sharp priors: the high-probability-safe mass ahead
+// of each suspect tests as one large optimistic chunk (one test
+// decides most queries) and the likely-guilty queries are isolated as
+// singletons within a few tests, instead of paying a full log-depth
+// descent per conviction. The recursion structure, left-to-right
+// decision order, and singleton conviction contexts are exactly the
+// chunked strategy's — only the split positions move — so convictions
+// stay exact and the pessimistic conviction set matches chunked's.
+// With no priors every weight is equal, the guilt-mass median is the
+// index midpoint, and the strategy degenerates to chunked.
+type bayesStrategy struct{}
+
+func (bayesStrategy) Name() string { return "bayes" }
+
+// bayesWeights converts per-query failure probabilities into additive
+// guilt-mass weights: w = -log(1 - p), so a range's total weight is
+// the -log of the probability that the whole range survives its
+// optimistic test.
+func bayesWeights(p Prober, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		q := 1 - p.PFail(i, i+1)
+		if q < 0.02 {
+			q = 0.02
+		}
+		w[i] = -math.Log(q)
+	}
+	return w
+}
+
+// bayesSplit places the split point of [lo, hi) at the guilt-mass
+// median: the end of the largest prefix whose mass is at most half
+// the range's total, clamped so both parts are non-empty. A dominant
+// suspect — one query carrying more than half the mass — therefore
+// lands at the head of the right part: the whole likely-safe prefix
+// tests as one chunk, and the suspect is one singleton test from
+// conviction. With uniform weights (no priors) every prefix of
+// length floor(n/2) holds at most half the mass, so the split is
+// chunked's floor midpoint exactly; the comparison carries a relative
+// tolerance so that exact-tie prefixes are kept rather than decided
+// by float summation order.
+func bayesSplit(w []float64, lo, hi int) int {
+	total := 0.0
+	for _, x := range w[lo:hi] {
+		total += x
+	}
+	if total <= 0 {
+		return (lo + hi) / 2
+	}
+	mass := 0.0
+	mid := lo
+	for k := lo; k < hi; k++ {
+		if (mass+w[k])*2 > total*(1+1e-9) {
+			break
+		}
+		mass += w[k]
+		mid = k + 1
+	}
+	if mid <= lo {
+		mid = lo + 1
+	}
+	if mid >= hi {
+		mid = hi - 1
+	}
+	return mid
+}
+
+// Solve runs the chunked recursion (including the Fig. 2 knownBad
+// deduction) with guilt-mass split points.
+func (s bayesStrategy) Solve(p Prober, n int) (oraql.Seq, error) {
+	decided := make(oraql.Seq, n)
+	w := bayesWeights(p, n)
+	var solve func(lo, hi int, knownBad bool) (bool, error)
+	solve = func(lo, hi int, knownBad bool) (bool, error) {
+		if lo >= hi {
+			return true, nil
+		}
+		if !knownBad {
+			cand := decided.Clone()
+			for i := lo; i < hi; i++ {
+				cand[i] = true
+			}
+			ok, err := p.Test(p.Pad(cand[:hi]), s.specs(p, decided, w, lo, hi)...)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				copy(decided[lo:hi], cand[lo:hi])
+				return true, nil
+			}
+		}
+		if hi-lo == 1 {
+			decided[lo] = false // dangerous query pinned
+			p.Logf("query %d must stay pessimistic", lo)
+			return false, nil
+		}
+		mid := bayesSplit(w, lo, hi)
+		leftAll, err := solve(lo, mid, false)
+		if err != nil {
+			return false, err
+		}
+		// An entirely-optimistic left part proves the dangerous query
+		// sits on the right: skip the right's whole-range test.
+		if _, err := solve(mid, hi, leftAll); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	if _, err := solve(0, n, true); err != nil {
+		return nil, err
+	}
+	return decided, nil
+}
+
+// specs mirrors the chunked strategy's speculative candidates with
+// guilt-mass splits: the fail path descends the left spine, plus the
+// right part under the assumption the whole left part stays
+// pessimistic; with priors, candidates are ordered by estimated
+// consumption probability.
+func (s bayesStrategy) specs(p Prober, decided oraql.Seq, w []float64, lo, hi int) []oraql.Seq {
+	if p.Workers() <= 1 || hi-lo <= 1 {
+		return nil
+	}
+	var specs []oraql.Seq
+	var scores []float64
+	prob := 1.0 // P(every ancestor range test failed)
+	for l, h := lo, hi; h-l > 1 && len(specs) < p.Workers()-1; {
+		m := bayesSplit(w, l, h)
+		cand := decided.Clone()
+		for i := l; i < m; i++ {
+			cand[i] = true
+		}
+		prob *= p.PFail(l, h)
+		specs = append(specs, p.Pad(cand[:m]))
+		scores = append(scores, prob)
+		h = m
+	}
+	if mid := bayesSplit(w, lo, hi); len(specs) < p.Workers()-1 && hi-mid >= 1 {
+		cand := decided.Clone()
+		for i := mid; i < hi; i++ {
+			cand[i] = true
+		}
+		specs = append(specs, p.Pad(cand[:hi]))
+		// Consumed when [lo,hi) failed and its left part failed too.
+		scores = append(scores, p.PFail(lo, hi)*p.PFail(lo, mid))
+	}
+	if p.HasPriors() {
+		ord := make([]int, len(specs))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.SliceStable(ord, func(a, b int) bool { return scores[ord[a]] > scores[ord[b]] })
+		sorted := make([]oraql.Seq, len(specs))
+		for i, j := range ord {
+			sorted[i] = specs[j]
+		}
+		specs = sorted
 	}
 	return specs
 }

@@ -50,14 +50,22 @@ func (st *state) ingestWarehouse() {
 	}
 }
 
-// seedShapePriors is the fleet-wide fallback for seedFromDisk: when no
+// shapeMaxWeight caps the evidence weight of fleet-wide shape
+// statistics in the beta update: shapes generalize across programs,
+// so however many observations a shape has accumulated elsewhere, it
+// never swamps the per-query feature estimate the way same-program
+// verdict history may.
+const shapeMaxWeight = 16
+
+// seedShapePriors is the fleet-wide fallback for seedPriors: when no
 // per-function verdict history matches (first campaign on a program,
-// or every function was edited), estimate each query's conviction
+// or every function was edited), update each query's conviction
 // probability from the warehouse's per-shape verdict frequencies
-// instead. Shapes generalize across programs, so a fresh campaign
-// still orders its speculation by what convicted elsewhere. Only
-// priors are seeded — never pins: shape statistics are suggestive,
-// not per-query evidence.
+// instead. The shape frequency beta-updates the IR feature estimate
+// already in priors (weight-capped), so a fresh campaign still orders
+// its speculation by what convicted elsewhere. Only priors are seeded
+// — never pins: shape statistics are suggestive, not per-query
+// evidence.
 func (st *state) seedShapePriors(recs []*oraql.QueryRecord, priors []float64) int {
 	w := warehouse.Open(st.spec.Cache)
 	if w == nil {
@@ -82,14 +90,14 @@ func (st *state) seedShapePriors(recs []*oraql.QueryRecord, priors []float64) in
 		if total == 0 {
 			continue
 		}
-		p := float64(c.Pessimistic) / float64(total)
-		if p < 0.02 {
-			p = 0.02
+		weight := float64(total)
+		if weight > shapeMaxWeight {
+			weight = shapeMaxWeight
 		}
-		if p > 0.98 {
-			p = 0.98
-		}
-		priors[rec.Index] = p
+		freq := float64(c.Pessimistic) / float64(total)
+		priors[rec.Index] = clampPrior(
+			(priors[rec.Index]*featurePseudoCount + freq*weight) /
+				(featurePseudoCount + weight))
 		seeded++
 	}
 	return seeded

@@ -58,6 +58,12 @@ type Registry struct {
 	kind        string
 	description string
 
+	// parent, when non-nil, makes this registry an overlay: lookups
+	// fall back to the parent, and listings merge parent entries first.
+	// Overlays are per-run scratch views (see Overlay) and are not
+	// recorded in the global registry list.
+	parent *Registry
+
 	mu     sync.RWMutex
 	byName map[string]*Entry
 	order  []string
@@ -89,6 +95,16 @@ func All() []*Registry {
 	return append([]*Registry(nil), global...)
 }
 
+// Overlay returns a per-run child view of the registry: lookups that
+// miss the overlay's own entries fall back to the parent, and Add
+// registers into the overlay only, leaving the global table — which
+// concurrent runs share — untouched. Campaign scripts register their
+// script-defined strategies here, so a script's registrations live
+// and die with its run and can never collide across runs.
+func (r *Registry) Overlay() *Registry {
+	return &Registry{kind: r.kind, description: r.description, parent: r, byName: map[string]*Entry{}}
+}
+
 // Kind returns the registry's kind label (e.g. "strategy").
 func (r *Registry) Kind() string { return r.kind }
 
@@ -98,32 +114,59 @@ func (r *Registry) Description() string { return r.description }
 // Register adds an entry. Registering an empty or duplicate name is a
 // programming error (registration happens at package init) and panics.
 func (r *Registry) Register(e Entry) {
+	if err := r.Add(e); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Add adds an entry, reporting empty or duplicate names as errors
+// instead of panicking — the entry point for runtime registrations
+// (campaign-script overlays), where a name clash is the script
+// author's mistake, not a programming error. Duplicates are checked
+// against the parent chain too: an overlay entry may not shadow a
+// built-in.
+func (r *Registry) Add(e Entry) error {
 	if e.Name == "" {
-		panic(fmt.Sprintf("registry %s: entry with empty name", r.kind))
+		return fmt.Errorf("registry %s: entry with empty name", r.kind)
+	}
+	if r.parent != nil {
+		if _, dup := r.parent.Lookup(e.Name); dup {
+			return fmt.Errorf("registry %s: entry %q already registered", r.kind, e.Name)
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.byName[e.Name]; dup {
-		panic(fmt.Sprintf("registry %s: duplicate entry %q", r.kind, e.Name))
+		return fmt.Errorf("registry %s: duplicate entry %q", r.kind, e.Name)
 	}
 	ent := e
 	r.byName[e.Name] = &ent
 	r.order = append(r.order, e.Name)
+	return nil
 }
 
-// Lookup returns the named entry.
+// Lookup returns the named entry, falling back to the parent when the
+// registry is an overlay.
 func (r *Registry) Lookup(name string) (*Entry, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	e, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok && r.parent != nil {
+		return r.parent.Lookup(name)
+	}
 	return e, ok
 }
 
-// Names returns the registered names in registration order.
+// Names returns the registered names in registration order, parent
+// entries first for overlays.
 func (r *Registry) Names() []string {
+	var out []string
+	if r.parent != nil {
+		out = r.parent.Names()
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return append([]string(nil), r.order...)
+	return append(out, r.order...)
 }
 
 // SortedNames returns the registered names sorted lexicographically.
@@ -133,22 +176,34 @@ func (r *Registry) SortedNames() []string {
 	return names
 }
 
-// Entries returns the entries in registration order.
+// Entries returns the entries in registration order, parent entries
+// first for overlays.
 func (r *Registry) Entries() []*Entry {
+	var out []*Entry
+	if r.parent != nil {
+		out = r.parent.Entries()
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]*Entry, 0, len(r.order))
+	if out == nil {
+		out = make([]*Entry, 0, len(r.order))
+	}
 	for _, n := range r.order {
 		out = append(out, r.byName[n])
 	}
 	return out
 }
 
-// Len returns the number of registered entries.
+// Len returns the number of registered entries, including the
+// parent's for overlays.
 func (r *Registry) Len() int {
+	n := 0
+	if r.parent != nil {
+		n = r.parent.Len()
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.order)
+	return n + len(r.order)
 }
 
 // Info is the JSON-able description of one entry (Value omitted).

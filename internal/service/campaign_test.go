@@ -236,6 +236,83 @@ func TestCampaignSandboxSurface(t *testing.T) {
 	}
 }
 
+// TestCampaignScriptDefinedStrategy runs a register_strategy campaign
+// through the service: a .oraql-defined probing strategy drives a
+// probe end-to-end inside the job sandbox and must agree with the
+// compiled-in linear strategy byte-for-byte.
+func TestCampaignScriptDefinedStrategy(t *testing.T) {
+	_, cl, stop := newTestServer(t, service.Config{})
+	defer stop()
+	ctx := context.Background()
+
+	script := `
+		register_strategy("svc-linear", fn(n) {
+			let decided = []
+			for i in range(n) {
+				decided = append(decided, false)
+			}
+			for i in range(n) {
+				let cand = []
+				for j in range(n) {
+					if j == i {
+						cand = append(cand, true)
+					} else {
+						cand = append(cand, decided[j])
+					}
+				}
+				if probe_test(probe_pad(cand)) {
+					decided[i] = true
+				}
+			}
+			return decided
+		})
+		let mine = probe({config: "minife-openmp", strategy: "svc-linear"})
+		let ref = probe({config: "minife-openmp", strategy: "linear"})
+		return {
+			same_exe: mine.exe_hash == ref.exe_hash,
+			same_seq: mine.final_seq == ref.final_seq,
+			guilty: len(mine.guilty_queries),
+		}
+	`
+	j, err := cl.Campaign(ctx, &service.CampaignRequest{Script: script})
+	if err != nil {
+		t.Fatalf("submit campaign: %v", err)
+	}
+	info := waitDone(t, cl, j.ID)
+	if info.State != service.JobDone {
+		t.Fatalf("job state = %s (err %q)", info.State, info.Error)
+	}
+	var res service.CampaignResult
+	if err := json.Unmarshal(info.Result, &res); err != nil {
+		t.Fatalf("decode campaign result: %v", err)
+	}
+	var value map[string]any
+	if err := json.Unmarshal(res.Value, &value); err != nil {
+		t.Fatalf("decode campaign value: %v", err)
+	}
+	if value["same_exe"] != true || value["same_seq"] != true {
+		t.Errorf("script-defined strategy diverged from compiled-in linear: %v", value)
+	}
+	// The strategy must actually have run: minife-openmp convicts, so
+	// the fully-optimistic fast path cannot have skipped Solve.
+	if g, _ := value["guilty"].(float64); g < 1 {
+		t.Errorf("minife-openmp should convict at least one query: %v", value)
+	}
+
+	// The registration is job-scoped: a later campaign on the same
+	// server must not see it.
+	j2, err := cl.Campaign(ctx, &service.CampaignRequest{
+		Script: `probe({config: "minife-openmp", strategy: "svc-linear"})`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info2 := waitDone(t, cl, j2.ID)
+	if info2.State != service.JobFailed || !strings.Contains(info2.Error, "unknown strategy") {
+		t.Fatalf("state=%s err=%q, want unknown-strategy failure (overlay leaked?)", info2.State, info2.Error)
+	}
+}
+
 // TestRegistryEndpoint checks GET /v1/registry lists every extension
 // point with its entries.
 func TestRegistryEndpoint(t *testing.T) {

@@ -42,6 +42,10 @@ echo "campaign_smoke: default-probe byte-identical across worker counts"
 	fail "fuzz-grammar.oraql"
 "$tmp/oraql" run examples/campaigns/forensics-query.oraql -j 4 -cache-dir "$tmp/forensics" >/dev/null ||
 	fail "forensics-query.oraql"
+"$tmp/oraql" run examples/campaigns/custom-strategy.oraql -j 4 -json >"$tmp/custom-strategy.json" ||
+	fail "custom-strategy.oraql"
+grep -q '"matches_linear": true' "$tmp/custom-strategy.json" ||
+	fail "script-defined strategy diverged from compiled-in linear"
 echo "campaign_smoke: all example campaigns PASS locally"
 
 # 3. The sandbox rejects a runaway script cheaply.
